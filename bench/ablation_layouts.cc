@@ -1,0 +1,98 @@
+// Ablation Abl-1 (DESIGN.md): data striping (RAID-5 rotated parity) vs
+// parity striping (Gray et al.) under the same OLTP workload. Both layouts
+// pay the same small-write parity cost; the paper adopts either
+// organization (Section 3). This bench confirms the transfer counts are
+// layout-independent while the *placement* differs (sequentiality is the
+// parity-striping motivation).
+#include <iomanip>
+#include <iostream>
+
+#include "sim/simulator.h"
+#include "storage/disk_array.h"
+
+namespace {
+
+rda::sim::SimOptions MakeOptions(rda::LayoutKind layout, uint64_t seed) {
+  rda::sim::SimOptions options;
+  options.db.array.layout_kind = layout;
+  options.db.array.data_pages_per_group = 8;
+  options.db.array.parity_copies = 2;
+  options.db.array.min_data_pages = 512;
+  options.db.array.page_size = 256;
+  options.db.buffer.capacity = 64;
+  options.db.txn.force = true;
+  options.db.txn.rda_undo = true;
+  options.workload.num_pages = 512;
+  options.workload.pages_per_txn = 8;
+  options.workload.communality = 0.5;
+  options.workload.update_txn_fraction = 0.8;
+  options.workload.update_probability = 0.9;
+  options.workload.seed = seed;
+  options.num_transactions = 400;
+  options.concurrency = 4;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: array organization (page FORCE/TOC, RDA) ===\n\n"
+            << std::setw(18) << "layout" << std::setw(14) << "xfers/txn"
+            << std::setw(14) << "commits" << std::setw(16) << "unlogged steals"
+            << "\n";
+  for (const auto& [kind, name] :
+       {std::pair{rda::LayoutKind::kDataStriping, "data striping"},
+        std::pair{rda::LayoutKind::kParityStriping, "parity striping"}}) {
+    rda::sim::Simulator sim(MakeOptions(kind, 7));
+    auto result = sim.Run();
+    if (!result.ok()) {
+      std::cerr << "simulation failed: " << result.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << std::setw(18) << name << std::fixed << std::setprecision(2)
+              << std::setw(14) << result->transfers_per_commit
+              << std::setw(14) << result->committed << std::setw(16)
+              << (result->parity.unlogged_first +
+                  result->parity.unlogged_repeat)
+              << "\n";
+  }
+  // Part 2: service time under concurrent sequential streams — the
+  // motivation for parity striping (Gray et al.; paper Section 3.2).
+  std::cout << "\n--- concurrent sequential streams (service-time model) "
+               "---\n\n"
+            << std::setw(18) << "layout" << std::setw(20)
+            << "critical path (ms)" << std::setw(18) << "total busy (ms)"
+            << "\n";
+  for (const auto& [kind, name] :
+       {std::pair{rda::LayoutKind::kDataStriping, "data striping"},
+        std::pair{rda::LayoutKind::kParityStriping, "parity striping"}}) {
+    rda::DiskArray::Options array_options;
+    array_options.layout_kind = kind;
+    array_options.data_pages_per_group = 8;
+    array_options.parity_copies = 2;
+    array_options.min_data_pages = 2048;
+    array_options.page_size = 256;
+    auto array = rda::DiskArray::Create(array_options);
+    if (!array.ok()) {
+      std::cerr << array.status().ToString() << "\n";
+      return 1;
+    }
+    rda::PageImage image;
+    const uint32_t pages = (*array)->num_data_pages();
+    const rda::PageId starts[4] = {0, pages / 4, pages / 2, 3 * pages / 4};
+    for (uint32_t step = 0; step < pages / 4; ++step) {
+      for (const rda::PageId start : starts) {
+        if (!(*array)->ReadData(start + step, &image).ok()) {
+          return 1;
+        }
+      }
+    }
+    std::cout << std::setw(18) << name << std::fixed << std::setprecision(0)
+              << std::setw(20) << (*array)->MaxBusyMs() << std::setw(18)
+              << (*array)->TotalBusyMs() << "\n";
+  }
+  std::cout << "\n(equal transfer counts, very different head movement: "
+               "parity striping keeps each\n sequential stream on one "
+               "disk — Gray et al.'s argument, quantified)\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Prints the paper-vs-reproduction anchor table consumed by
+// EXPERIMENTS.md: every quantitative claim the paper's text or figure axes
+// state, next to the value this implementation computes.
+#include <cmath>
+#include <cstdio>
+
+#include "model/figures.h"
+
+namespace {
+
+using namespace rda::model;
+
+double Gain(AlgorithmClass algorithm, const ModelParams& p, double c) {
+  const double base = Evaluate(algorithm, p, c, false).throughput;
+  const double rda = Evaluate(algorithm, p, c, true).throughput;
+  return 100.0 * (rda - base) / base;
+}
+
+void Row(const char* what, double paper, double measured, const char* unit) {
+  const double dev = paper != 0 ? 100.0 * (measured - paper) / paper : 0.0;
+  std::printf("%-58s %12.1f %12.1f %-6s %+6.1f%%\n", what, paper, measured,
+              unit, dev);
+}
+
+}  // namespace
+
+int main() {
+  const ModelParams hu = ModelParams::HighUpdate();
+  const ModelParams hr = ModelParams::HighRetrieval();
+
+  std::printf("%-58s %12s %12s %-6s %7s\n", "anchor (paper source)", "paper",
+              "measured", "unit", "dev");
+  std::printf("%s\n", std::string(100, '-').c_str());
+
+  Row("Fig 9 HU baseline at C=0 (axis tick 48800)", 48800,
+      EvalPageForceToc(hu, 0.0, false).throughput, "txn/T");
+  Row("Fig 9 HU baseline at C=1 (axis tick 54500)", 54500,
+      EvalPageForceToc(hu, 1.0, false).throughput, "txn/T");
+  Row("Fig 9 HU RDA at C=1 (axis tick 77300)", 77300,
+      EvalPageForceToc(hu, 1.0, true).throughput, "txn/T");
+  Row("Fig 9 HR baseline at C=0 (axis tick 91800)", 91800,
+      EvalPageForceToc(hr, 0.0, false).throughput, "txn/T");
+  Row("Fig 9 HU RDA gain at C=0.9 (\"about 42%\", Sec 5.2.1)", 42.0,
+      Gain(AlgorithmClass::kPageForceToc, hu, 0.9), "%");
+  Row("Fig 12 HU RDA gain at C=0.9 (\"about 14%\", Sec 5.3.2)", 14.0,
+      Gain(AlgorithmClass::kRecordNoForceAcc, hu, 0.9), "%");
+
+  const auto fig13 = Figure13Series(0.9, {5, 45});
+  Row("Fig 13 benefit at s=5 (axis ~6%)", 6.0, fig13.front().gain_percent,
+      "%");
+  Row("Fig 13 benefit at s=45 (axis ~70%)", 70.0, fig13.back().gain_percent,
+      "%");
+
+  std::printf("\nqualitative anchors:\n");
+  const bool fig10_base =
+      EvalPageNoForceAcc(hu, 0.7, false).throughput >
+      EvalPageForceToc(hu, 0.7, false).throughput;
+  const bool fig10_rda = EvalPageForceToc(hu, 0.7, true).throughput >
+                         EvalPageNoForceAcc(hu, 0.7, true).throughput;
+  std::printf("  page logging, no RDA: notFORCE/ACC > FORCE/TOC ....... %s\n",
+              fig10_base ? "holds" : "VIOLATED");
+  std::printf("  page logging, RDA: ordering reversed (Sec 5.2.2) ..... %s\n",
+              fig10_rda ? "holds" : "VIOLATED");
+  const bool fig12_best =
+      EvalRecordNoForceAcc(hu, 0.9, true).throughput >
+      EvalRecordForceToc(hu, 0.9, true).throughput;
+  std::printf("  record logging, RDA: notFORCE/ACC best at high C ..... %s\n",
+              fig12_best ? "holds" : "VIOLATED");
+  const double hu_gain = Gain(AlgorithmClass::kPageForceToc, hu, 0.9);
+  const double hr_gain = Gain(AlgorithmClass::kPageForceToc, hr, 0.9);
+  std::printf("  Fig 9: HU gain (%0.1f%%) > HR gain (%0.1f%%) .......... %s\n",
+              hu_gain, hr_gain, hu_gain > hr_gain ? "holds" : "VIOLATED");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces paper Figure 10.
+//  page logging, notFORCE/ACC:Paper: without RDA this beats FORCE/TOC; with RDA the ordering reverses and the RDA gain here is small.
+#include <iostream>
+
+#include "model/figures.h"
+
+int main() {
+  using namespace rda::model;
+  std::cout << "=== Figure 10 ===\n\n";
+  for (const Environment env :
+       {Environment::kHighUpdate, Environment::kHighRetrieval}) {
+    const auto series =
+        FigureSeries(AlgorithmClass::kPageNoForceAcc, env, 11);
+    PrintFigureTable(std::cout, AlgorithmClass::kPageNoForceAcc, env, series);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces paper Figure 11.
+//  record logging, FORCE/TOC:Paper: record logging shrinks the log to record granularity; RDA still removes UNDO volume and most before-images.
+#include <iostream>
+
+#include "model/figures.h"
+
+int main() {
+  using namespace rda::model;
+  std::cout << "=== Figure 11 ===\n\n";
+  for (const Environment env :
+       {Environment::kHighUpdate, Environment::kHighRetrieval}) {
+    const auto series =
+        FigureSeries(AlgorithmClass::kRecordForceToc, env, 11);
+    PrintFigureTable(std::cout, AlgorithmClass::kRecordForceToc, env, series);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Reproduces paper Figure 12.
+//  record logging, notFORCE/ACC:Paper: the best traditional algorithm; adding RDA gains ~14% at C=0.9 in the high-update environment.
+#include <iostream>
+
+#include "model/figures.h"
+
+int main() {
+  using namespace rda::model;
+  std::cout << "=== Figure 12 ===\n\n";
+  for (const Environment env :
+       {Environment::kHighUpdate, Environment::kHighRetrieval}) {
+    const auto series =
+        FigureSeries(AlgorithmClass::kRecordNoForceAcc, env, 11);
+    PrintFigureTable(std::cout, AlgorithmClass::kRecordNoForceAcc, env, series);
+    std::cout << "\n";
+  }
+  return 0;
+}

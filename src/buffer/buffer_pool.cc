@@ -1,0 +1,142 @@
+#include "buffer/buffer_pool.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace rda {
+
+bool Frame::HasModifier(TxnId txn) const {
+  return std::find(modifiers.begin(), modifiers.end(), txn) != modifiers.end();
+}
+
+void Frame::AddModifier(TxnId txn) {
+  if (!HasModifier(txn)) {
+    modifiers.push_back(txn);
+  }
+}
+
+void Frame::RemoveModifier(TxnId txn) {
+  modifiers.erase(std::remove(modifiers.begin(), modifiers.end(), txn),
+                  modifiers.end());
+}
+
+BufferPool::BufferPool(const Options& options, FetchFn fetch,
+                       PropagateFn propagate)
+    : options_(options),
+      fetch_(std::move(fetch)),
+      propagate_(std::move(propagate)) {}
+
+Result<Frame*> BufferPool::Fetch(PageId page, bool* cache_hit) {
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    if (cache_hit != nullptr) {
+      *cache_hit = true;
+    }
+    ++stats_.hits;
+    it->second.lru_tick = ++tick_;
+    return &it->second;
+  }
+  if (cache_hit != nullptr) {
+    *cache_hit = false;
+  }
+  ++stats_.misses;
+  while (frames_.size() >= options_.capacity) {
+    RDA_RETURN_IF_ERROR(EvictOne());
+  }
+  PageImage image;
+  RDA_RETURN_IF_ERROR(fetch_(page, &image));
+  Frame frame;
+  frame.page = page;
+  frame.payload = image.payload;
+  frame.last_propagated = std::move(image.payload);
+  frame.header = image.header;
+  frame.lru_tick = ++tick_;
+  auto [inserted, ok] = frames_.emplace(page, std::move(frame));
+  (void)ok;
+  return &inserted->second;
+}
+
+Frame* BufferPool::Lookup(PageId page) {
+  auto it = frames_.find(page);
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+Status BufferPool::EvictOne() {
+  Frame* victim = nullptr;
+  for (auto& [page, frame] : frames_) {
+    if (frame.pins > 0) {
+      continue;
+    }
+    if (frame.dirty && !frame.modifiers.empty() && !options_.allow_steal) {
+      continue;  // no-STEAL: uncommitted modifications may not leave RAM.
+    }
+    if (victim == nullptr || frame.lru_tick < victim->lru_tick) {
+      victim = &frame;
+    }
+  }
+  if (victim == nullptr) {
+    return Status::Busy("no evictable buffer frame");
+  }
+  if (victim->dirty) {
+    if (!victim->modifiers.empty()) {
+      ++stats_.steals;
+    }
+    RDA_RETURN_IF_ERROR(PropagateFrame(victim));
+  }
+  ++stats_.evictions;
+  frames_.erase(victim->page);
+  return Status::Ok();
+}
+
+Status BufferPool::PropagateFrame(Frame* frame) {
+  if (!frame->dirty) {
+    return Status::Ok();
+  }
+  RDA_RETURN_IF_ERROR(propagate_(frame));
+  frame->last_propagated = frame->payload;
+  frame->pending_mods.clear();
+  frame->has_pending_before = false;
+  frame->pending_before.clear();
+  frame->dirty = false;
+  return Status::Ok();
+}
+
+Status BufferPool::PropagateAllDirty() {
+  // Deterministic order keeps tests and the simulator reproducible.
+  std::vector<PageId> dirty = DirtyPages();
+  std::sort(dirty.begin(), dirty.end());
+  for (const PageId page : dirty) {
+    Frame* frame = Lookup(page);
+    if (frame != nullptr) {
+      RDA_RETURN_IF_ERROR(PropagateFrame(frame));
+    }
+  }
+  return Status::Ok();
+}
+
+void BufferPool::Discard(PageId page) { frames_.erase(page); }
+
+void BufferPool::LoseAll() { frames_.clear(); }
+
+std::vector<PageId> BufferPool::DirtyPages() const {
+  std::vector<PageId> out;
+  for (const auto& [page, frame] : frames_) {
+    if (frame.dirty) {
+      out.push_back(page);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<PageId> BufferPool::ResidentPages() const {
+  std::vector<PageId> out;
+  for (const auto& [page, frame] : frames_) {
+    out.push_back(page);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rda

@@ -1,0 +1,150 @@
+#ifndef RDA_BUFFER_BUFFER_POOL_H_
+#define RDA_BUFFER_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace rda {
+
+// In-buffer undo information for one record-granular update. Volatile
+// bookkeeping only — the durable undo story is the twin parity / UNDO log;
+// this exists so a runtime abort can revert a transaction's records inside
+// a buffer frame that other transactions also modified (record locking
+// allows sharing pages, paper footnote 12).
+struct RecordMod {
+  TxnId txn = kInvalidTxnId;
+  RecordSlot slot = 0;
+  std::vector<uint8_t> before;
+  Lsn stamp = 0;  // Monotone stamp for reverse-order undo.
+};
+
+// A record slot modified since the frame was last propagated; the steal path
+// derives before-image log records from these (before bytes come from
+// `last_propagated`).
+struct PendingMod {
+  TxnId txn = kInvalidTxnId;
+  RecordSlot slot = 0;
+  // Slot content just before the first modification since the last
+  // propagation — the logical before-image a steal must log. May contain
+  // committed-but-unpropagated bytes of earlier transactions, which is
+  // exactly why it can differ from last_propagated.
+  std::vector<uint8_t> before;
+};
+
+// One buffer frame. `payload` is the current (possibly modified) content;
+// `last_propagated` snapshots the content as of the last propagation to the
+// array — it is what a RAID small write needs as "old data" (the model's
+// a=3 case: old data available without an extra disk read).
+struct Frame {
+  PageId page = kInvalidPageId;
+  std::vector<uint8_t> payload;
+  std::vector<uint8_t> last_propagated;
+  PageHeader header;
+  bool dirty = false;
+  uint32_t pins = 0;
+  // Active transactions with unpropagated uncommitted changes in this frame.
+  std::vector<TxnId> modifiers;
+  // Record-granular in-buffer undo info (record-logging mode).
+  std::vector<RecordMod> record_mods;
+  // Slots modified since the last propagation (cleared on propagate).
+  std::vector<PendingMod> pending_mods;
+  // Whole-page logical before-image: payload as it was when the current
+  // modifier first touched the frame after the last propagation (page-
+  // logging mode). Reset on propagation and at the modifier's EOT.
+  bool has_pending_before = false;
+  std::vector<uint8_t> pending_before;
+  uint64_t lru_tick = 0;
+
+  bool HasModifier(TxnId txn) const;
+  void AddModifier(TxnId txn);
+  void RemoveModifier(TxnId txn);
+};
+
+// Buffer-pool statistics (the model's communality C manifests as hit rate).
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t steals = 0;  // Evictions that propagated uncommitted data.
+};
+
+// Fixed-capacity page buffer with LRU replacement and a STEAL/no-STEAL
+// policy knob. The pool is policy-free about *how* pages reach the disk:
+// eviction calls back into the transaction manager (PropagateFn), which
+// owns the Figure 3 logging decision and the parity maintenance.
+class BufferPool {
+ public:
+  struct Options {
+    uint32_t capacity = 64;  // The paper's B.
+    size_t page_size = 512;
+    // STEAL: modified pages of uncommitted transactions may be evicted
+    // (propagated). The paper's RDA algorithms all assume STEAL.
+    bool allow_steal = true;
+  };
+
+  // Reads a page image from the database (cache miss path).
+  using FetchFn = std::function<Status(PageId, PageImage*)>;
+  // Propagates a dirty frame to the database. On success the caller must
+  // have written frame->payload to disk; the pool then updates
+  // last_propagated and clears dirty.
+  using PropagateFn = std::function<Status(Frame*)>;
+
+  BufferPool(const Options& options, FetchFn fetch, PropagateFn propagate);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns the frame holding `page`, fetching (and possibly evicting a
+  // victim) as needed. `cache_hit`, if non-null, reports whether the page
+  // was already resident. The returned pointer is valid until the next
+  // Fetch/Discard/LoseAll call.
+  Result<Frame*> Fetch(PageId page, bool* cache_hit);
+
+  // Returns the resident frame for `page`, or nullptr.
+  Frame* Lookup(PageId page);
+
+  // Propagates `frame` to the database now (used by FORCE commits and
+  // checkpoints); clears dirty and refreshes last_propagated.
+  Status PropagateFrame(Frame* frame);
+
+  // Propagates every dirty frame (action-consistent checkpoint body).
+  Status PropagateAllDirty();
+
+  // Drops `page` from the pool without writing it (page-mode abort of a
+  // never-propagated modification).
+  void Discard(PageId page);
+
+  // Simulates a crash: every frame is lost.
+  void LoseAll();
+
+  std::vector<PageId> DirtyPages() const;
+  std::vector<PageId> ResidentPages() const;
+  uint32_t size() const { return static_cast<uint32_t>(frames_.size()); }
+  uint32_t capacity() const { return options_.capacity; }
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats(); }
+
+ private:
+  // Picks and evicts an LRU victim; propagates it first if dirty (a steal
+  // when uncommitted modifiers exist). Fails with kBusy if every frame is
+  // pinned or unstealable.
+  Status EvictOne();
+
+  Options options_;
+  FetchFn fetch_;
+  PropagateFn propagate_;
+  std::unordered_map<PageId, Frame> frames_;
+  uint64_t tick_ = 0;
+  BufferStats stats_;
+};
+
+}  // namespace rda
+
+#endif  // RDA_BUFFER_BUFFER_POOL_H_

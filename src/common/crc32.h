@@ -1,0 +1,16 @@
+#ifndef RDA_COMMON_CRC32_H_
+#define RDA_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rda {
+
+// CRC-32C (Castagnoli) over `size` bytes starting at `data`, continuing from
+// `seed` (pass 0 for a fresh checksum). Used to protect log records and page
+// images against torn writes and bit rot in the simulated disks.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace rda
+
+#endif  // RDA_COMMON_CRC32_H_

@@ -1,0 +1,86 @@
+#include "common/random.h"
+
+#include <cstddef>
+
+namespace rda {
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  // Seed expansion via SplitMix64 as recommended by the xoshiro authors;
+  // guarantees a non-zero state for any seed.
+  for (auto& word : state_) {
+    word = SplitMix64(&seed);
+  }
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+uint64_t Random::UniformRange(uint64_t lo, uint64_t hi) {
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Random::NextDouble() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+void Random::FillBytes(std::vector<uint8_t>* out) {
+  size_t i = 0;
+  while (i + 8 <= out->size()) {
+    const uint64_t word = Next();
+    for (int b = 0; b < 8; ++b) {
+      (*out)[i++] = static_cast<uint8_t>(word >> (8 * b));
+    }
+  }
+  if (i < out->size()) {
+    uint64_t word = Next();
+    while (i < out->size()) {
+      (*out)[i++] = static_cast<uint8_t>(word);
+      word >>= 8;
+    }
+  }
+}
+
+}  // namespace rda

@@ -1,0 +1,40 @@
+#ifndef RDA_COMMON_RANDOM_H_
+#define RDA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rda {
+
+// Deterministic, fast PRNG (xoshiro256**). Used by workload generators,
+// property tests and Monte-Carlo checks; seeded explicitly so every run is
+// reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  // Uniform over [0, 2^64).
+  uint64_t Next();
+
+  // Uniform over [0, bound). Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive. Precondition: lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  // Uniform real in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Fills `out` with random bytes.
+  void FillBytes(std::vector<uint8_t>* out);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace rda
+
+#endif  // RDA_COMMON_RANDOM_H_

@@ -1,0 +1,36 @@
+#ifndef RDA_COMMON_TYPES_H_
+#define RDA_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace rda {
+
+// Identifier of a logical database page (0-based, dense).
+using PageId = uint32_t;
+// Identifier of a physical disk in the array (0-based).
+using DiskId = uint32_t;
+// Identifier of a parity group. A group is the set of data pages that share
+// (twin) parity pages, cf. paper Section 4.1.
+using GroupId = uint32_t;
+// Physical slot index on one disk (page-granular offset).
+using SlotId = uint32_t;
+// Transaction identifier. Monotonically increasing, never reused.
+using TxnId = uint64_t;
+// Log sequence number: byte offset of a record in the (logical) log.
+using Lsn = uint64_t;
+// Logical timestamp used in twin parity page headers to pick the current
+// parity page after a crash (paper Figure 7, algorithm Current_Parity).
+using ParityTimestamp = uint64_t;
+// Record slot within a slotted data page (record-logging mode).
+using RecordSlot = uint16_t;
+
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+inline constexpr DiskId kInvalidDiskId = std::numeric_limits<DiskId>::max();
+inline constexpr GroupId kInvalidGroupId = std::numeric_limits<GroupId>::max();
+inline constexpr TxnId kInvalidTxnId = 0;
+inline constexpr Lsn kInvalidLsn = std::numeric_limits<Lsn>::max();
+
+}  // namespace rda
+
+#endif  // RDA_COMMON_TYPES_H_

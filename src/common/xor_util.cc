@@ -1,0 +1,39 @@
+#include "common/xor_util.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace rda {
+
+void XorInto(uint8_t* dst, const uint8_t* src, size_t size) {
+  size_t i = 0;
+  // Word-at-a-time main loop; memcpy keeps it free of alignment UB and
+  // compiles to plain loads/stores.
+  for (; i + 8 <= size; i += 8) {
+    uint64_t a;
+    uint64_t b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < size; ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+void XorInto(std::vector<uint8_t>* dst, const std::vector<uint8_t>& src) {
+  assert(dst->size() == src.size());
+  XorInto(dst->data(), src.data(), src.size());
+}
+
+bool AllZero(const uint8_t* data, size_t size) {
+  for (size_t i = 0; i < size; ++i) {
+    if (data[i] != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rda

@@ -1,0 +1,25 @@
+#ifndef RDA_COMMON_XOR_UTIL_H_
+#define RDA_COMMON_XOR_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rda {
+
+// XORs `size` bytes of `src` into `dst` (dst[i] ^= src[i]). This is the
+// parity primitive of the whole library: RAID parity maintenance, twin-page
+// undo (D_old = P xor P' xor D_new, paper Figure 6) and media rebuild all
+// reduce to it.
+void XorInto(uint8_t* dst, const uint8_t* src, size_t size);
+
+// Convenience overload for equally sized vectors. Precondition: sizes match.
+void XorInto(std::vector<uint8_t>* dst, const std::vector<uint8_t>& src);
+
+// Returns true iff all `size` bytes of `data` are zero (e.g. parity of an
+// empty group).
+bool AllZero(const uint8_t* data, size_t size);
+
+}  // namespace rda
+
+#endif  // RDA_COMMON_XOR_UTIL_H_

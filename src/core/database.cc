@@ -1,0 +1,237 @@
+#include "core/database.h"
+
+#include "storage/data_page_meta.h"
+
+#include <utility>
+
+namespace rda {
+
+Database::Database(const DatabaseOptions& options) : options_(options) {}
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  DatabaseOptions opts = options;
+  // The buffer and log operate on the same page size as the array.
+  opts.buffer.page_size = opts.array.page_size;
+  opts.log.page_size = opts.array.page_size;
+  if (opts.txn.rda_undo && opts.array.parity_copies != 2) {
+    return Status::InvalidArgument(
+        "RDA undo recovery requires the twin-page scheme (parity_copies=2)");
+  }
+  if (!opts.txn.force && !opts.txn.log_after_images) {
+    return Status::InvalidArgument(
+        "notFORCE configurations need after-image logging for REDO");
+  }
+
+  std::unique_ptr<Database> db(new Database(opts));
+  auto array = DiskArray::Create(opts.array);
+  if (!array.ok()) {
+    return array.status();
+  }
+  db->array_ = std::move(array).value();
+  db->parity_ = std::make_unique<TwinParityManager>(db->array_.get());
+  RDA_RETURN_IF_ERROR(db->parity_->FormatArray());
+  db->array_->ResetCounters();  // Formatting is not workload I/O.
+  db->log_ = std::make_unique<LogManager>(opts.log);
+  db->locks_ = std::make_unique<LockManager>();
+  db->txn_manager_ = std::make_unique<TransactionManager>(
+      opts.txn, db->parity_.get(), db->log_.get(), db->locks_.get(),
+      opts.buffer);
+  db->checkpointer_ = std::make_unique<Checkpointer>(db->txn_manager_.get(),
+                                                     db->log_.get());
+  db->archive_ = std::make_unique<ArchiveManager>(
+      db->txn_manager_.get(), db->parity_.get(), db->log_.get());
+  return db;
+}
+
+Status Database::MaybeAutoCheckpoint() {
+  if (options_.checkpoint_interval_updates == 0) {
+    return Status::Ok();
+  }
+  if (++updates_since_checkpoint_ >= options_.checkpoint_interval_updates) {
+    updates_since_checkpoint_ = 0;
+    return checkpointer_->TakeCheckpoint();
+  }
+  return Status::Ok();
+}
+
+Status Database::WritePage(TxnId txn, PageId page,
+                           const std::vector<uint8_t>& bytes) {
+  RDA_RETURN_IF_ERROR(txn_manager_->WritePage(txn, page, bytes));
+  return MaybeAutoCheckpoint();
+}
+
+Status Database::WriteRecord(TxnId txn, PageId page, RecordSlot slot,
+                             const std::vector<uint8_t>& bytes) {
+  RDA_RETURN_IF_ERROR(txn_manager_->WriteRecord(txn, page, slot, bytes));
+  return MaybeAutoCheckpoint();
+}
+
+Status Database::Abort(TxnId txn) {
+  if (undo_lost_txns_.contains(txn)) {
+    return Status::DataLoss(
+        "undo coverage for this transaction was destroyed by a media "
+        "failure; it can only commit");
+  }
+  return txn_manager_->Abort(txn);
+}
+
+void Database::Crash() {
+  txn_manager_->LoseVolatileState();
+  parity_->LoseVolatileState();
+  log_->LoseVolatileState();
+  undo_lost_txns_.clear();
+  updates_since_checkpoint_ = 0;
+}
+
+Result<CrashRecoveryReport> Database::Recover() {
+  CrashRecovery recovery(txn_manager_.get(), parity_.get(), log_.get());
+  return recovery.Recover();
+}
+
+Result<CrashRecoveryReport> Database::RecoverWithInjectedFault(
+    uint64_t actions) {
+  CrashRecovery recovery(txn_manager_.get(), parity_.get(), log_.get());
+  recovery.InjectFaultAfterActions(actions);
+  return recovery.Recover();
+}
+
+Status Database::BulkLoad(const std::vector<std::vector<uint8_t>>& user_pages) {
+  if (!txn_manager_->ActiveTxns().empty()) {
+    return Status::FailedPrecondition("bulk load requires quiescence");
+  }
+  if (user_pages.size() > num_pages()) {
+    return Status::InvalidArgument("more pages than the array holds");
+  }
+  const Layout& layout = array_->layout();
+  const uint32_t n = layout.data_pages_per_group();
+  const size_t page_size = array_->page_size();
+  PageId page = 0;
+  // Full stripes first.
+  while (page + n <= user_pages.size()) {
+    const GroupId group = layout.GroupOf(page);
+    std::vector<std::vector<uint8_t>> payloads(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      const PageId target = layout.PageAt(group, i);
+      if (user_pages[target].size() != user_page_size()) {
+        return Status::InvalidArgument("user page size mismatch");
+      }
+      payloads[i].assign(page_size, 0);
+      std::copy(user_pages[target].begin(), user_pages[target].end(),
+                payloads[i].begin() + kDataRegionOffset);
+      StoreDataMeta(DataPageMeta{}, &payloads[i]);
+    }
+    RDA_RETURN_IF_ERROR(parity_->WriteFullGroup(group, payloads));
+    page += n;
+  }
+  // Tail: plain small writes.
+  for (; page < user_pages.size(); ++page) {
+    if (user_pages[page].size() != user_page_size()) {
+      return Status::InvalidArgument("user page size mismatch");
+    }
+    PageImage image(page_size);
+    std::copy(user_pages[page].begin(), user_pages[page].end(),
+              image.payload.begin() + kDataRegionOffset);
+    StoreDataMeta(DataPageMeta{}, &image.payload);
+    RDA_RETURN_IF_ERROR(parity_->Propagate(page, kInvalidTxnId,
+                                           PropagationKind::kPlain, nullptr,
+                                           image));
+    // Drop any stale cached copy.
+    txn_manager_->pool()->Discard(page);
+  }
+  for (PageId loaded = 0; loaded + n <= user_pages.size(); ++loaded) {
+    txn_manager_->pool()->Discard(loaded);
+  }
+  return Status::Ok();
+}
+
+Result<MediaRecoveryReport> Database::RebuildDisk(DiskId disk) {
+  MediaRecovery recovery(parity_.get());
+  auto report = recovery.RebuildDisk(disk);
+  if (report.ok()) {
+    for (const TxnId txn : report->undo_coverage_lost) {
+      undo_lost_txns_.insert(txn);
+    }
+  }
+  return report;
+}
+
+Result<bool> Database::VerifyAllParity() {
+  for (GroupId group = 0; group < array_->num_groups(); ++group) {
+    auto consistent = parity_->VerifyGroupParity(group);
+    if (!consistent.ok()) {
+      return consistent.status();
+    }
+    if (!*consistent) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<uint8_t>> Database::RawReadPage(PageId page) {
+  PageImage image;
+  Status status = array_->ReadData(page, &image);
+  if (status.IsIoError()) {
+    return parity_->ReconstructDataPayload(page);
+  }
+  if (!status.ok()) {
+    return status;
+  }
+  return std::move(image.payload);
+}
+
+Database::StatsSnapshot Database::Stats() const {
+  StatsSnapshot snapshot;
+  snapshot.array = array_->counters();
+  snapshot.log = log_->counters();
+  snapshot.array_total_busy_ms = array_->TotalBusyMs();
+  snapshot.array_max_busy_ms = array_->MaxBusyMs();
+  snapshot.buffer = txn_manager_->pool()->stats();
+  snapshot.parity = parity_->stats();
+  snapshot.txn = txn_manager_->stats();
+  snapshot.checkpoints = checkpointer_->checkpoints_taken();
+  snapshot.dirty_groups = parity_->directory().DirtyCount();
+  snapshot.failed_disks = array_->NumFailedDisks();
+  return snapshot;
+}
+
+std::string Database::FormatStats() const {
+  const StatsSnapshot s = Stats();
+  std::string out;
+  auto line = [&out](const std::string& text) {
+    out += text;
+    out += '\n';
+  };
+  line("array:  " + std::to_string(s.array.page_reads) + " reads, " +
+       std::to_string(s.array.page_writes) + " writes, busy " +
+       std::to_string(static_cast<uint64_t>(s.array_total_busy_ms)) +
+       " ms (max disk " +
+       std::to_string(static_cast<uint64_t>(s.array_max_busy_ms)) + " ms)");
+  line("log:    " + std::to_string(s.log.page_writes) + " page writes, " +
+       std::to_string(s.log.page_reads) + " page reads");
+  line("buffer: " + std::to_string(s.buffer.hits) + " hits / " +
+       std::to_string(s.buffer.misses) + " misses, " +
+       std::to_string(s.buffer.steals) + " steals");
+  line("parity: " +
+       std::to_string(s.parity.unlogged_first + s.parity.unlogged_repeat) +
+       " unlogged propagations, " +
+       std::to_string(s.parity.logged_dirty_group) + " dirty-group writes, " +
+       std::to_string(s.parity.parity_undos) + " parity undos, " +
+       std::to_string(s.parity.commits_finalized) + " twins finalized");
+  line("txns:   " + std::to_string(s.txn.begun) + " begun, " +
+       std::to_string(s.txn.committed) + " committed, " +
+       std::to_string(s.txn.aborted) + " aborted; before-images " +
+       std::to_string(s.txn.before_images_logged) + " logged / " +
+       std::to_string(s.txn.before_images_avoided) + " avoided");
+  line("state:  " + std::to_string(s.dirty_groups) + " dirty groups, " +
+       std::to_string(s.failed_disks) + " failed disks, " +
+       std::to_string(s.checkpoints) + " checkpoints");
+  return out;
+}
+
+uint64_t Database::TotalPageTransfers() const {
+  return array_->counters().total() + log_->counters().total();
+}
+
+}  // namespace rda

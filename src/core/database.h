@@ -1,0 +1,176 @@
+#ifndef RDA_CORE_DATABASE_H_
+#define RDA_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "buffer/buffer_pool.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "lock/lock_manager.h"
+#include "parity/twin_parity_manager.h"
+#include "recovery/archive.h"
+#include "recovery/checkpointer.h"
+#include "recovery/crash_recovery.h"
+#include "recovery/media_recovery.h"
+#include "recovery/scrubber.h"
+#include "storage/disk_array.h"
+#include "txn/transaction_manager.h"
+#include "wal/log_manager.h"
+
+namespace rda {
+
+// Everything needed to stand up one database instance. The defaults give a
+// small array suitable for tests; the simulator scales them to the paper's
+// parameters (B=300, S=5000, N=10, ...).
+struct DatabaseOptions {
+  DiskArray::Options array;
+  BufferPool::Options buffer;
+  TxnConfig txn;
+  LogManager::Options log;
+  // ACC checkpoint interval, measured in update operations; 0 disables
+  // automatic checkpoints (TOC / FORCE configurations).
+  uint64_t checkpoint_interval_updates = 0;
+};
+
+// The public facade of the library: a single-node database engine whose
+// recovery component implements the paper's RDA scheme (twin-page parity
+// over a redundant disk array) alongside the traditional log-only baseline.
+//
+// Lifecycle of the interesting events:
+//   Begin / ReadPage / WritePage / ReadRecord / WriteRecord / Commit / Abort
+//   Crash()  -> all volatile state is gone ->  Recover()
+//   FailDisk(d)  -> degraded reads keep working ->  RebuildDisk(d)
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& options);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- transaction API (thin forwarding; see TransactionManager) ---
+  Result<TxnId> Begin() { return txn_manager_->Begin(); }
+  Status ReadPage(TxnId txn, PageId page, std::vector<uint8_t>* out) {
+    return txn_manager_->ReadPage(txn, page, out);
+  }
+  Status WritePage(TxnId txn, PageId page, const std::vector<uint8_t>& bytes);
+  Status ReadRecord(TxnId txn, PageId page, RecordSlot slot,
+                    std::vector<uint8_t>* out) {
+    return txn_manager_->ReadRecord(txn, page, slot, out);
+  }
+  Status WriteRecord(TxnId txn, PageId page, RecordSlot slot,
+                     const std::vector<uint8_t>& bytes);
+  Status Commit(TxnId txn) { return txn_manager_->Commit(txn); }
+
+  // Aborts `txn`. Returns kDataLoss — without aborting — if a disk failure
+  // destroyed the undo coverage of one of its unlogged updates (see
+  // MediaRecoveryReport::undo_coverage_lost); such a transaction can only
+  // commit.
+  Status Abort(TxnId txn);
+
+  // Bulk-loads committed pages starting at page 0 using full-stripe writes
+  // for every complete parity group (the paper's Section 3.1 "large
+  // accesses": N+1 writes per group, no reads) and plain small writes for
+  // the tail. Requires a quiescent database (no active transactions).
+  // `user_pages[i]` covers the user region of page i.
+  Status BulkLoad(const std::vector<std::vector<uint8_t>>& user_pages);
+
+  // --- checkpointing ---
+  Status Checkpoint() { return checkpointer_->TakeCheckpoint(); }
+
+  // --- archive (catastrophic media recovery + log truncation) ---
+  // Quiescent full snapshot; truncates the stable log prefix by default.
+  Status TakeArchive(bool truncate_log = true) {
+    return archive_->TakeArchive(truncate_log);
+  }
+  bool HasArchive() const { return archive_->HasArchive(); }
+  // Restores after a catastrophe the array cannot survive (e.g. two disks
+  // lost): replaces failed media, rewrites all pages from the snapshot,
+  // recomputes parity and rolls committed work forward from the log.
+  Result<CrashRecoveryReport> RestoreFromArchive() {
+    undo_lost_txns_.clear();
+    return archive_->RestoreFromArchive();
+  }
+
+  // Background parity scrub: verify all groups, repair clean ones that
+  // fail the XOR check.
+  Result<ScrubReport> Scrub() {
+    ParityScrubber scrubber(parity_.get());
+    return scrubber.ScrubAll();
+  }
+
+  // --- failure injection & recovery ---
+  // System crash: buffer pool, lock table, parity directory and unflushed
+  // log records are lost.
+  void Crash();
+  // Restart after Crash(): runs the Section 4.3 algorithm.
+  Result<CrashRecoveryReport> Recover();
+  // Test/robustness hook: like Recover(), but fails with kAborted after
+  // `actions` recovery mutations — simulating a crash DURING recovery.
+  // Call Crash() and Recover() again afterwards; convergence is tested.
+  Result<CrashRecoveryReport> RecoverWithInjectedFault(uint64_t actions);
+  Status FailDisk(DiskId disk) { return array_->FailDisk(disk); }
+  Result<MediaRecoveryReport> RebuildDisk(DiskId disk);
+
+  // --- inspection ---
+  // True iff every parity group's consistent twin equals XOR(data pages).
+  Result<bool> VerifyAllParity();
+  // Committed on-disk payload of a page (bypasses transactions; test/demo
+  // helper). Reconstructs through parity if the owning disk is down.
+  Result<std::vector<uint8_t>> RawReadPage(PageId page);
+
+  DiskArray* array() { return array_.get(); }
+  TwinParityManager* parity() { return parity_.get(); }
+  LogManager* log() { return log_.get(); }
+  TransactionManager* txn_manager() { return txn_manager_.get(); }
+  Checkpointer* checkpointer() { return checkpointer_.get(); }
+  const DatabaseOptions& options() const { return options_; }
+
+  uint32_t num_pages() const { return array_->num_data_pages(); }
+  size_t user_page_size() const { return txn_manager_->user_page_size(); }
+  uint32_t records_per_page() const {
+    return txn_manager_->records_per_page();
+  }
+
+  // Total page transfers so far (array + log), the paper's cost metric.
+  uint64_t TotalPageTransfers() const;
+
+  // One coherent snapshot of every counter the engine keeps.
+  struct StatsSnapshot {
+    IoCounters array;
+    IoCounters log;
+    double array_total_busy_ms = 0;
+    double array_max_busy_ms = 0;
+    BufferStats buffer;
+    ParityStats parity;
+    TxnStats txn;
+    uint64_t checkpoints = 0;
+    uint32_t dirty_groups = 0;
+    uint32_t failed_disks = 0;
+  };
+  StatsSnapshot Stats() const;
+  // Human-readable multi-line rendering of Stats() for logs and examples.
+  std::string FormatStats() const;
+
+ private:
+  explicit Database(const DatabaseOptions& options);
+
+  Status MaybeAutoCheckpoint();
+
+  DatabaseOptions options_;
+  std::unique_ptr<DiskArray> array_;
+  std::unique_ptr<TwinParityManager> parity_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<TransactionManager> txn_manager_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+  std::unique_ptr<ArchiveManager> archive_;
+  uint64_t updates_since_checkpoint_ = 0;
+  std::unordered_set<TxnId> undo_lost_txns_;
+};
+
+}  // namespace rda
+
+#endif  // RDA_CORE_DATABASE_H_

@@ -1,0 +1,369 @@
+#include "kv/btree.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace rda {
+namespace {
+
+constexpr size_t kHeaderSize = 8;       // type u8, pad, count u16, pad.
+constexpr size_t kLeafEntrySize = 16;   // key u64 + value u64.
+constexpr size_t kChildSize = 4;        // child page id u32.
+constexpr size_t kInternalEntrySize = 12;  // separator u64 + child u32.
+
+template <typename T>
+T Load(const std::vector<uint8_t>& bytes, size_t offset) {
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  return value;
+}
+
+template <typename T>
+void Store(std::vector<uint8_t>* bytes, size_t offset, T value) {
+  std::memcpy(bytes->data() + offset, &value, sizeof(T));
+}
+
+}  // namespace
+
+BTree::BTree(Database* db, const Options& options)
+    : db_(db), options_(options) {
+  const size_t user = db->user_page_size();
+  leaf_capacity_ =
+      static_cast<uint32_t>((user - kHeaderSize) / kLeafEntrySize);
+  internal_capacity_ = static_cast<uint32_t>(
+      (user - kHeaderSize - kChildSize) / kInternalEntrySize);
+}
+
+Result<std::unique_ptr<BTree>> BTree::Attach(Database* db,
+                                             const Options& options) {
+  if (db->options().txn.logging_mode != LoggingMode::kPageLogging) {
+    return Status::InvalidArgument("BTree requires page-logging mode");
+  }
+  if (options.num_pages < 4 ||
+      options.first_page + options.num_pages > db->num_pages()) {
+    return Status::InvalidArgument("BTree region invalid");
+  }
+  std::unique_ptr<BTree> tree(new BTree(db, options));
+  if (tree->leaf_capacity_ < 3 || tree->internal_capacity_ < 3) {
+    return Status::InvalidArgument("pages too small for BTree nodes");
+  }
+  return tree;
+}
+
+Result<BTree::Meta> BTree::ReadMeta(TxnId txn) {
+  std::vector<uint8_t> bytes;
+  RDA_RETURN_IF_ERROR(db_->ReadPage(txn, options_.first_page, &bytes));
+  Meta meta;
+  meta.root = Load<uint32_t>(bytes, 0);       // Stored as root + 1.
+  meta.next_alloc = Load<uint32_t>(bytes, 4);
+  return meta;
+}
+
+Status BTree::WriteMeta(TxnId txn, const Meta& meta) {
+  std::vector<uint8_t> bytes(db_->user_page_size(), 0);
+  Store(&bytes, 0, meta.root);
+  Store(&bytes, 4, meta.next_alloc);
+  return db_->WritePage(txn, options_.first_page, bytes);
+}
+
+Result<BTree::Node> BTree::ReadNode(TxnId txn, PageId page) {
+  std::vector<uint8_t> bytes;
+  RDA_RETURN_IF_ERROR(db_->ReadPage(txn, page, &bytes));
+  Node node;
+  node.type = static_cast<NodeType>(bytes[0]);
+  const uint16_t count = Load<uint16_t>(bytes, 2);
+  if (node.type == kLeaf) {
+    for (uint16_t i = 0; i < count; ++i) {
+      const size_t offset = kHeaderSize + i * kLeafEntrySize;
+      node.keys.push_back(Load<uint64_t>(bytes, offset));
+      node.values.push_back(Load<uint64_t>(bytes, offset + 8));
+    }
+  } else if (node.type == kInternal) {
+    node.children.push_back(Load<uint32_t>(bytes, kHeaderSize));
+    for (uint16_t i = 0; i < count; ++i) {
+      const size_t offset =
+          kHeaderSize + kChildSize + i * kInternalEntrySize;
+      node.keys.push_back(Load<uint64_t>(bytes, offset));
+      node.children.push_back(Load<uint32_t>(bytes, offset + 8));
+    }
+  }
+  return node;
+}
+
+Status BTree::WriteNode(TxnId txn, PageId page, const Node& node) {
+  std::vector<uint8_t> bytes(db_->user_page_size(), 0);
+  bytes[0] = static_cast<uint8_t>(node.type);
+  Store(&bytes, 2, static_cast<uint16_t>(node.keys.size()));
+  if (node.type == kLeaf) {
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      const size_t offset = kHeaderSize + i * kLeafEntrySize;
+      Store(&bytes, offset, node.keys[i]);
+      Store(&bytes, offset + 8, node.values[i]);
+    }
+  } else {
+    Store(&bytes, kHeaderSize, node.children[0]);
+    for (size_t i = 0; i < node.keys.size(); ++i) {
+      const size_t offset =
+          kHeaderSize + kChildSize + i * kInternalEntrySize;
+      Store(&bytes, offset, node.keys[i]);
+      Store(&bytes, offset + 8, node.children[i + 1]);
+    }
+  }
+  return db_->WritePage(txn, page, bytes);
+}
+
+Result<PageId> BTree::AllocatePage(TxnId txn, Meta* meta) {
+  // Node pages live right after the meta page; next_alloc counts them.
+  if (meta->next_alloc + 1 >= options_.num_pages) {
+    return Status::Busy("BTree page region exhausted");
+  }
+  const PageId page = options_.first_page + 1 + meta->next_alloc;
+  ++meta->next_alloc;
+  RDA_RETURN_IF_ERROR(WriteMeta(txn, *meta));
+  return page;
+}
+
+Result<PageId> BTree::EnsureFormatted(TxnId txn, Meta* meta) {
+  if (meta->root != 0) {
+    return static_cast<PageId>(meta->root - 1);
+  }
+  RDA_ASSIGN_OR_RETURN(const PageId root, AllocatePage(txn, meta));
+  Node leaf;
+  leaf.type = kLeaf;
+  RDA_RETURN_IF_ERROR(WriteNode(txn, root, leaf));
+  meta->root = root + 1;
+  RDA_RETURN_IF_ERROR(WriteMeta(txn, *meta));
+  return root;
+}
+
+Status BTree::InsertInto(TxnId txn, Meta* meta, PageId page, uint64_t key,
+                         uint64_t value, bool* split, uint64_t* split_key,
+                         PageId* split_page) {
+  *split = false;
+  RDA_ASSIGN_OR_RETURN(Node node, ReadNode(txn, page));
+  if (node.type == kLeaf) {
+    auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    const size_t pos = it - node.keys.begin();
+    if (it != node.keys.end() && *it == key) {
+      node.values[pos] = value;  // Overwrite in place.
+      return WriteNode(txn, page, node);
+    }
+    node.keys.insert(it, key);
+    node.values.insert(node.values.begin() + pos, value);
+    if (node.keys.size() <= leaf_capacity_) {
+      return WriteNode(txn, page, node);
+    }
+    // Leaf split: upper half moves to a fresh right sibling; the parent
+    // receives the right sibling's first key as separator.
+    const size_t mid = node.keys.size() / 2;
+    Node right;
+    right.type = kLeaf;
+    right.keys.assign(node.keys.begin() + mid, node.keys.end());
+    right.values.assign(node.values.begin() + mid, node.values.end());
+    node.keys.resize(mid);
+    node.values.resize(mid);
+    RDA_ASSIGN_OR_RETURN(const PageId right_page, AllocatePage(txn, meta));
+    RDA_RETURN_IF_ERROR(WriteNode(txn, right_page, right));
+    RDA_RETURN_IF_ERROR(WriteNode(txn, page, node));
+    *split = true;
+    *split_key = right.keys.front();
+    *split_page = right_page;
+    return Status::Ok();
+  }
+  if (node.type != kInternal) {
+    return Status::Corruption("BTree node has invalid type at page " +
+                              std::to_string(page));
+  }
+
+  // Child index: first separator strictly greater than the key.
+  const size_t idx =
+      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+      node.keys.begin();
+  bool child_split = false;
+  uint64_t child_key = 0;
+  PageId child_page = 0;
+  RDA_RETURN_IF_ERROR(InsertInto(txn, meta, node.children[idx], key, value,
+                                 &child_split, &child_key, &child_page));
+  if (!child_split) {
+    return Status::Ok();
+  }
+  node.keys.insert(node.keys.begin() + idx, child_key);
+  node.children.insert(node.children.begin() + idx + 1, child_page);
+  if (node.keys.size() <= internal_capacity_) {
+    return WriteNode(txn, page, node);
+  }
+  // Internal split: the median separator is promoted, not kept.
+  const size_t mid = node.keys.size() / 2;
+  Node right;
+  right.type = kInternal;
+  right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+  right.children.assign(node.children.begin() + mid + 1,
+                        node.children.end());
+  const uint64_t promoted = node.keys[mid];
+  node.keys.resize(mid);
+  node.children.resize(mid + 1);
+  RDA_ASSIGN_OR_RETURN(const PageId right_page, AllocatePage(txn, meta));
+  RDA_RETURN_IF_ERROR(WriteNode(txn, right_page, right));
+  RDA_RETURN_IF_ERROR(WriteNode(txn, page, node));
+  *split = true;
+  *split_key = promoted;
+  *split_page = right_page;
+  return Status::Ok();
+}
+
+Status BTree::Insert(TxnId txn, uint64_t key, uint64_t value) {
+  RDA_ASSIGN_OR_RETURN(Meta meta, ReadMeta(txn));
+  RDA_ASSIGN_OR_RETURN(const PageId root, EnsureFormatted(txn, &meta));
+  bool split = false;
+  uint64_t split_key = 0;
+  PageId split_page = 0;
+  RDA_RETURN_IF_ERROR(InsertInto(txn, &meta, root, key, value, &split,
+                                 &split_key, &split_page));
+  if (!split) {
+    return Status::Ok();
+  }
+  // Root split: the tree grows one level.
+  RDA_ASSIGN_OR_RETURN(const PageId new_root, AllocatePage(txn, &meta));
+  Node node;
+  node.type = kInternal;
+  node.keys.push_back(split_key);
+  node.children.push_back(root);
+  node.children.push_back(split_page);
+  RDA_RETURN_IF_ERROR(WriteNode(txn, new_root, node));
+  meta.root = new_root + 1;
+  return WriteMeta(txn, meta);
+}
+
+Result<uint64_t> BTree::Get(TxnId txn, uint64_t key) {
+  RDA_ASSIGN_OR_RETURN(const Meta meta, ReadMeta(txn));
+  if (meta.root == 0) {
+    return Status::NotFound("empty tree");
+  }
+  PageId page = meta.root - 1;
+  for (;;) {
+    RDA_ASSIGN_OR_RETURN(const Node node, ReadNode(txn, page));
+    if (node.type == kLeaf) {
+      auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+      if (it != node.keys.end() && *it == key) {
+        return node.values[it - node.keys.begin()];
+      }
+      return Status::NotFound("key absent");
+    }
+    const size_t idx =
+        std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+        node.keys.begin();
+    page = node.children[idx];
+  }
+}
+
+Status BTree::Delete(TxnId txn, uint64_t key) {
+  RDA_ASSIGN_OR_RETURN(const Meta meta, ReadMeta(txn));
+  if (meta.root == 0) {
+    return Status::NotFound("empty tree");
+  }
+  PageId page = meta.root - 1;
+  for (;;) {
+    RDA_ASSIGN_OR_RETURN(Node node, ReadNode(txn, page));
+    if (node.type == kLeaf) {
+      auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+      if (it == node.keys.end() || *it != key) {
+        return Status::NotFound("key absent");
+      }
+      const size_t pos = it - node.keys.begin();
+      node.keys.erase(it);
+      node.values.erase(node.values.begin() + pos);
+      return WriteNode(txn, page, node);  // Underflow tolerated.
+    }
+    const size_t idx =
+        std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+        node.keys.begin();
+    page = node.children[idx];
+  }
+}
+
+Status BTree::Scan(TxnId txn, uint64_t lo, uint64_t hi,
+                   std::vector<std::pair<uint64_t, uint64_t>>* out) {
+  RDA_ASSIGN_OR_RETURN(const Meta meta, ReadMeta(txn));
+  if (meta.root == 0) {
+    return Status::Ok();
+  }
+  // Iterative in-order traversal with separator pruning.
+  std::vector<PageId> stack = {static_cast<PageId>(meta.root - 1)};
+  while (!stack.empty()) {
+    const PageId page = stack.back();
+    stack.pop_back();
+    RDA_ASSIGN_OR_RETURN(const Node node, ReadNode(txn, page));
+    if (node.type == kLeaf) {
+      for (size_t i = 0; i < node.keys.size(); ++i) {
+        if (node.keys[i] >= lo && node.keys[i] <= hi) {
+          out->emplace_back(node.keys[i], node.values[i]);
+        }
+      }
+      continue;
+    }
+    // Children overlapping [lo, hi], pushed in REVERSE so the stack pops
+    // them in key order.
+    const size_t first =
+        std::upper_bound(node.keys.begin(), node.keys.end(), lo) -
+        node.keys.begin();
+    size_t last =
+        std::upper_bound(node.keys.begin(), node.keys.end(), hi) -
+        node.keys.begin();
+    last = std::min(last, node.children.size() - 1);
+    for (size_t i = last + 1; i-- > first;) {
+      stack.push_back(node.children[i]);
+    }
+  }
+  // Leaves were visited in key order but interleaved pushes could disturb
+  // within-range ordering only if separators were wrong; sort defensively
+  // is unnecessary — assert order in debug via CheckInvariants instead.
+  return Status::Ok();
+}
+
+Status BTree::CheckNode(TxnId txn, PageId page, uint64_t lo, uint64_t hi,
+                        int depth, int* leaf_depth) {
+  RDA_ASSIGN_OR_RETURN(const Node node, ReadNode(txn, page));
+  if (!std::is_sorted(node.keys.begin(), node.keys.end())) {
+    return Status::Corruption("unsorted keys in page " +
+                              std::to_string(page));
+  }
+  for (const uint64_t key : node.keys) {
+    if (key < lo || key > hi) {
+      return Status::Corruption("key outside separator bounds in page " +
+                                std::to_string(page));
+    }
+  }
+  if (node.type == kLeaf) {
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return Status::Corruption("leaves at different depths");
+    }
+    return Status::Ok();
+  }
+  if (node.children.size() != node.keys.size() + 1) {
+    return Status::Corruption("child/key count mismatch");
+  }
+  uint64_t child_lo = lo;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const uint64_t child_hi =
+        i < node.keys.size() ? node.keys[i] - 1 : hi;
+    RDA_RETURN_IF_ERROR(CheckNode(txn, node.children[i], child_lo, child_hi,
+                                  depth + 1, leaf_depth));
+    child_lo = i < node.keys.size() ? node.keys[i] : child_lo;
+  }
+  return Status::Ok();
+}
+
+Status BTree::CheckInvariants(TxnId txn) {
+  RDA_ASSIGN_OR_RETURN(const Meta meta, ReadMeta(txn));
+  if (meta.root == 0) {
+    return Status::Ok();
+  }
+  int leaf_depth = -1;
+  return CheckNode(txn, meta.root - 1, 0,
+                   std::numeric_limits<uint64_t>::max(), 0, &leaf_depth);
+}
+
+}  // namespace rda

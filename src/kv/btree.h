@@ -1,0 +1,109 @@
+#ifndef RDA_KV_BTREE_H_
+#define RDA_KV_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/database.h"
+
+namespace rda {
+
+// A transactional B+-tree over the page API (page-logging mode): fixed
+// 64-bit keys and values, ordered iteration, top-down insertion with node
+// splits. Every structural modification — leaf splits, parent updates, root
+// growth, page allocation — happens inside the caller's transaction, so a
+// split interrupted by an abort or a crash rolls back atomically through
+// the engine's ordinary recovery machinery. This makes the tree the most
+// demanding client of the recovery protocol in the repository: a single
+// insert can touch a whole root-to-leaf path.
+//
+// Page layout (user region): byte 0 = node type, bytes 2..3 = entry count.
+//   Leaf:     entries of (key u64, value u64), sorted by key.
+//   Internal: leftmost child u32, then entries of (separator u64, child
+//             u32); subtree i holds keys < separator_i, the last child
+//             holds the rest.
+// Page 0 of the tree's region is the meta page: root page id + allocation
+// cursor. Deletion removes keys without rebalancing (nodes may underflow;
+// the classic simplification) — emptied pages are not reclaimed.
+class BTree {
+ public:
+  struct Options {
+    PageId first_page = 0;   // Meta page; nodes allocated after it.
+    uint32_t num_pages = 64; // Region the tree may use.
+  };
+
+  // Attaches to `db` (page-logging mode). If the meta page is unformatted
+  // (all zero), the next Insert lazily formats an empty tree inside its
+  // transaction.
+  static Result<std::unique_ptr<BTree>> Attach(Database* db,
+                                               const Options& options);
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  // Inserts or overwrites. kResourceExhausted (as kBusy) when the page
+  // region is exhausted by splits.
+  Status Insert(TxnId txn, uint64_t key, uint64_t value);
+
+  // Point lookup; kNotFound if absent.
+  Result<uint64_t> Get(TxnId txn, uint64_t key);
+
+  // Removes the key. kNotFound if absent.
+  Status Delete(TxnId txn, uint64_t key);
+
+  // Appends all (key, value) pairs with lo <= key <= hi, in key order.
+  Status Scan(TxnId txn, uint64_t lo, uint64_t hi,
+              std::vector<std::pair<uint64_t, uint64_t>>* out);
+
+  // Structural audit: every node's keys sorted, separators bracket their
+  // subtrees, all leaves at the same depth. Test helper.
+  Status CheckInvariants(TxnId txn);
+
+  uint32_t leaf_capacity() const { return leaf_capacity_; }
+  uint32_t internal_capacity() const { return internal_capacity_; }
+
+ private:
+  enum NodeType : uint8_t { kFree = 0, kLeaf = 1, kInternal = 2 };
+
+  struct Node {
+    NodeType type = kFree;
+    std::vector<uint64_t> keys;
+    std::vector<uint64_t> values;    // Leaf payloads.
+    std::vector<uint32_t> children;  // Internal: keys.size() + 1 entries.
+  };
+
+  struct Meta {
+    uint32_t root = 0;       // 0 = tree not yet formatted.
+    uint32_t next_alloc = 0;
+  };
+
+  BTree(Database* db, const Options& options);
+
+  Result<Meta> ReadMeta(TxnId txn);
+  Status WriteMeta(TxnId txn, const Meta& meta);
+  Result<Node> ReadNode(TxnId txn, PageId page);
+  Status WriteNode(TxnId txn, PageId page, const Node& node);
+  Result<PageId> AllocatePage(TxnId txn, Meta* meta);
+  // Ensures the tree exists; returns the root page.
+  Result<PageId> EnsureFormatted(TxnId txn, Meta* meta);
+
+  // Recursive insert; on split sets *split_key / *split_page for the parent.
+  Status InsertInto(TxnId txn, Meta* meta, PageId page, uint64_t key,
+                    uint64_t value, bool* split, uint64_t* split_key,
+                    PageId* split_page);
+
+  Status CheckNode(TxnId txn, PageId page, uint64_t lo, uint64_t hi,
+                   int depth, int* leaf_depth);
+
+  Database* db_;
+  Options options_;
+  uint32_t leaf_capacity_;
+  uint32_t internal_capacity_;
+};
+
+}  // namespace rda
+
+#endif  // RDA_KV_BTREE_H_

@@ -1,0 +1,203 @@
+#include "kv/kv_store.h"
+
+#include <cstring>
+#include <utility>
+
+namespace rda {
+namespace {
+
+// FNV-1a, stable across platforms (keys hash to the same slot after a
+// crash or on another build).
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+KvStore::KvStore(Database* db, const Options& options)
+    : db_(db),
+      options_(options),
+      slots_per_page_(db->records_per_page()),
+      total_slots_(static_cast<uint64_t>(options.num_pages) *
+                   db->records_per_page()),
+      record_size_(db->options().txn.record_size) {}
+
+Result<std::unique_ptr<KvStore>> KvStore::Attach(Database* db,
+                                                 const Options& options) {
+  if (db->options().txn.logging_mode != LoggingMode::kRecordLogging) {
+    return Status::InvalidArgument("KvStore requires record-logging mode");
+  }
+  if (db->options().txn.record_size < KvStore::kSlotHeaderSize + 2) {
+    return Status::InvalidArgument("record_size too small for KV slots");
+  }
+  if (options.num_pages == 0 ||
+      options.first_page + options.num_pages > db->num_pages()) {
+    return Status::InvalidArgument("KV table exceeds the database");
+  }
+  if (db->records_per_page() == 0) {
+    return Status::InvalidArgument("page too small for any record slot");
+  }
+  return std::unique_ptr<KvStore>(new KvStore(db, options));
+}
+
+size_t KvStore::max_key_size() const {
+  // One byte of key length; leave at least one value byte of headroom.
+  const size_t payload = record_size_ - kSlotHeaderSize;
+  return std::min<size_t>(255, payload > 0 ? payload - 1 : 0);
+}
+
+size_t KvStore::max_value_size(std::string_view key) const {
+  const size_t payload = record_size_ - kSlotHeaderSize;
+  return payload > key.size() ? payload - key.size() : 0;
+}
+
+uint64_t KvStore::HashOf(std::string_view key) const {
+  return Fnv1a(key) % total_slots_;
+}
+
+void KvStore::SlotLocation(uint64_t index, PageId* page,
+                           RecordSlot* slot) const {
+  *page = options_.first_page + static_cast<PageId>(index / slots_per_page_);
+  *slot = static_cast<RecordSlot>(index % slots_per_page_);
+}
+
+KvStore::DecodedSlot KvStore::Decode(const std::vector<uint8_t>& record) {
+  DecodedSlot out;
+  if (record.size() < kSlotHeaderSize) {
+    return out;
+  }
+  out.state = static_cast<SlotState>(record[0]);
+  const size_t klen = record[1];
+  uint16_t vlen = 0;
+  std::memcpy(&vlen, record.data() + 2, sizeof(vlen));
+  if (kSlotHeaderSize + klen + vlen > record.size()) {
+    out.state = SlotState::kEmpty;  // Corrupt-shaped slot: treat as empty.
+    return out;
+  }
+  out.key.assign(record.begin() + kSlotHeaderSize,
+                 record.begin() + kSlotHeaderSize + klen);
+  out.value.assign(record.begin() + kSlotHeaderSize + klen,
+                   record.begin() + kSlotHeaderSize + klen + vlen);
+  return out;
+}
+
+std::vector<uint8_t> KvStore::Encode(SlotState state, std::string_view key,
+                                     std::string_view value) const {
+  std::vector<uint8_t> record(record_size_, 0);
+  record[0] = static_cast<uint8_t>(state);
+  record[1] = static_cast<uint8_t>(key.size());
+  const uint16_t vlen = static_cast<uint16_t>(value.size());
+  std::memcpy(record.data() + 2, &vlen, sizeof(vlen));
+  std::memcpy(record.data() + kSlotHeaderSize, key.data(), key.size());
+  std::memcpy(record.data() + kSlotHeaderSize + key.size(), value.data(),
+              value.size());
+  return record;
+}
+
+Status KvStore::Put(TxnId txn, std::string_view key, std::string_view value) {
+  if (key.empty() || key.size() > max_key_size()) {
+    return Status::InvalidArgument("key size out of range");
+  }
+  if (value.size() > max_value_size(key)) {
+    return Status::InvalidArgument("value too large for slot");
+  }
+  const uint64_t start = HashOf(key);
+  uint64_t reusable = total_slots_;  // First tombstone seen, if any.
+  for (uint32_t probe = 0;
+       probe < options_.max_probe && probe < total_slots_; ++probe) {
+    const uint64_t index = (start + probe) % total_slots_;
+    PageId page;
+    RecordSlot slot;
+    SlotLocation(index, &page, &slot);
+    std::vector<uint8_t> record;
+    RDA_RETURN_IF_ERROR(db_->ReadRecord(txn, page, slot, &record));
+    const DecodedSlot decoded = Decode(record);
+    if (decoded.state == SlotState::kLive && decoded.key == key) {
+      return db_->WriteRecord(txn, page, slot,
+                              Encode(SlotState::kLive, key, value));
+    }
+    if (decoded.state == SlotState::kTombstone &&
+        reusable == total_slots_) {
+      reusable = index;  // Remember, but keep scanning for a duplicate.
+    }
+    if (decoded.state == SlotState::kEmpty) {
+      const uint64_t target = reusable != total_slots_ ? reusable : index;
+      SlotLocation(target, &page, &slot);
+      return db_->WriteRecord(txn, page, slot,
+                              Encode(SlotState::kLive, key, value));
+    }
+  }
+  if (reusable != total_slots_) {
+    PageId page;
+    RecordSlot slot;
+    SlotLocation(reusable, &page, &slot);
+    return db_->WriteRecord(txn, page, slot,
+                            Encode(SlotState::kLive, key, value));
+  }
+  return Status::Busy("KV table full along the probe sequence");
+}
+
+Result<std::string> KvStore::Get(TxnId txn, std::string_view key) {
+  const uint64_t start = HashOf(key);
+  for (uint32_t probe = 0;
+       probe < options_.max_probe && probe < total_slots_; ++probe) {
+    const uint64_t index = (start + probe) % total_slots_;
+    PageId page;
+    RecordSlot slot;
+    SlotLocation(index, &page, &slot);
+    std::vector<uint8_t> record;
+    RDA_RETURN_IF_ERROR(db_->ReadRecord(txn, page, slot, &record));
+    const DecodedSlot decoded = Decode(record);
+    if (decoded.state == SlotState::kEmpty) {
+      return Status::NotFound("key absent");
+    }
+    if (decoded.state == SlotState::kLive && decoded.key == key) {
+      return decoded.value;
+    }
+  }
+  return Status::NotFound("key absent (probe limit)");
+}
+
+Status KvStore::Delete(TxnId txn, std::string_view key) {
+  const uint64_t start = HashOf(key);
+  for (uint32_t probe = 0;
+       probe < options_.max_probe && probe < total_slots_; ++probe) {
+    const uint64_t index = (start + probe) % total_slots_;
+    PageId page;
+    RecordSlot slot;
+    SlotLocation(index, &page, &slot);
+    std::vector<uint8_t> record;
+    RDA_RETURN_IF_ERROR(db_->ReadRecord(txn, page, slot, &record));
+    const DecodedSlot decoded = Decode(record);
+    if (decoded.state == SlotState::kEmpty) {
+      return Status::NotFound("key absent");
+    }
+    if (decoded.state == SlotState::kLive && decoded.key == key) {
+      return db_->WriteRecord(txn, page, slot,
+                              Encode(SlotState::kTombstone, key, ""));
+    }
+  }
+  return Status::NotFound("key absent (probe limit)");
+}
+
+Result<uint64_t> KvStore::Count(TxnId txn) {
+  uint64_t live = 0;
+  for (uint64_t index = 0; index < total_slots_; ++index) {
+    PageId page;
+    RecordSlot slot;
+    SlotLocation(index, &page, &slot);
+    std::vector<uint8_t> record;
+    RDA_RETURN_IF_ERROR(db_->ReadRecord(txn, page, slot, &record));
+    if (Decode(record).state == SlotState::kLive) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+}  // namespace rda

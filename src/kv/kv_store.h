@@ -1,0 +1,89 @@
+#ifndef RDA_KV_KV_STORE_H_
+#define RDA_KV_KV_STORE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/database.h"
+
+namespace rda {
+
+// A transactional key-value access method layered on the record API — what
+// adopting the recovery engine looks like from above. Open addressing
+// (linear probing) over the database's fixed-size record slots; every
+// operation runs inside a caller-supplied transaction and inherits the
+// engine's atomicity, locking and recovery story (abort rolls Puts back,
+// crash recovery preserves exactly the committed map).
+//
+// Slot layout: [state:1][klen:1][vlen:2][key bytes][value bytes]; capacity
+// is fixed at attach time (no online rehash — kResourceExhausted surfaces
+// when a probe sequence exceeds max_probe).
+class KvStore {
+ public:
+  struct Options {
+    // Pages of the underlying database reserved for the table, starting at
+    // page `first_page`.
+    PageId first_page = 0;
+    uint32_t num_pages = 64;
+    // Probe-sequence cap; hitting it on insert reports a full table.
+    uint32_t max_probe = 128;
+  };
+
+  // Attaches a view over `db`, which must be in record-logging mode with
+  // record_size >= kSlotHeaderSize + 2. The pages are used as-is: an
+  // all-zero (freshly formatted) region is an empty table.
+  static Result<std::unique_ptr<KvStore>> Attach(Database* db,
+                                                 const Options& options);
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  // Inserts or overwrites. Key must be non-empty and <= max_key_size();
+  // value <= max_value_size(key).
+  Status Put(TxnId txn, std::string_view key, std::string_view value);
+
+  // Returns the value, or kNotFound.
+  Result<std::string> Get(TxnId txn, std::string_view key);
+
+  // Removes the key (tombstone). kNotFound if absent.
+  Status Delete(TxnId txn, std::string_view key);
+
+  // Number of live entries (full scan; test/inspection helper).
+  Result<uint64_t> Count(TxnId txn);
+
+  uint64_t capacity() const { return total_slots_; }
+  size_t max_key_size() const;
+  size_t max_value_size(std::string_view key) const;
+
+  static constexpr size_t kSlotHeaderSize = 4;
+
+ private:
+  enum class SlotState : uint8_t { kEmpty = 0, kLive = 1, kTombstone = 2 };
+
+  KvStore(Database* db, const Options& options);
+
+  uint64_t HashOf(std::string_view key) const;
+  void SlotLocation(uint64_t index, PageId* page, RecordSlot* slot) const;
+
+  struct DecodedSlot {
+    SlotState state = SlotState::kEmpty;
+    std::string key;
+    std::string value;
+  };
+  static DecodedSlot Decode(const std::vector<uint8_t>& record);
+  std::vector<uint8_t> Encode(SlotState state, std::string_view key,
+                              std::string_view value) const;
+
+  Database* db_;
+  Options options_;
+  uint32_t slots_per_page_;
+  uint64_t total_slots_;
+  size_t record_size_;
+};
+
+}  // namespace rda
+
+#endif  // RDA_KV_KV_STORE_H_

@@ -1,0 +1,124 @@
+#include "lock/lock_manager.h"
+
+#include <string>
+
+namespace rda {
+
+Status LockManager::Acquire(TxnId txn, const LockKey& key, LockMode mode) {
+  Entry& entry = table_[key.Encoded()];
+  auto self = entry.holders.find(txn);
+  if (self != entry.holders.end()) {
+    if (self->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::Ok();  // Already strong enough.
+    }
+    // Upgrade S -> X: legal only as the sole holder.
+    if (entry.holders.size() == 1) {
+      self->second = LockMode::kExclusive;
+      waits_for_.erase(txn);
+      return Status::Ok();
+    }
+    for (const auto& [holder, holder_mode] : entry.holders) {
+      if (holder != txn) {
+        waits_for_[txn].insert(holder);
+      }
+    }
+    return Status::Busy("lock upgrade conflict");
+  }
+
+  bool compatible = true;
+  if (mode == LockMode::kExclusive) {
+    compatible = entry.holders.empty();
+  } else {
+    for (const auto& [holder, holder_mode] : entry.holders) {
+      if (holder_mode == LockMode::kExclusive) {
+        compatible = false;
+        break;
+      }
+    }
+  }
+  if (compatible) {
+    entry.holders.emplace(txn, mode);
+    waits_for_.erase(txn);
+    return Status::Ok();
+  }
+  for (const auto& [holder, holder_mode] : entry.holders) {
+    if (holder != txn &&
+        (mode == LockMode::kExclusive ||
+         holder_mode == LockMode::kExclusive)) {
+      waits_for_[txn].insert(holder);
+    }
+  }
+  return Status::Busy("lock conflict");
+}
+
+bool LockManager::Holds(TxnId txn, const LockKey& key, LockMode mode) const {
+  auto it = table_.find(key.Encoded());
+  if (it == table_.end()) {
+    return false;
+  }
+  auto holder = it->second.holders.find(txn);
+  if (holder == it->second.holders.end()) {
+    return false;
+  }
+  return holder->second == LockMode::kExclusive || mode == LockMode::kShared;
+}
+
+bool LockManager::WouldDeadlock(TxnId txn) const {
+  // DFS from txn through the wait-for graph looking for a cycle back to txn.
+  std::unordered_set<TxnId> visited;
+  std::vector<TxnId> stack;
+  auto edges = waits_for_.find(txn);
+  if (edges == waits_for_.end()) {
+    return false;
+  }
+  for (const TxnId next : edges->second) {
+    stack.push_back(next);
+  }
+  while (!stack.empty()) {
+    const TxnId current = stack.back();
+    stack.pop_back();
+    if (current == txn) {
+      return true;
+    }
+    if (!visited.insert(current).second) {
+      continue;
+    }
+    auto it = waits_for_.find(current);
+    if (it == waits_for_.end()) {
+      continue;
+    }
+    for (const TxnId next : it->second) {
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+void LockManager::CancelWaits(TxnId txn) { waits_for_.erase(txn); }
+
+void LockManager::ReleaseAll(TxnId txn) {
+  waits_for_.erase(txn);
+  for (auto& [key, txns] : waits_for_) {
+    txns.erase(txn);
+  }
+  for (auto it = table_.begin(); it != table_.end();) {
+    it->second.holders.erase(txn);
+    if (it->second.holders.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t LockManager::HeldCount(TxnId txn) const {
+  size_t count = 0;
+  for (const auto& [key, entry] : table_) {
+    if (entry.holders.contains(txn)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace rda

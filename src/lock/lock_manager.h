@@ -1,0 +1,88 @@
+#ifndef RDA_LOCK_LOCK_MANAGER_H_
+#define RDA_LOCK_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rda {
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+// A lockable resource: a whole page (page-logging mode) or one record slot
+// (record-logging mode — "record locking is used in order to enhance
+// concurrency", paper Section 5.3.1).
+struct LockKey {
+  PageId page = kInvalidPageId;
+  RecordSlot slot = 0;
+  bool record_granular = false;
+
+  static LockKey Page(PageId page) { return LockKey{page, 0, false}; }
+  static LockKey Record(PageId page, RecordSlot slot) {
+    return LockKey{page, slot, true};
+  }
+
+  uint64_t Encoded() const {
+    return (static_cast<uint64_t>(page) << 32) |
+           (static_cast<uint64_t>(slot) << 1) | (record_granular ? 1 : 0);
+  }
+};
+
+// Strict two-phase locking for the single-threaded simulator: Acquire either
+// grants immediately or returns kBusy and records a wait-for edge; the
+// caller (simulator scheduler) retries on its next turn or aborts the
+// transaction if WouldDeadlock reports a cycle. Locks are held until
+// ReleaseAll at EOT — the paper's protocols all assume strictness.
+class LockManager {
+ public:
+  LockManager() = default;
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  // Grants or upgrades the lock, or returns kBusy (wait-for edges recorded).
+  Status Acquire(TxnId txn, const LockKey& key, LockMode mode);
+
+  // True iff `txn` currently holds a lock on `key` at least as strong as
+  // `mode`.
+  bool Holds(TxnId txn, const LockKey& key, LockMode mode) const;
+
+  // True iff txn participates in a wait-for cycle (deadlock victim check).
+  bool WouldDeadlock(TxnId txn) const;
+
+  // Forgets txn's wait-for edges (call when giving up a blocked request).
+  void CancelWaits(TxnId txn);
+
+  // Releases every lock of txn and its wait-for edges (EOT / abort).
+  void ReleaseAll(TxnId txn);
+
+  // Drops every lock and wait-for edge (system crash: lock tables are
+  // volatile).
+  void Clear() {
+    table_.clear();
+    waits_for_.clear();
+  }
+
+  // Number of distinct resources currently locked (tests/metrics).
+  size_t LockedResourceCount() const { return table_.size(); }
+  // Number of locks held by txn.
+  size_t HeldCount(TxnId txn) const;
+
+ private:
+  struct Entry {
+    // Holders; all-shared, or a single exclusive holder.
+    std::unordered_map<TxnId, LockMode> holders;
+  };
+
+  std::unordered_map<uint64_t, Entry> table_;
+  // wait-for graph: blocked txn -> txns it waits on.
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> waits_for_;
+};
+
+}  // namespace rda
+
+#endif  // RDA_LOCK_LOCK_MANAGER_H_

@@ -1,0 +1,40 @@
+#ifndef RDA_MODEL_ALGORITHMS_H_
+#define RDA_MODEL_ALGORITHMS_H_
+
+#include "model/params.h"
+#include "model/throughput.h"
+
+namespace rda::model {
+
+// The four recovery-algorithm classes the paper evaluates, each with and
+// without RDA recovery. `c` is the communality C in [0, 1]; `rda` selects
+// the twin-page variant. Every function fills a complete CostBreakdown,
+// including the optimal checkpoint interval for the ACC algorithms.
+//
+// Conventions shared by all evaluators (see DESIGN.md Section 5 and
+// EXPERIMENTS.md for the OCR-ambiguity notes):
+//  * p_log is the paper's p_l: probability a modified page must be logged
+//    (equivalently: its parity group is already dirty). A page that must be
+//    logged is written to a dirty group, which updates BOTH parity twins —
+//    hence the write cost 3 + 2 p_log instead of a = 3.
+//  * Undoing one page costs 6 transfers via parity and 5 via the log
+//    (Section 5.2.1); the traditional algorithms pay 4 (a plain re-write).
+//  * Log pages are written at cost 4 per page (UNDO and REDO files, each
+//    duplexed), matching the paper's coefficients.
+
+// Section 5.2.1 — page logging, notATOMIC / STEAL / FORCE / TOC (Figure 9).
+CostBreakdown EvalPageForceToc(const ModelParams& p, double c, bool rda);
+
+// Section 5.2.2 — page logging, notATOMIC / STEAL / notFORCE / ACC
+// (Figure 10).
+CostBreakdown EvalPageNoForceAcc(const ModelParams& p, double c, bool rda);
+
+// Section 5.3.1 — record logging, FORCE / TOC (Figure 11).
+CostBreakdown EvalRecordForceToc(const ModelParams& p, double c, bool rda);
+
+// Section 5.3.2 — record logging, notFORCE / ACC (Figures 12 and 13).
+CostBreakdown EvalRecordNoForceAcc(const ModelParams& p, double c, bool rda);
+
+}  // namespace rda::model
+
+#endif  // RDA_MODEL_ALGORITHMS_H_

@@ -1,0 +1,105 @@
+#include "model/figures.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace rda::model {
+
+const char* EnvironmentName(Environment env) {
+  switch (env) {
+    case Environment::kHighUpdate:
+      return "high update frequency";
+    case Environment::kHighRetrieval:
+      return "high retrieval frequency";
+  }
+  return "unknown";
+}
+
+const char* AlgorithmName(AlgorithmClass algorithm) {
+  switch (algorithm) {
+    case AlgorithmClass::kPageForceToc:
+      return "page logging, notATOMIC/STEAL/FORCE/TOC";
+    case AlgorithmClass::kPageNoForceAcc:
+      return "page logging, notATOMIC/STEAL/notFORCE/ACC";
+    case AlgorithmClass::kRecordForceToc:
+      return "record logging, FORCE/TOC";
+    case AlgorithmClass::kRecordNoForceAcc:
+      return "record logging, notFORCE/ACC";
+  }
+  return "unknown";
+}
+
+ModelParams ParamsFor(Environment env) {
+  return env == Environment::kHighUpdate ? ModelParams::HighUpdate()
+                                         : ModelParams::HighRetrieval();
+}
+
+CostBreakdown Evaluate(AlgorithmClass algorithm, const ModelParams& p,
+                       double c, bool rda) {
+  switch (algorithm) {
+    case AlgorithmClass::kPageForceToc:
+      return EvalPageForceToc(p, c, rda);
+    case AlgorithmClass::kPageNoForceAcc:
+      return EvalPageNoForceAcc(p, c, rda);
+    case AlgorithmClass::kRecordForceToc:
+      return EvalRecordForceToc(p, c, rda);
+    case AlgorithmClass::kRecordNoForceAcc:
+      return EvalRecordNoForceAcc(p, c, rda);
+  }
+  return CostBreakdown{};
+}
+
+std::vector<ThroughputPoint> FigureSeries(AlgorithmClass algorithm,
+                                          Environment env, int num_points) {
+  const ModelParams params = ParamsFor(env);
+  std::vector<ThroughputPoint> series;
+  series.reserve(num_points);
+  for (int i = 0; i < num_points; ++i) {
+    ThroughputPoint point;
+    point.c = static_cast<double>(i) / (num_points - 1);
+    point.baseline = Evaluate(algorithm, params, point.c, false).throughput;
+    point.rda = Evaluate(algorithm, params, point.c, true).throughput;
+    point.gain_percent =
+        point.baseline > 0
+            ? 100.0 * (point.rda - point.baseline) / point.baseline
+            : 0.0;
+    series.push_back(point);
+  }
+  return series;
+}
+
+std::vector<BenefitPoint> Figure13Series(
+    double c, const std::vector<double>& s_values) {
+  std::vector<BenefitPoint> series;
+  series.reserve(s_values.size());
+  for (const double s : s_values) {
+    ModelParams params = ModelParams::HighUpdate();
+    params.s = s;
+    const double baseline =
+        EvalRecordNoForceAcc(params, c, false).throughput;
+    const double rda = EvalRecordNoForceAcc(params, c, true).throughput;
+    BenefitPoint point;
+    point.s = s;
+    point.gain_percent =
+        baseline > 0 ? 100.0 * (rda - baseline) / baseline : 0.0;
+    series.push_back(point);
+  }
+  return series;
+}
+
+void PrintFigureTable(std::ostream& os, AlgorithmClass algorithm,
+                      Environment env,
+                      const std::vector<ThroughputPoint>& series) {
+  os << "Algorithm:   " << AlgorithmName(algorithm) << "\n"
+     << "Environment: " << EnvironmentName(env) << "\n"
+     << std::setw(6) << "C" << std::setw(14) << "no-RDA r_t" << std::setw(14)
+     << "RDA r_t" << std::setw(10) << "gain%" << "\n";
+  for (const ThroughputPoint& point : series) {
+    os << std::fixed << std::setprecision(2) << std::setw(6) << point.c
+       << std::setprecision(0) << std::setw(14) << point.baseline
+       << std::setw(14) << point.rda << std::setprecision(1) << std::setw(10)
+       << point.gain_percent << "\n";
+  }
+}
+
+}  // namespace rda::model

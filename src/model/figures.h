@@ -1,0 +1,62 @@
+#ifndef RDA_MODEL_FIGURES_H_
+#define RDA_MODEL_FIGURES_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/algorithms.h"
+#include "model/params.h"
+
+namespace rda::model {
+
+enum class Environment { kHighUpdate, kHighRetrieval };
+enum class AlgorithmClass {
+  kPageForceToc,      // Figure 9.
+  kPageNoForceAcc,    // Figure 10.
+  kRecordForceToc,    // Figure 11.
+  kRecordNoForceAcc,  // Figures 12 and 13.
+};
+
+const char* EnvironmentName(Environment env);
+const char* AlgorithmName(AlgorithmClass algorithm);
+ModelParams ParamsFor(Environment env);
+
+// Dispatches to the right Section-5 evaluator.
+CostBreakdown Evaluate(AlgorithmClass algorithm, const ModelParams& p,
+                       double c, bool rda);
+
+// One point of a throughput-vs-communality curve pair.
+struct ThroughputPoint {
+  double c = 0;
+  double baseline = 0;      // r_t without RDA.
+  double rda = 0;           // r_t with RDA recovery.
+  double gain_percent = 0;  // 100 (rda - baseline) / baseline.
+};
+
+// The paper's Figures 9-12: throughput as a function of C in [0, 1] for
+// one algorithm class in one environment, with and without RDA.
+std::vector<ThroughputPoint> FigureSeries(AlgorithmClass algorithm,
+                                          Environment env, int num_points);
+
+// One point of Figure 13 (benefit vs transaction size).
+struct BenefitPoint {
+  double s = 0;
+  double gain_percent = 0;
+};
+
+// Figure 13: percent RDA gain for the record-logging notFORCE/ACC
+// algorithm in the high-update environment at communality `c`, as s sweeps
+// over [5, 45].
+std::vector<BenefitPoint> Figure13Series(double c,
+                                         const std::vector<double>& s_values);
+
+// Shared table printer for the bench binaries: a paper-figure-style table
+// with one row per C value.
+void PrintFigureTable(std::ostream& os, AlgorithmClass algorithm,
+                      Environment env,
+                      const std::vector<ThroughputPoint>& series);
+
+}  // namespace rda::model
+
+#endif  // RDA_MODEL_FIGURES_H_

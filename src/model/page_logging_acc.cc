@@ -1,0 +1,90 @@
+#include "model/algorithms.h"
+#include "model/probabilities.h"
+
+namespace rda::model {
+
+// Section 5.2.2: page logging, notFORCE, action-consistent checkpoints.
+// Before- and after-images go to the log; modified pages stay in the
+// buffer until replaced (cost charged through p_m) or until a checkpoint
+// propagates them.
+CostBreakdown EvalPageNoForceAcc(const ModelParams& p, double c, bool rda) {
+  CostBreakdown out;
+  const double sp = p.s * p.p_u;
+  const double pf = p.P * p.f_u;
+  const double pm = ModifiedReplacementProbability(p, c);
+
+  double undo_active_per_txn = 0;  // UNDO work per active txn at a crash.
+
+  if (!rda) {
+    // c_l = 4 (2 s p_u + 2): before- and after-images of every modified
+    // page plus BOT/EOT.
+    out.c_l = 4.0 * (2.0 * sp + 2.0);
+
+    // Replacement writes of modified pages cost a = 4.
+    out.c_r = p.s * (1.0 - c) + 4.0 * p.s * (1.0 - c) * pm;
+
+    // Backout reads twice as much log (before- AND after-images are
+    // interleaved); only pages already stolen (1 - C proxy) need disk
+    // undo at cost 4.
+    out.c_b = 2.0 * (sp / 2.0) * pf + 4.0 * (sp / 2.0) * (1.0 - c) + 4.0;
+
+    // ACC checkpoint: propagate every modified buffer page (B p_m of them)
+    // at cost 4, plus the checkpoint record.
+    out.c_c = 4.0 * (p.B * pm + 2.0);
+
+    undo_active_per_txn = out.c_l / 4.0 + 4.0 * sp;
+  } else {
+    const double ps = StealProbability(p, c);
+    // K = P s f_u p_u p_s / 2 (only stolen pages are candidates).
+    const double k = pf * sp * ps / 2.0;
+    const double pl = LogProbability(p, k);
+    out.p_log = pl;
+    const double chain = ChainTerm(pl, sp * ps);
+
+    // Before-images are saved only for pages that are stolen AND covered
+    // by parity: the logged volume shrinks from 2 s p_u to
+    // s p_u (2 - p_s (1 - p_log)).
+    out.c_l = 4.0 * (sp * (2.0 - ps * (1.0 - pl)) + 2.0) + 4.0 * chain;
+
+    // Replacement writes pay the twin update for logged steals.
+    out.c_r = p.s * (1.0 - c) + (4.0 + 2.0 * pl) * p.s * (1.0 - c) * pm;
+
+    // Backout: reduced log read; stolen pages are undone via parity (6) or
+    // log (5); unstolen-but-evicted committed-path writes keep cost
+    // (4 + 2 p_log).
+    out.c_b = (sp / 2.0) * pf * (2.0 - ps * (1.0 - pl)) +
+              (sp / 2.0) * ((4.0 + 2.0 * pl) * (1.0 - c) * (1.0 - ps) +
+                            ps * (6.0 * (1.0 - pl) + 5.0 * pl)) +
+              4.0;
+
+    // Checkpoint propagation pays the twin update as well.
+    out.c_c = (4.0 + 2.0 * pl) * p.B * pm + 8.0;
+
+    undo_active_per_txn =
+        out.c_l / 4.0 +
+        (sp / 2.0) * (ps * (6.0 * (1.0 - pl) + 5.0 * pl) +
+                      (1.0 - ps) * (1.0 - c) * 4.0);
+  }
+
+  // Equation 3: the update transaction pays the same fault/replacement
+  // costs as a retrieval plus logging and the abort-weighted backout.
+  out.c_u = out.c_r + out.c_l + p.p_b * out.c_b;
+  out.c_t = MeanTransactionCost(p, out.c_r, out.c_u);
+
+  // Crash recovery: REDO the transactions committed since the last
+  // checkpoint (on average r_c / 2 = I / (2 c_t) of them) and UNDO the P
+  // active ones; with RDA add S/N for the Current_Parity bit map.
+  const double redo_per_txn = out.c_l / 4.0 + 4.0 * sp;
+  const double fixed = pf * undo_active_per_txn + (rda ? p.S / p.N : 0.0);
+  const double c_t = out.c_t;
+  const double f_u = p.f_u;
+  auto c_s_of_interval = [=](double interval) {
+    return (interval / (2.0 * c_t)) * f_u * redo_per_txn + fixed;
+  };
+  out.throughput = OptimizeAccThroughput(p, out.c_t, out.c_c,
+                                         c_s_of_interval, &out.interval,
+                                         &out.c_s);
+  return out;
+}
+
+}  // namespace rda::model

@@ -1,0 +1,70 @@
+#include "model/algorithms.h"
+#include "model/probabilities.h"
+
+namespace rda::model {
+
+// Section 5.2.1: page logging, FORCE at EOT, transaction-oriented
+// checkpoints (no separate checkpoint cost, c_c = 0; modified pages are
+// never re-referenced after EOT so p_m = 0 and the write-back cost is
+// folded into c_l).
+CostBreakdown EvalPageForceToc(const ModelParams& p, double c, bool rda) {
+  CostBreakdown out;
+  const double sp = p.s * p.p_u;  // Pages modified per update transaction.
+  const double pf = p.P * p.f_u;  // Concurrent update transactions.
+
+  // Retrieval cost: faults for pages not found in the buffer (Equation 2
+  // with p_m = 0).
+  out.c_r = p.s * (1.0 - c);
+
+  if (!rda) {
+    // c_l = 3 s p_u            -- write each modified page back (a = 3)
+    //     + 4 (2 s p_u)        -- before- and after-images to the UNDO and
+    //                             REDO log files (4 transfers per page)
+    //     + 4 * 4              -- BOT and EOT records to each log file.
+    out.c_l = 3.0 * sp + 4.0 * (2.0 * sp) + 16.0;
+
+    // Backout: read the log back to BOT through the interleaved records of
+    // the other concurrent transactions (assumed halfway done), re-write
+    // the aborted transaction's pages, plus BOT/EOT handling.
+    out.c_b = pf * (sp / 2.0) + 4.0 * (sp / 2.0) + 4.0;
+
+    // Crash recovery: for each active update transaction, read its log
+    // (s p_u images + BOT/EOT) and write back the before-images of the
+    // half of its pages already propagated.
+    out.c_s = pf * (sp + 2.0) + 4.0 * pf * (sp / 2.0);
+  } else {
+    // K = half the pages written by concurrent update transactions
+    // (Section 5.2.1).
+    const double k = pf * sp / 2.0;
+    const double pl = LogProbability(p, k);
+    out.p_log = pl;
+    const double chain = ChainTerm(pl, sp);
+
+    // c'_l: writes cost 3 + 2 p_log (a logged page goes to a dirty group,
+    // so both twins are updated); the REDO file still takes every
+    // after-image but the UNDO file only the p_log fraction; the last term
+    // is the log chain header written with the BOT record.
+    out.c_l = (3.0 + 2.0 * pl) * sp + 4.0 * (sp + sp * pl + 4.0) +
+              4.0 * chain;
+
+    // c'_b: less log to read (only logged images exist); undoing a page
+    // costs 6 transfers via parity (probability 1 - p_log) or 5 via the
+    // log.
+    out.c_b = pf * (sp * pl / 2.0) + pf * chain + pf +
+              (sp / 2.0) * (6.0 * (1.0 - pl) + 5.0 * pl) + 4.0;
+
+    // c'_s: same structure as c_s plus S/N to reconstruct the
+    // Current_Parity bit map by reading the twin headers of every group.
+    out.c_s = pf * (sp * pl + 2.0 * chain + 2.0) +
+              pf * (sp / 2.0) * (6.0 * (1.0 - pl) + 5.0 * pl) + p.S / p.N;
+  }
+
+  out.c_u = p.s * (1.0 - c) + out.c_l + p.p_b * out.c_b;  // Equation 3.
+  out.c_t = MeanTransactionCost(p, out.c_r, out.c_u);
+  out.c_c = 0;
+  out.interval = 0;
+  out.throughput = TocThroughput(p, out.c_t, out.c_s);
+  return out;
+}
+
+}  // namespace rda::model

@@ -1,0 +1,64 @@
+#include "model/probabilities.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rda::model {
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+}  // namespace
+
+double LogProbability(const ModelParams& p, double k) {
+  if (k <= 0) {
+    return 0.0;
+  }
+  const double groups = p.S / p.N;
+  const double hit = groups * (1.0 - std::pow(1.0 - p.N / p.S, k));
+  return Clamp01(1.0 - hit / k);
+}
+
+double ModifiedReplacementProbability(const ModelParams& p, double c) {
+  c = std::min(c, 0.999);  // The exponent diverges at C = 1.
+  return Clamp01(1.0 - std::pow(1.0 - p.f_u * p.p_u, 1.0 / (1.0 - c)));
+}
+
+double StealProbability(const ModelParams& p, double c) {
+  const double frames = p.B - c * p.s;
+  if (frames <= 1.0) {
+    return 1.0;
+  }
+  const double refs = (1.0 - c) * p.s * (p.P - 1.0);
+  return Clamp01(1.0 - std::pow(1.0 - 1.0 / frames, refs));
+}
+
+double SharedBufferUpdatedPages(const ModelParams& p, double c) {
+  const double per_txn = c * p.s * p.p_u / p.B;
+  if (per_txn >= 1.0) {
+    return p.B;
+  }
+  return p.B * (1.0 - std::pow(1.0 - per_txn, p.P * p.f_u));
+}
+
+double ConcurrentlyModifiedReplacementProbability(const ModelParams& p,
+                                                  double c) {
+  const double frames = p.B - c * p.s;
+  if (frames <= 0.0) {
+    return 1.0;
+  }
+  return Clamp01(SharedBufferUpdatedPages(p, c) / frames);
+}
+
+double AvgLogEntryLength(const ModelParams& p) {
+  return (p.d * p.r + (p.s - p.d) * p.e) / p.s;
+}
+
+double ChainTerm(double p_log, double n) {
+  if (n <= 0) {
+    return 0.0;
+  }
+  return std::max(0.0, p_log - std::pow(p_log, n));
+}
+
+}  // namespace rda::model

@@ -1,0 +1,49 @@
+#ifndef RDA_MODEL_PROBABILITIES_H_
+#define RDA_MODEL_PROBABILITIES_H_
+
+#include "model/params.h"
+
+namespace rda::model {
+
+// Probability that a modified page MUST be UNDO-logged when K pages,
+// uniformly spread over the database, are to be written back by active
+// transactions (paper Section 5.1, Equations 4/5). One page per parity
+// group can be propagated without logging, so with E[X] = expected number
+// of groups hit by the K pages:
+//   p_log = 1 - E[X]/K = 1 - (S/(K N)) (1 - (1 - N/S)^K).
+// Limits: K -> 0 gives 0 (a lone page is always first in its group);
+// K -> inf gives 1.
+double LogProbability(const ModelParams& p, double k);
+
+// Probability that a page picked for replacement has been modified
+// (not-FORCE algorithms, Section 5.2.2):
+//   p_m = 1 - (1 - f_u p_u)^(1/(1-C)).
+double ModifiedReplacementProbability(const ModelParams& p, double c);
+
+// Probability that a given modified page is stolen from the buffer before
+// EOT (Section 5.2.2):
+//   p_s = 1 - (1 - 1/(B - C s))^((1-C) s (P-1)).
+double StealProbability(const ModelParams& p, double c);
+
+// Expected number of distinct buffer pages updated by the P f_u concurrent
+// update transactions (Appendix):
+//   s_u = B (1 - (1 - C s p_u / B)^(P f_u)).
+double SharedBufferUpdatedPages(const ModelParams& p, double c);
+
+// Proportion of replaced pages modified by concurrently executing
+// transactions (Section 5.3.2): p_i = s_u / (B - C s).
+double ConcurrentlyModifiedReplacementProbability(const ModelParams& p,
+                                                  double c);
+
+// Average record-log entry length (Section 5.3):
+//   L = (d r + (s - d) e) / s.
+double AvgLogEntryLength(const ModelParams& p);
+
+// The paper's "log chain header" factor (p_l - p_l^n): probability weight
+// for writing the chain head with the BOT record when some but not all of
+// the n pages are logged.
+double ChainTerm(double p_log, double n);
+
+}  // namespace rda::model
+
+#endif  // RDA_MODEL_PROBABILITIES_H_

@@ -1,0 +1,81 @@
+#include "model/algorithms.h"
+#include "model/probabilities.h"
+
+namespace rda::model {
+
+// Section 5.3.2: record logging, notFORCE / ACC — the paper's best
+// traditional algorithm, and the configuration of Figures 12 and 13.
+//
+// Stealing a page modified by concurrently executing transactions requires
+// their records to be logged first; the proportion of such replacement
+// victims is p_i = s_u / (B - C s), adding 2 p_i to the replacement-write
+// factor (2 p_i p_log with RDA — the main lever of the RDA gain here).
+CostBreakdown EvalRecordNoForceAcc(const ModelParams& p, double c, bool rda) {
+  CostBreakdown out;
+  const double sp = p.s * p.p_u;
+  const double pf = p.P * p.f_u;
+  const double el = AvgLogEntryLength(p);
+  const double pm = ModifiedReplacementProbability(p, c);
+  const double pi = ConcurrentlyModifiedReplacementProbability(p, c);
+  const double ps = StealProbability(p, c);
+  const double su = SharedBufferUpdatedPages(p, c);
+
+  double undo_active_per_txn = 0;
+
+  if (!rda) {
+    // Before- and after-images (2L per record) plus BOT/EOT, bytes to
+    // pages.
+    out.c_l = 4.0 * (2.0 * p.l_bc + sp * (p.l_bc + 2.0 * el)) / p.l_p;
+
+    out.c_r = p.s * (1.0 - c) +
+              4.0 * p.s * (1.0 - c) * (pm + 2.0 * pi);
+
+    out.c_b = pf * (out.c_l / 8.0) + 4.0 * (sp / 2.0) * (1.0 - c) + 4.0;
+
+    out.c_c = 4.0 * (p.B * pm + 2.0);
+
+    undo_active_per_txn = out.c_l / 4.0 + 4.0 * sp;
+  } else {
+    const double pl = LogProbability(p, su * ps / 2.0);
+    out.p_log = pl;
+    const double chain = ChainTerm(pl, sp * ps);
+
+    // Stolen-and-covered records skip the before-image: volume factor
+    // L (2 - p_s (1 - p_log)).
+    out.c_l = 4.0 * (2.0 * p.l_bc +
+                     sp * (p.l_bc + el * (2.0 - ps * (1.0 - pl))) +
+                     (p.l_bc + p.l_h) * chain) / p.l_p;
+
+    out.c_r = p.s * (1.0 - c) +
+              4.0 * p.s * (1.0 - c) * (pm + 2.0 * pi * pl);
+
+    out.c_b = pf * (out.c_l / 8.0) +
+              (sp / 2.0) * ((4.0 + 2.0 * pl) * (1.0 - c) * (1.0 - ps) +
+                            ps * (6.0 * (1.0 - pl) + 5.0 * pl)) +
+              4.0;
+
+    out.c_c = (4.0 + 2.0 * pl) * p.B * pm + 8.0;
+
+    undo_active_per_txn =
+        out.c_l / 4.0 +
+        (sp / 2.0) * (ps * (6.0 * (1.0 - pl) + 5.0 * pl) +
+                      (1.0 - ps) * (1.0 - c) * 4.0);
+  }
+
+  out.c_u = out.c_r + out.c_l + p.p_b * out.c_b;
+  out.c_t = MeanTransactionCost(p, out.c_r, out.c_u);
+
+  const double redo_per_txn = out.c_l / 4.0 + 4.0 * sp;
+  const double fixed = pf * undo_active_per_txn + (rda ? p.S / p.N : 0.0);
+  const double c_t = out.c_t;
+  const double f_u = p.f_u;
+  auto c_s_of_interval = [=](double interval) {
+    return (interval / (2.0 * c_t)) * f_u * redo_per_txn + fixed;
+  };
+  out.throughput = OptimizeAccThroughput(p, out.c_t, out.c_c,
+                                         c_s_of_interval, &out.interval,
+                                         &out.c_s);
+  return out;
+}
+
+}  // namespace rda::model

@@ -1,0 +1,63 @@
+#include "model/algorithms.h"
+#include "model/probabilities.h"
+
+namespace rda::model {
+
+// Section 5.3.1: record logging, FORCE / TOC. Only modified records are
+// logged; log volume is measured in bytes and converted to pages via l_p.
+// Record locking lets concurrent transactions share pages, so the number
+// of distinct modified buffer pages is s_u (Appendix) and K = s_u / 2.
+CostBreakdown EvalRecordForceToc(const ModelParams& p, double c, bool rda) {
+  CostBreakdown out;
+  const double sp = p.s * p.p_u;  // Records modified per update txn.
+  const double pf = p.P * p.f_u;
+  const double el = AvgLogEntryLength(p);  // L.
+
+  out.c_r = p.s * (1.0 - c);
+
+  if (!rda) {
+    // c_l = 3 s p_u + 4 * 2 (2 l_bc + s p_u (l_bc + L)) / l_p:
+    // force the modified pages, and write (BOT + EOT + one entry per
+    // updated record) to both the UNDO and REDO log files.
+    out.c_l = 3.0 * sp +
+              8.0 * (2.0 * p.l_bc + sp * (p.l_bc + el)) / p.l_p;
+
+    // Backout: read back through the UNDO log (half the concurrent
+    // volume), then re-write the transaction's pages.
+    out.c_b = pf * (p.l_bc + sp * (p.l_bc + el) / 2.0) / p.l_p +
+              4.0 * (sp / 2.0) + 4.0;
+
+    out.c_s = pf * (2.0 * p.l_bc + sp * (p.l_bc + el)) / p.l_p +
+              4.0 * pf * (sp / 2.0);
+  } else {
+    const double su = SharedBufferUpdatedPages(p, c);
+    const double pl = LogProbability(p, su / 2.0);
+    out.p_log = pl;
+    const double chain = ChainTerm(pl, sp);
+
+    // c'_l: forcing costs 3 + 2 p_log per page; the REDO file is unchanged
+    // while the UNDO file shrinks to the p_log fraction plus the chain
+    // header (l_bc + l_h).
+    out.c_l = (3.0 + 2.0 * pl) * sp +
+              4.0 * (2.0 * p.l_bc + sp * (p.l_bc + el)) / p.l_p +
+              4.0 * (2.0 * p.l_bc + sp * (p.l_bc + el) * pl +
+                     (p.l_bc + p.l_h) * chain) / p.l_p;
+
+    out.c_b = pf * (p.l_bc + sp * (p.l_bc + el) * pl / 2.0 +
+                    (p.l_bc + p.l_h) * chain) / p.l_p +
+              (sp / 2.0) * (6.0 * (1.0 - pl) + 5.0 * pl) + 4.0;
+
+    out.c_s = pf * (2.0 * p.l_bc + sp * (p.l_bc + el) * pl +
+                    2.0 * (p.l_bc + p.l_h) * chain) / p.l_p +
+              pf * (sp / 2.0) * (6.0 * (1.0 - pl) + 5.0 * pl) + p.S / p.N;
+  }
+
+  out.c_u = out.c_r + out.c_l + p.p_b * out.c_b;
+  out.c_t = MeanTransactionCost(p, out.c_r, out.c_u);
+  out.c_c = 0;
+  out.interval = 0;
+  out.throughput = TocThroughput(p, out.c_t, out.c_s);
+  return out;
+}
+
+}  // namespace rda::model

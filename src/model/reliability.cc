@@ -1,0 +1,59 @@
+#include "model/reliability.h"
+
+namespace rda::model {
+
+double MirroredPairMttdlHours(const ReliabilityParams& p) {
+  return p.disk_mttf_hours * p.disk_mttf_hours / (2.0 * p.repair_hours);
+}
+
+double Raid5GroupMttdlHours(const ReliabilityParams& p, uint32_t n) {
+  // n + 1 disks; after any first failure, every one of the remaining n
+  // disks is a fatal partner during the repair window:
+  //   loss rate = (n+1) n MTTR / MTTF^2.
+  const double mttf = p.disk_mttf_hours;
+  return mttf * mttf /
+         (static_cast<double>(n) * (n + 1.0) * p.repair_hours);
+}
+
+double TwinGroupMttdlHours(const ReliabilityParams& p, uint32_t n) {
+  // n + 2 disks, but not every second failure is fatal:
+  //  * first failure = data disk (n of them): fatal partners are the other
+  //    n-1 data disks plus the CONSISTENT twin (the stale twin's loss is
+  //    survivable) -> n fatal partners;
+  //  * first failure = consistent twin: data intact; only a data-disk loss
+  //    before the recompute finishes is fatal -> n fatal partners;
+  //  * first failure = obsolete twin: nothing else is fatal -> 0.
+  // Summed loss rate = (n*n + 1*n + 1*0) MTTR / MTTF^2 = n (n+1) MTTR /
+  // MTTF^2 — the same MTTDL as the (n+1)-disk RAID-5 group: the twin
+  // scheme's extra disk costs no reliability while buying the undo
+  // capability.
+  const double mttf = p.disk_mttf_hours;
+  return mttf * mttf /
+         (static_cast<double>(n) * (n + 1.0) * p.repair_hours);
+}
+
+double ArrayMttdlHours(double group_mttdl_hours, uint32_t groups) {
+  return groups == 0 ? 0.0 : group_mttdl_hours / groups;
+}
+
+double RotatedArrayMttdlHours(const ReliabilityParams& p,
+                              uint32_t num_disks) {
+  if (num_disks < 2) {
+    return p.disk_mttf_hours;
+  }
+  const double mttf = p.disk_mttf_hours;
+  return mttf * mttf / (static_cast<double>(num_disks) *
+                        (num_disks - 1.0) * p.repair_hours);
+}
+
+double MirroringOverheadPercent() { return 100.0; }
+
+double Raid5OverheadPercent(uint32_t n) {
+  return n == 0 ? 0.0 : 100.0 / n;
+}
+
+double TwinOverheadPercent(uint32_t n) {
+  return n == 0 ? 0.0 : 200.0 / n;
+}
+
+}  // namespace rda::model

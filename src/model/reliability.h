@@ -1,0 +1,52 @@
+#ifndef RDA_MODEL_RELIABILITY_H_
+#define RDA_MODEL_RELIABILITY_H_
+
+#include <cstdint>
+
+namespace rda::model {
+
+// Reliability of the storage organizations the paper discusses (Section 1
+// footnote: "Assuming an MTTF of 30,000 hours for each disk"). Standard
+// Markov approximation with exponential failures (rate 1/mttf per disk) and
+// repairs (rate 1/mttr): data is lost when a second, FATAL disk failure
+// lands inside the repair window of the first.
+struct ReliabilityParams {
+  double disk_mttf_hours = 30000;  // The paper's footnote value.
+  double repair_hours = 24;        // Replacement + rebuild window.
+};
+
+// Mean time to data loss of a mirrored pair (2 disks, loses data when the
+// partner dies during repair): MTTF^2 / (2 * MTTR).
+double MirroredPairMttdlHours(const ReliabilityParams& p);
+
+// MTTDL of one parity group with `n` data disks and one parity disk
+// (classic RAID-5 group): any second failure during repair is fatal.
+double Raid5GroupMttdlHours(const ReliabilityParams& p, uint32_t n);
+
+// MTTDL of one twin-parity group (`n` data disks + 2 parity twins). The
+// group stores each datum once plus two parity pages, so it survives any
+// single failure; during the repair window a second failure is fatal
+// UNLESS the two failed disks are exactly the two parity twins (the data
+// remains intact and both parities are recomputable).
+double TwinGroupMttdlHours(const ReliabilityParams& p, uint32_t n);
+
+// MTTDL of a whole array of `groups` independent groups (first group to
+// die kills the array): MTTDL_group / groups. Only meaningful when groups
+// occupy disjoint disks.
+double ArrayMttdlHours(double group_mttdl_hours, uint32_t groups);
+
+// MTTDL of one rotated-parity ARRAY of `num_disks` disks: because the
+// parity (and twin) locations rotate per group, every pair of disks is a
+// fatal pair for some group — loss rate D (D-1) MTTR / MTTF^2.
+double RotatedArrayMttdlHours(const ReliabilityParams& p,
+                              uint32_t num_disks);
+
+// Storage overhead (redundant fraction of raw capacity) of each scheme,
+// for comparison with the paper's "(100/N)%" discussion.
+double MirroringOverheadPercent();                 // 100%.
+double Raid5OverheadPercent(uint32_t n);           // 100/N %.
+double TwinOverheadPercent(uint32_t n);            // 200/N %.
+
+}  // namespace rda::model
+
+#endif  // RDA_MODEL_RELIABILITY_H_

@@ -1,0 +1,75 @@
+#include "model/throughput.h"
+
+#include <cmath>
+
+namespace rda::model {
+
+double MeanTransactionCost(const ModelParams& p, double c_r, double c_u) {
+  return (1.0 - p.f_u) * c_r + p.f_u * c_u;
+}
+
+double TocThroughput(const ModelParams& p, double c_t, double c_s) {
+  if (c_t <= 0) {
+    return 0;
+  }
+  return (p.T - c_s) / c_t;
+}
+
+double AccThroughput(const ModelParams& p, double c_t, double c_c, double i,
+                     const std::function<double(double)>& c_s_of_interval) {
+  if (c_t <= 0 || i <= 0) {
+    return 0;
+  }
+  const double c_s = c_s_of_interval(i);
+  const double usable = p.T - c_s - c_c * (p.T - c_s - i / 2.0) / i;
+  return usable / c_t;
+}
+
+double OptimizeAccThroughput(
+    const ModelParams& p, double c_t, double c_c,
+    const std::function<double(double)>& c_s_of_interval,
+    double* best_interval, double* c_s_at_best) {
+  // Golden-section search; r_t(I) is unimodal: dominated by c_c/I for small
+  // I and by the growing crash-recovery cost for large I.
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double lo = std::max(1.0, c_t);
+  double hi = p.T / 2.0;
+  double x1 = hi - phi * (hi - lo);
+  double x2 = lo + phi * (hi - lo);
+  double f1 = AccThroughput(p, c_t, c_c, x1, c_s_of_interval);
+  double f2 = AccThroughput(p, c_t, c_c, x2, c_s_of_interval);
+  for (int iter = 0; iter < 200 && (hi - lo) > 1e-3 * hi; ++iter) {
+    if (f1 < f2) {
+      lo = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = lo + phi * (hi - lo);
+      f2 = AccThroughput(p, c_t, c_c, x2, c_s_of_interval);
+    } else {
+      hi = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = hi - phi * (hi - lo);
+      f1 = AccThroughput(p, c_t, c_c, x1, c_s_of_interval);
+    }
+  }
+  const double best = (lo + hi) / 2.0;
+  if (best_interval != nullptr) {
+    *best_interval = best;
+  }
+  if (c_s_at_best != nullptr) {
+    *c_s_at_best = c_s_of_interval(best);
+  }
+  return AccThroughput(p, c_t, c_c, best, c_s_of_interval);
+}
+
+double ClosedFormOptimalInterval(const ModelParams& p, double c_t, double c_c,
+                                 double redo_per_txn, double fixed_c_s) {
+  if (redo_per_txn <= 0 || p.f_u <= 0) {
+    return p.T / 2.0;
+  }
+  return std::sqrt(2.0 * c_t * c_c * (p.T - fixed_c_s) /
+                   (p.f_u * redo_per_txn));
+}
+
+}  // namespace rda::model

@@ -1,0 +1,55 @@
+#ifndef RDA_MODEL_THROUGHPUT_H_
+#define RDA_MODEL_THROUGHPUT_H_
+
+#include <functional>
+
+#include "model/params.h"
+
+namespace rda::model {
+
+// All cost components of one algorithm configuration at one communality
+// value, in page transfers (paper Section 5).
+struct CostBreakdown {
+  double p_log = 0;   // Probability a modified page must be UNDO-logged.
+  double c_r = 0;     // Cost of a retrieval transaction.
+  double c_u = 0;     // Cost of an update transaction.
+  double c_l = 0;     // Logging component of c_u.
+  double c_b = 0;     // Transaction backout (abort) cost.
+  double c_c = 0;     // Cost of generating one checkpoint (0 for TOC).
+  double c_s = 0;     // Crash-recovery cost per availability interval.
+  double c_t = 0;     // Mean transaction cost: (1-f_u) c_r + f_u c_u.
+  double interval = 0;    // Optimal checkpoint interval I (0 for TOC).
+  double throughput = 0;  // r_t, transactions per availability interval.
+};
+
+// Mean transaction cost.
+double MeanTransactionCost(const ModelParams& p, double c_r, double c_u);
+
+// Throughput of a transaction-oriented-checkpoint (FORCE/TOC) algorithm:
+// no separate checkpoints, r_t = (T - c_s) / c_t.
+double TocThroughput(const ModelParams& p, double c_t, double c_s);
+
+// Throughput of an ACC-checkpointing algorithm at checkpoint interval I,
+// where crash-recovery cost depends on I through r_c = I / c_t:
+//   r_t(I) = (T - c_s(I) - c_c (T - c_s(I) - I/2) / I) / c_t.
+double AccThroughput(const ModelParams& p, double c_t, double c_c, double i,
+                     const std::function<double(double)>& c_s_of_interval);
+
+// Maximizes AccThroughput over I by golden-section search; returns the
+// optimal interval via *best_interval and the crash cost at the optimum via
+// *c_s_at_best.
+double OptimizeAccThroughput(
+    const ModelParams& p, double c_t, double c_c,
+    const std::function<double(double)>& c_s_of_interval,
+    double* best_interval, double* c_s_at_best);
+
+// Closed-form optimal interval (paper Equation 1 solved with
+// c_s(I) = (I / (2 c_t)) f_u redo_per_txn + fixed):
+//   I* = sqrt(2 c_t c_c (T - fixed) / (f_u redo_per_txn)).
+// Used by tests to validate the numeric optimizer.
+double ClosedFormOptimalInterval(const ModelParams& p, double c_t, double c_c,
+                                 double redo_per_txn, double fixed_c_s);
+
+}  // namespace rda::model
+
+#endif  // RDA_MODEL_THROUGHPUT_H_

@@ -1,0 +1,599 @@
+#include "parity/twin_parity_manager.h"
+
+#include <string>
+#include <utility>
+
+#include "common/xor_util.h"
+
+namespace rda {
+
+TwinParityManager::TwinParityManager(DiskArray* array)
+    : array_(array), directory_(array->num_groups()) {}
+
+Status TwinParityManager::FormatArray() {
+  const size_t page_size = array_->page_size();
+  for (GroupId g = 0; g < array_->num_groups(); ++g) {
+    PageImage committed(page_size);  // Parity of an all-zero group is zero.
+    committed.header.parity_state = ParityState::kCommitted;
+    committed.header.timestamp = NextTimestamp();
+    RDA_RETURN_IF_ERROR(array_->WriteParity(g, 0, committed));
+    if (array_->layout().parity_copies() == 2) {
+      PageImage obsolete(page_size);
+      obsolete.header.parity_state = ParityState::kObsolete;
+      obsolete.header.timestamp = 0;
+      RDA_RETURN_IF_ERROR(array_->WriteParity(g, 1, obsolete));
+    }
+    directory_.MarkClean(g, 0);
+  }
+  directory_valid_ = true;
+  return Status::Ok();
+}
+
+bool TwinParityManager::LocationHealthy(const PhysicalLocation& loc) const {
+  return !array_->DiskFailed(loc.disk);
+}
+
+bool TwinParityManager::FullyHealthyForUnlogged(PageId page) const {
+  const Layout& layout = array_->layout();
+  if (!LocationHealthy(layout.DataLocation(page))) {
+    return false;
+  }
+  const GroupId group = layout.GroupOf(page);
+  for (uint32_t t = 0; t < layout.parity_copies(); ++t) {
+    if (!LocationHealthy(layout.ParityLocation(group, t))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+PropagationKind TwinParityManager::Classify(PageId page, TxnId txn) const {
+  if (array_->layout().parity_copies() != 2 || txn == kInvalidTxnId ||
+      !directory_valid_ || !FullyHealthyForUnlogged(page)) {
+    return PropagationKind::kPlain;
+  }
+  const GroupState& g = directory_.Get(array_->layout().GroupOf(page));
+  if (!g.dirty) {
+    return PropagationKind::kUnloggedFirst;
+  }
+  if (g.dirty_page == page && g.dirty_txn == txn) {
+    return PropagationKind::kUnloggedRepeat;
+  }
+  return PropagationKind::kLoggedDirtyGroup;
+}
+
+Status TwinParityManager::ReadOldPayload(PageId page,
+                                         const std::vector<uint8_t>* hint,
+                                         std::vector<uint8_t>* out) {
+  if (hint != nullptr) {
+    if (hint->size() != array_->page_size()) {
+      return Status::InvalidArgument("old payload size mismatch");
+    }
+    *out = *hint;  // The model's a=3 case: old data available in memory.
+    return Status::Ok();
+  }
+  PageImage old_image;
+  Status status = array_->ReadData(page, &old_image);  // a=4 case.
+  if (status.IsIoError()) {
+    // Degraded mode: the page's disk is down; its content is implicit in
+    // the rest of the group.
+    RDA_ASSIGN_OR_RETURN(*out, ReconstructDataPayload(page));
+    return Status::Ok();
+  }
+  RDA_RETURN_IF_ERROR(status);
+  *out = std::move(old_image.payload);
+  return Status::Ok();
+}
+
+Status TwinParityManager::Propagate(PageId page, TxnId txn,
+                                    PropagationKind kind,
+                                    const std::vector<uint8_t>* old_payload,
+                                    const PageImage& new_image) {
+  if (!directory_valid_) {
+    return Status::FailedPrecondition("parity directory not available");
+  }
+  if (new_image.payload.size() != array_->page_size()) {
+    return Status::InvalidArgument("page payload size mismatch");
+  }
+  const GroupId group = array_->layout().GroupOf(page);
+  const GroupState& state = directory_.Get(group);
+
+  // Validate the caller's decision against the Figure 3 rule.
+  const bool unlogged = kind == PropagationKind::kUnloggedFirst ||
+                        kind == PropagationKind::kUnloggedRepeat;
+  if (unlogged) {
+    if (Classify(page, txn) != kind) {
+      return Status::FailedPrecondition(
+          "unlogged propagation not permitted for page " +
+          std::to_string(page));
+    }
+  } else if (state.dirty && kind == PropagationKind::kPlain) {
+    // A plain write into a dirty group (e.g. checkpoint propagation of
+    // committed data while another transaction keeps the group dirty) must
+    // keep BOTH twins in sync so the dirty page stays undoable.
+    kind = PropagationKind::kLoggedDirtyGroup;
+  } else if (!state.dirty && kind == PropagationKind::kLoggedDirtyGroup) {
+    kind = PropagationKind::kPlain;
+  }
+
+  std::vector<uint8_t> old_bytes;
+  RDA_RETURN_IF_ERROR(ReadOldPayload(page, old_payload, &old_bytes));
+
+  // delta = D_old xor D_new; every affected parity payload absorbs it.
+  std::vector<uint8_t> delta = std::move(old_bytes);
+  XorInto(delta.data(), new_image.payload.data(), delta.size());
+
+  switch (kind) {
+    case PropagationKind::kUnloggedFirst: {
+      ++stats_.unlogged_first;
+      PageImage parity;
+      RDA_RETURN_IF_ERROR(array_->ReadParity(group, state.valid_twin,
+                                             &parity));
+      XorInto(&parity.payload, delta);
+      parity.header.parity_state = ParityState::kWorking;
+      parity.header.txn_id = txn;
+      parity.header.timestamp = NextTimestamp();
+      parity.header.dirty_page = page;
+      const uint32_t working = OtherTwin(state.valid_twin);
+      RDA_RETURN_IF_ERROR(array_->WriteParity(group, working, parity));
+      directory_.MarkDirty(group, page, txn, working);
+      break;
+    }
+    case PropagationKind::kUnloggedRepeat: {
+      ++stats_.unlogged_repeat;
+      PageImage parity;
+      RDA_RETURN_IF_ERROR(
+          array_->ReadParity(group, state.working_twin, &parity));
+      XorInto(&parity.payload, delta);
+      parity.header.timestamp = NextTimestamp();
+      RDA_RETURN_IF_ERROR(
+          array_->WriteParity(group, state.working_twin, parity));
+      break;
+    }
+    case PropagationKind::kLoggedDirtyGroup: {
+      ++stats_.logged_dirty_group;
+      // XOR the same delta into both twins: P xor P' is unchanged, so the
+      // dirty page's parity undo stays exact (paper Section 4.1). In
+      // degraded mode a twin on a failed disk is skipped — it goes stale
+      // and is recomputed at rebuild time.
+      for (const uint32_t twin : {state.valid_twin, state.working_twin}) {
+        if (!LocationHealthy(
+                array_->layout().ParityLocation(group, twin))) {
+          continue;
+        }
+        PageImage parity;
+        RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &parity));
+        XorInto(&parity.payload, delta);
+        RDA_RETURN_IF_ERROR(array_->WriteParity(group, twin, parity));
+      }
+      break;
+    }
+    case PropagationKind::kPlain: {
+      ++stats_.plain;
+      if (LocationHealthy(
+              array_->layout().ParityLocation(group, state.valid_twin))) {
+        PageImage parity;
+        RDA_RETURN_IF_ERROR(
+            array_->ReadParity(group, state.valid_twin, &parity));
+        XorInto(&parity.payload, delta);
+        RDA_RETURN_IF_ERROR(
+            array_->WriteParity(group, state.valid_twin, parity));
+      }
+      break;
+    }
+  }
+
+  // Parity first, then data: a torn sequence leaves parity "ahead", which
+  // recovery repairs; the reverse order could lose undo coverage.
+  if (!LocationHealthy(array_->layout().DataLocation(page))) {
+    // Degraded write: the data disk is down, but the parity update above
+    // already encodes the new content — degraded reads reconstruct it and
+    // the rebuild materializes it. Reject only if the parity could not be
+    // updated either (that would silently drop the write).
+    if (state.dirty ||
+        LocationHealthy(
+            array_->layout().ParityLocation(group, state.valid_twin))) {
+      return Status::Ok();
+    }
+    return Status::IoError("write not durable: data disk and parity disk "
+                           "both unavailable");
+  }
+  return array_->WriteData(page, new_image);
+}
+
+Status TwinParityManager::FinalizeCommit(GroupId group, TxnId txn) {
+  if (!directory_valid_) {
+    return Status::FailedPrecondition("parity directory not available");
+  }
+  const GroupState& state = directory_.Get(group);
+  if (!state.dirty) {
+    return Status::Ok();  // Already finalized (idempotent for recovery).
+  }
+  if (state.dirty_txn != txn) {
+    return Status::FailedPrecondition(
+        "group " + std::to_string(group) + " dirty by another transaction");
+  }
+  if (!LocationHealthy(
+          array_->layout().ParityLocation(group, state.working_twin))) {
+    // Degraded finalize: the working twin's disk is down. The commit record
+    // is already stable (winners are rolled forward by recovery) and the
+    // rebuild recomputes the consistent twin from data, so the in-memory
+    // transition suffices.
+    directory_.MarkClean(group, state.working_twin);
+    ++stats_.commits_finalized;
+    return Status::Ok();
+  }
+  PageImage parity;
+  RDA_RETURN_IF_ERROR(array_->ReadParity(group, state.working_twin, &parity));
+  parity.header.parity_state = ParityState::kCommitted;
+  parity.header.timestamp = NextTimestamp();
+  RDA_RETURN_IF_ERROR(array_->WriteParity(group, state.working_twin, parity));
+  directory_.MarkClean(group, state.working_twin);
+  ++stats_.commits_finalized;
+  return Status::Ok();
+}
+
+Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
+                                                               TxnId txn) {
+  if (!directory_valid_) {
+    return Status::FailedPrecondition("parity directory not available");
+  }
+  const GroupState state = directory_.Get(group);
+  if (!state.dirty || state.dirty_txn != txn) {
+    return Status::FailedPrecondition("group " + std::to_string(group) +
+                                      " not dirty by transaction " +
+                                      std::to_string(txn));
+  }
+  ++stats_.parity_undos;
+
+  PageImage data;
+  Status data_status = array_->ReadData(state.dirty_page, &data);
+  const bool data_disk_down = data_status.IsIoError();
+  if (data_disk_down) {
+    // Degraded undo: the covered page's disk is down. Its current content
+    // is implicit in the WORKING twin; after invalidating that twin the
+    // group's valid parity makes degraded reads return the OLD content —
+    // the undo happens entirely in parity space.
+    RDA_ASSIGN_OR_RETURN(data.payload,
+                         ReconstructDataPayload(state.dirty_page));
+  } else {
+    RDA_RETURN_IF_ERROR(data_status);
+  }
+
+  ParityUndoResult result;
+  result.page = state.dirty_page;
+  result.overwritten_meta = LoadDataMeta(data.payload);
+
+  if (data_disk_down) {
+    PageImage working;
+    RDA_RETURN_IF_ERROR(
+        array_->ReadParity(group, state.working_twin, &working));
+    working.header.parity_state = ParityState::kInvalid;
+    working.header.txn_id = kInvalidTxnId;
+    working.header.dirty_page = kInvalidPageId;
+    RDA_RETURN_IF_ERROR(
+        array_->WriteParity(group, state.working_twin, working));
+    directory_.MarkClean(group, state.valid_twin);
+    RDA_ASSIGN_OR_RETURN(result.restored_payload,
+                         ReconstructDataPayload(state.dirty_page));
+    result.payload_restored = true;
+    return result;
+  }
+
+  if (result.overwritten_meta.txn_id == txn) {
+    // D_old = (P xor P') xor D_new (paper Figure 6). The embedded metadata
+    // (pageLSN, chain link) of the old image comes back byte-exactly.
+    PageImage valid;
+    PageImage working;
+    RDA_RETURN_IF_ERROR(array_->ReadParity(group, state.valid_twin, &valid));
+    RDA_RETURN_IF_ERROR(
+        array_->ReadParity(group, state.working_twin, &working));
+    PageImage restored(array_->page_size());
+    restored.payload = valid.payload;
+    XorInto(&restored.payload, working.payload);
+    XorInto(&restored.payload, data.payload);
+    RDA_RETURN_IF_ERROR(array_->WriteData(state.dirty_page, restored));
+    result.payload_restored = true;
+    result.restored_payload = std::move(restored.payload);
+
+    working.header.parity_state = ParityState::kInvalid;
+    working.header.txn_id = kInvalidTxnId;
+    working.header.dirty_page = kInvalidPageId;
+    RDA_RETURN_IF_ERROR(
+        array_->WriteParity(group, state.working_twin, working));
+  } else {
+    // The data page no longer carries the transaction's stamp: the restore
+    // already happened (crash during a previous undo). Re-invalidate the
+    // working twin only.
+    PageImage working;
+    RDA_RETURN_IF_ERROR(
+        array_->ReadParity(group, state.working_twin, &working));
+    working.header.parity_state = ParityState::kInvalid;
+    working.header.txn_id = kInvalidTxnId;
+    working.header.dirty_page = kInvalidPageId;
+    RDA_RETURN_IF_ERROR(
+        array_->WriteParity(group, state.working_twin, working));
+  }
+
+  directory_.MarkClean(group, state.valid_twin);
+  return result;
+}
+
+Status TwinParityManager::ApplyLoggedUndo(PageId page,
+                                          const std::vector<uint8_t>& before) {
+  if (!directory_valid_) {
+    return Status::FailedPrecondition("parity directory not available");
+  }
+  if (before.size() != array_->page_size()) {
+    return Status::InvalidArgument("before-image size mismatch");
+  }
+  ++stats_.logged_undos;
+  PageImage restored(array_->page_size());
+  restored.payload = before;
+  // Reuse Propagate's parity maintenance; inside a dirty group both twins
+  // absorb the delta, preserving P xor P' for the covered page.
+  return Propagate(page, kInvalidTxnId, PropagationKind::kPlain,
+                   /*old_payload=*/nullptr, restored);
+}
+
+Result<std::vector<uint8_t>> TwinParityManager::ReconstructDataPayload(
+    PageId page) {
+  if (!directory_valid_) {
+    return Status::FailedPrecondition("parity directory not available");
+  }
+  const Layout& layout = array_->layout();
+  const GroupId group = layout.GroupOf(page);
+  const GroupState& state = directory_.Get(group);
+  const uint32_t twin = state.dirty ? state.working_twin : state.valid_twin;
+  PageImage parity;
+  RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &parity));
+  std::vector<uint8_t> payload = std::move(parity.payload);
+  for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
+    const PageId sibling = layout.PageAt(group, i);
+    if (sibling == page) {
+      continue;
+    }
+    PageImage data;
+    RDA_RETURN_IF_ERROR(array_->ReadData(sibling, &data));
+    XorInto(&payload, data.payload);
+  }
+  return payload;
+}
+
+Result<TwinParityManager::GroupRebuildOutcome>
+TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
+  if (!directory_valid_) {
+    return Status::FailedPrecondition("parity directory not available");
+  }
+  GroupRebuildOutcome outcome;
+  const Layout& layout = array_->layout();
+  const GroupState state = directory_.Get(group);
+  const uint32_t copies = layout.parity_copies();
+  const uint32_t consistent_twin =
+      state.dirty ? state.working_twin : state.valid_twin;
+
+  // Lost data page?
+  for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
+    const PageId page = layout.PageAt(group, i);
+    if (layout.DataLocation(page).disk != disk) {
+      continue;
+    }
+    RDA_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                         ReconstructDataPayload(page));
+    PageImage image(0);
+    image.payload = std::move(payload);
+    RDA_RETURN_IF_ERROR(array_->WriteData(page, image));
+    ++outcome.data_rebuilt;
+    return outcome;
+  }
+
+  // Lost parity twin?
+  for (uint32_t t = 0; t < copies; ++t) {
+    if (layout.ParityLocation(group, t).disk != disk) {
+      continue;
+    }
+    if (t == consistent_twin) {
+      // Recompute the consistent parity from the (surviving) data pages.
+      PageImage parity(array_->page_size());
+      for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
+        PageImage data;
+        RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &data));
+        XorInto(&parity.payload, data.payload);
+      }
+      if (state.dirty) {
+        parity.header.parity_state = ParityState::kWorking;
+        parity.header.txn_id = state.dirty_txn;
+        parity.header.dirty_page = state.dirty_page;
+      } else {
+        parity.header.parity_state = ParityState::kCommitted;
+      }
+      parity.header.timestamp = NextTimestamp();
+      RDA_RETURN_IF_ERROR(array_->WriteParity(group, t, parity));
+      ++outcome.parity_rebuilt;
+      return outcome;
+    }
+    if (!state.dirty) {
+      // Stale obsolete twin: its content is not needed; reset it.
+      PageImage obsolete(array_->page_size());
+      obsolete.header.parity_state = ParityState::kObsolete;
+      RDA_RETURN_IF_ERROR(array_->WriteParity(group, t, obsolete));
+      ++outcome.obsolete_reset;
+      return outcome;
+    }
+    // Worst case: the OLD (valid) twin of a dirty group is gone — the
+    // before-state of the in-flight unlogged update is unrecoverable.
+    // Finalize the working twin so the group stays internally consistent
+    // and report the affected transaction to the caller.
+    outcome.undo_lost = true;
+    outcome.lost_txn = state.dirty_txn;
+    PageImage working;
+    RDA_RETURN_IF_ERROR(
+        array_->ReadParity(group, state.working_twin, &working));
+    working.header.parity_state = ParityState::kCommitted;
+    working.header.timestamp = NextTimestamp();
+    RDA_RETURN_IF_ERROR(
+        array_->WriteParity(group, state.working_twin, working));
+    PageImage obsolete(array_->page_size());
+    obsolete.header.parity_state = ParityState::kObsolete;
+    RDA_RETURN_IF_ERROR(array_->WriteParity(group, t, obsolete));
+    directory_.MarkClean(group, state.working_twin);
+    ++outcome.parity_rebuilt;
+    return outcome;
+  }
+  return outcome;  // This group lost nothing.
+}
+
+Status TwinParityManager::WriteFullGroup(
+    GroupId group, const std::vector<std::vector<uint8_t>>& payloads) {
+  if (!directory_valid_) {
+    return Status::FailedPrecondition("parity directory not available");
+  }
+  const Layout& layout = array_->layout();
+  if (payloads.size() != layout.data_pages_per_group()) {
+    return Status::InvalidArgument("full-stripe write needs every page");
+  }
+  const GroupState& state = directory_.Get(group);
+  if (state.dirty) {
+    return Status::FailedPrecondition(
+        "full-stripe write into a dirty group would destroy undo coverage");
+  }
+  PageImage parity(array_->page_size());
+  for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
+    if (payloads[i].size() != array_->page_size()) {
+      return Status::InvalidArgument("page payload size mismatch");
+    }
+    XorInto(&parity.payload, payloads[i]);
+  }
+  // Parity first (consistent with the small-write ordering), then data.
+  parity.header.parity_state = ParityState::kCommitted;
+  parity.header.timestamp = NextTimestamp();
+  RDA_RETURN_IF_ERROR(array_->WriteParity(group, state.valid_twin, parity));
+  for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
+    PageImage image(0);
+    image.payload = payloads[i];
+    RDA_RETURN_IF_ERROR(array_->WriteData(layout.PageAt(group, i), image));
+  }
+  return Status::Ok();
+}
+
+Status TwinParityManager::ScrubGroup(GroupId group) {
+  if (!directory_valid_) {
+    return Status::FailedPrecondition("parity directory not available");
+  }
+  const GroupState& state = directory_.Get(group);
+  if (state.dirty) {
+    return Status::FailedPrecondition("cannot scrub a dirty group");
+  }
+  PageImage parity(array_->page_size());
+  const Layout& layout = array_->layout();
+  for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
+    PageImage data;
+    RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &data));
+    XorInto(&parity.payload, data.payload);
+  }
+  parity.header.parity_state = ParityState::kCommitted;
+  parity.header.timestamp = NextTimestamp();
+  RDA_RETURN_IF_ERROR(array_->WriteParity(group, state.valid_twin, parity));
+  if (array_->layout().parity_copies() == 2) {
+    PageImage obsolete(array_->page_size());
+    obsolete.header.parity_state = ParityState::kObsolete;
+    RDA_RETURN_IF_ERROR(
+        array_->WriteParity(group, OtherTwin(state.valid_twin), obsolete));
+  }
+  return Status::Ok();
+}
+
+Result<bool> TwinParityManager::VerifyGroupParity(GroupId group) {
+  if (!directory_valid_) {
+    return Status::FailedPrecondition("parity directory not available");
+  }
+  const GroupState& state = directory_.Get(group);
+  const uint32_t twin = state.dirty ? state.working_twin : state.valid_twin;
+  PageImage expected(array_->page_size());
+  const Layout& layout = array_->layout();
+  for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
+    PageImage data;
+    RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &data));
+    XorInto(&expected.payload, data.payload);
+  }
+  PageImage parity;
+  RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &parity));
+  return expected.payload == parity.payload;
+}
+
+Status TwinParityManager::ReinitializeParityFromData() {
+  const Layout& layout = array_->layout();
+  for (GroupId g = 0; g < array_->num_groups(); ++g) {
+    PageImage parity(array_->page_size());
+    for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
+      PageImage data;
+      RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(g, i), &data));
+      XorInto(&parity.payload, data.payload);
+    }
+    parity.header.parity_state = ParityState::kCommitted;
+    parity.header.timestamp = NextTimestamp();
+    RDA_RETURN_IF_ERROR(array_->WriteParity(g, 0, parity));
+    if (layout.parity_copies() == 2) {
+      PageImage obsolete(array_->page_size());
+      obsolete.header.parity_state = ParityState::kObsolete;
+      RDA_RETURN_IF_ERROR(array_->WriteParity(g, 1, obsolete));
+    }
+    directory_.MarkClean(g, 0);
+  }
+  directory_valid_ = true;
+  return Status::Ok();
+}
+
+Status TwinParityManager::RebuildDirectory() {
+  ParityTimestamp max_seen = 0;
+  for (GroupId g = 0; g < array_->num_groups(); ++g) {
+    PageImage twins[2];
+    const uint32_t copies = array_->layout().parity_copies();
+    for (uint32_t t = 0; t < copies; ++t) {
+      RDA_RETURN_IF_ERROR(array_->ReadParity(g, t, &twins[t]));
+      max_seen = std::max(max_seen, twins[t].header.timestamp);
+    }
+    if (copies == 1) {
+      directory_.MarkClean(g, 0);
+      continue;
+    }
+    // Current_Parity (paper Figure 7): the committed twin with the highest
+    // timestamp is valid. A WORKING twin marks the group dirty; its header
+    // tells which page and transaction it covers.
+    uint32_t valid = 0;
+    bool have_valid = false;
+    for (uint32_t t = 0; t < 2; ++t) {
+      const ParityState st = twins[t].header.parity_state;
+      if (st != ParityState::kCommitted && st != ParityState::kObsolete) {
+        continue;
+      }
+      if (!have_valid ||
+          twins[t].header.timestamp > twins[valid].header.timestamp) {
+        valid = t;
+        have_valid = true;
+      }
+    }
+    if (!have_valid) {
+      return Status::Corruption("group " + std::to_string(g) +
+                                " has no committed parity twin");
+    }
+    directory_.MarkClean(g, valid);
+    for (uint32_t t = 0; t < 2; ++t) {
+      if (twins[t].header.parity_state == ParityState::kWorking) {
+        directory_.MarkDirty(g, twins[t].header.dirty_page,
+                             twins[t].header.txn_id, t);
+      }
+    }
+  }
+  timestamp_ = max_seen;
+  directory_valid_ = true;
+  return Status::Ok();
+}
+
+void TwinParityManager::LoseVolatileState() {
+  directory_ = DirtySet(array_->num_groups());
+  directory_valid_ = false;
+  timestamp_ = 0;
+}
+
+}  // namespace rda

@@ -1,0 +1,215 @@
+#ifndef RDA_PARITY_TWIN_PARITY_MANAGER_H_
+#define RDA_PARITY_TWIN_PARITY_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "parity/dirty_set.h"
+#include "storage/data_page_meta.h"
+#include "storage/disk_array.h"
+
+namespace rda {
+
+// How a write of a data page must be propagated to the array — the outcome
+// of the paper's Figure 3 decision rule plus the "no active transaction"
+// case.
+enum class PropagationKind {
+  // Group is clean and the writer is an active transaction: the update may
+  // be propagated WITHOUT an UNDO before-image; the group becomes dirty and
+  // the obsolete twin receives the new (working) parity.
+  kUnloggedFirst,
+  // Group is dirty by the same (page, transaction): the page was stolen,
+  // re-referenced, modified and stolen again before EOT. Still no UNDO
+  // logging; the working twin is updated in place (the other twin keeps the
+  // pre-transaction parity, so P xor P' still equals D_old xor D_new).
+  kUnloggedRepeat,
+  // Group is dirty by a different page or transaction: the caller MUST have
+  // logged a before-image first. Both twins are XOR-updated so the undo
+  // invariant of the dirty page is preserved (paper Section 4.1: "both P
+  // and P' need to be updated").
+  kLoggedDirtyGroup,
+  // Plain redundant-array small write, no undo coverage needed: committed
+  // data propagation, REDO during recovery, or RDA recovery disabled. The
+  // valid twin is XOR-updated in place.
+  kPlain,
+};
+
+// Outcome of a parity-based undo (UndoUnloggedUpdate).
+struct ParityUndoResult {
+  // The data page that was (or had already been) restored.
+  PageId page = kInvalidPageId;
+  // False when the undo had already happened (idempotent re-run after a
+  // crash during a previous undo) and only the twin invalidation was redone.
+  bool payload_restored = false;
+  // The restored on-disk payload; set iff payload_restored. Callers use it
+  // to repair buffer-frame snapshots without an extra read.
+  std::vector<uint8_t> restored_payload;
+  // Embedded metadata of the OVERWRITTEN (undone) image — its chain_prev
+  // link lets recovery walk the TWIST chain.
+  DataPageMeta overwritten_meta;
+};
+
+// Statistics of interest to the evaluation (counts of decision outcomes).
+struct ParityStats {
+  uint64_t unlogged_first = 0;
+  uint64_t unlogged_repeat = 0;
+  uint64_t logged_dirty_group = 0;
+  uint64_t plain = 0;
+  uint64_t parity_undos = 0;
+  uint64_t logged_undos = 0;
+  uint64_t commits_finalized = 0;  // Groups finalized at EOT.
+};
+
+// The twin-page parity manager: owns the parity semantics of the array —
+// XOR maintenance on every data write, the group state machine (Figure 3),
+// the parity-page state machine (Figure 8), Current_Parity selection after
+// a crash (Figure 7), parity-based UNDO (Figure 6: D_old = (P xor P') xor
+// D_new) and parity recomputation ("scrub") utilities used by tests and
+// media recovery.
+//
+// Atomicity model: one call (e.g. Propagate) performs up to ~5 page I/Os;
+// the simulator treats a call as crash-atomic. Crash injection happens
+// between calls — the windows the paper's protocol actually has to handle
+// (between propagation and EOT, between EOT and twin finalization, during
+// multi-group abort/commit). Real controllers close the intra-operation
+// window with NVRAM write journaling; see DESIGN.md.
+class TwinParityManager {
+ public:
+  // `array` must outlive the manager and have parity_copies() == 2 for the
+  // twin scheme (1 is allowed; then only kPlain propagation is legal and
+  // Classify never returns an unlogged kind — used by ablation benches).
+  explicit TwinParityManager(DiskArray* array);
+
+  TwinParityManager(const TwinParityManager&) = delete;
+  TwinParityManager& operator=(const TwinParityManager&) = delete;
+
+  // Formats the array: zeroed data, twin 0 = committed parity of the zeroed
+  // group, twin 1 obsolete. Resets the directory.
+  Status FormatArray();
+
+  // Decides how a steal of `page` by active transaction `txn` must be
+  // handled. Never performs I/O. With parity_copies()==1, txn==kInvalid, or
+  // a failed disk under the page or either twin (degraded mode: undo
+  // coverage cannot be guaranteed), returns kPlain (caller must log if the
+  // data is uncommitted).
+  PropagationKind Classify(PageId page, TxnId txn) const;
+
+  // Full-stripe write (paper Section 3.1's "large accesses"): replaces
+  // every data page of a CLEAN group and installs freshly computed
+  // committed parity — N+1 page writes, no reads, versus N read-modify-
+  // write cycles. For committed data only (bulk load); payloads must embed
+  // their DataPageMeta already.
+  Status WriteFullGroup(GroupId group,
+                        const std::vector<std::vector<uint8_t>>& payloads);
+
+  // Propagates a data page to the array with parity maintenance per `kind`.
+  // Data-page metadata (txn stamp, pageLSN, chain link) is embedded in
+  // new_image.payload by the caller (storage/data_page_meta.h).
+  // `old_payload` is the current on-disk payload if the caller has it
+  // buffered (saves the a=4 vs a=3 read of the model); pass nullptr to let
+  // the manager read it. Kind must match Classify's verdict for active
+  // transactions (checked; returns kFailedPrecondition otherwise).
+  Status Propagate(PageId page, TxnId txn, PropagationKind kind,
+                   const std::vector<uint8_t>* old_payload,
+                   const PageImage& new_image);
+
+  // EOT finalization for one group dirtied by `txn`: the working twin is
+  // committed (header state -> kCommitted, fresh timestamp) and becomes the
+  // valid twin; the group becomes clean. Read-modify-write of one parity
+  // page — the model's "2 p_l" term. Idempotent: finalizing a clean group
+  // whose valid twin already committed is a no-op.
+  Status FinalizeCommit(GroupId group, TxnId txn);
+
+  // Parity-based UNDO of the unlogged update covering `group` (must be
+  // dirty by `txn`): restores D_old = P_valid xor P_working xor D_current
+  // (paper Figure 6) — including the embedded DataPageMeta, so pageLSN and
+  // chain links come back exactly — invalidates the working twin and cleans
+  // the group. Idempotent: if the data page no longer carries txn's stamp,
+  // only the twin invalidation is (re)applied.
+  Result<ParityUndoResult> UndoUnloggedUpdate(GroupId group, TxnId txn);
+
+  // Log-based UNDO: restores the full `before` payload (embedded metadata
+  // included) into `page` with parity maintenance (both twins if the group
+  // is dirty, else the valid twin).
+  Status ApplyLoggedUndo(PageId page, const std::vector<uint8_t>& before);
+
+  // Outcome of rebuilding one group's member lost to a disk failure.
+  struct GroupRebuildOutcome {
+    uint32_t data_rebuilt = 0;
+    uint32_t parity_rebuilt = 0;
+    uint32_t obsolete_reset = 0;
+    // Set when the lost page was the OLD (valid) twin of a dirty group: the
+    // in-flight unlogged update of `lost_txn` can no longer be undone. The
+    // working twin is finalized so the group stays consistent.
+    bool undo_lost = false;
+    TxnId lost_txn = kInvalidTxnId;
+  };
+
+  // Rebuilds the (at most one — group members sit on distinct disks) page
+  // of `group` that lived on `disk`, which must already have been replaced
+  // with a fresh medium. Data pages come back as XOR(siblings, consistent
+  // twin); a lost consistent twin is recomputed from data; a lost obsolete
+  // twin is reset.
+  Result<GroupRebuildOutcome> RebuildGroupMember(GroupId group, DiskId disk);
+
+  // Degraded-mode read: reconstructs (without writing) the payload of
+  // `page` — whose disk may have failed — by XORing the other data pages of
+  // its group with the parity twin that is consistent with on-disk data
+  // (the working twin of a dirty group, else the valid twin).
+  Result<std::vector<uint8_t>> ReconstructDataPayload(PageId page);
+
+  // Recomputes the parity of `group` from its data pages and installs it as
+  // the committed parity in the current valid twin slot (other twin becomes
+  // obsolete). Used by tests, media recovery and post-crash scrubbing.
+  // Precondition: group must be clean.
+  Status ScrubGroup(GroupId group);
+
+  // Reads all data pages and the valid parity of `group` and reports whether
+  // XOR(data) == parity. I/O-counted like any other access.
+  Result<bool> VerifyGroupParity(GroupId group);
+
+  // Recomputes every group's parity from the on-disk data pages, installs
+  // it as committed parity in twin 0 (twin 1 reset to obsolete) and resets
+  // the directory to all-clean. Used by catastrophic (archive) restore,
+  // where the parity pages themselves are untrustworthy.
+  Status ReinitializeParityFromData();
+
+  // Rebuilds the volatile directory after a crash by reading both twin
+  // headers of every group (the S/N-term of the paper's c'_s): valid twin =
+  // committed twin with the highest timestamp; a working twin marks the
+  // group dirty by (header.dirty_page, header.txn_id). Also restores the
+  // timestamp counter.
+  Status RebuildDirectory();
+
+  // Drops all volatile state (simulates the crash itself). The directory
+  // becomes unusable until RebuildDirectory().
+  void LoseVolatileState();
+
+  const DirtySet& directory() const { return directory_; }
+  DiskArray* array() { return array_; }
+  const ParityStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ParityStats(); }
+
+ private:
+  uint32_t OtherTwin(uint32_t twin) const { return 1 - twin; }
+  bool LocationHealthy(const PhysicalLocation& loc) const;
+  // Data disk and both twin disks of `page`'s group are functional, so an
+  // unlogged steal retains full undo + media coverage.
+  bool FullyHealthyForUnlogged(PageId page) const;
+  ParityTimestamp NextTimestamp() { return ++timestamp_; }
+
+  Status ReadOldPayload(PageId page, const std::vector<uint8_t>* hint,
+                        std::vector<uint8_t>* out);
+
+  DiskArray* array_;
+  DirtySet directory_;
+  ParityTimestamp timestamp_ = 0;
+  bool directory_valid_ = false;
+  ParityStats stats_;
+};
+
+}  // namespace rda
+
+#endif  // RDA_PARITY_TWIN_PARITY_MANAGER_H_

@@ -1,0 +1,66 @@
+#include "recovery/archive.h"
+
+#include <utility>
+
+namespace rda {
+
+Status ArchiveManager::TakeArchive(bool truncate_log) {
+  if (!txn_manager_->ActiveTxns().empty()) {
+    return Status::FailedPrecondition(
+        "archive requires a quiescent point (no active transactions)");
+  }
+  // Make the on-disk state complete: propagate committed-but-buffered
+  // pages, then force the log.
+  RDA_RETURN_IF_ERROR(txn_manager_->pool()->PropagateAllDirty());
+  RDA_RETURN_IF_ERROR(log_->Flush());
+
+  DiskArray* array = parity_->array();
+  std::vector<std::vector<uint8_t>> snapshot;
+  snapshot.reserve(array->num_data_pages());
+  for (PageId page = 0; page < array->num_data_pages(); ++page) {
+    PageImage image;
+    RDA_RETURN_IF_ERROR(array->ReadData(page, &image));
+    snapshot.push_back(std::move(image.payload));
+  }
+  snapshot_ = std::move(snapshot);
+  archive_lsn_ = log_->flushed_lsn();
+
+  if (truncate_log) {
+    // Everything before the archive point is now recoverable from the
+    // archive alone: all earlier transactions are finished and their pages
+    // were just propagated.
+    RDA_RETURN_IF_ERROR(log_->Truncate(archive_lsn_));
+  }
+  return Status::Ok();
+}
+
+Result<CrashRecoveryReport> ArchiveManager::RestoreFromArchive() {
+  if (!HasArchive()) {
+    return Status::FailedPrecondition("no archive has been taken");
+  }
+  DiskArray* array = parity_->array();
+  // Fresh media for every failed disk.
+  for (DiskId disk = 0; disk < array->num_disks(); ++disk) {
+    if (array->DiskFailed(disk)) {
+      RDA_RETURN_IF_ERROR(array->ReplaceDisk(disk));
+    }
+  }
+  // All volatile state is void after a catastrophe.
+  txn_manager_->LoseVolatileState();
+  parity_->LoseVolatileState();
+  log_->LoseVolatileState();
+
+  for (PageId page = 0; page < array->num_data_pages(); ++page) {
+    PageImage image(0);
+    image.payload = snapshot_[page];
+    RDA_RETURN_IF_ERROR(array->WriteData(page, image));
+  }
+  RDA_RETURN_IF_ERROR(parity_->ReinitializeParityFromData());
+
+  // Roll forward the work committed since the archive; restart recovery's
+  // pageLSN checks make replaying from the (truncated) log start safe.
+  CrashRecovery recovery(txn_manager_, parity_, log_);
+  return recovery.Recover();
+}
+
+}  // namespace rda

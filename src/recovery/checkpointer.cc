@@ -1,0 +1,21 @@
+#include "recovery/checkpointer.h"
+
+#include <utility>
+
+#include "wal/log_record.h"
+
+namespace rda {
+
+Status Checkpointer::TakeCheckpoint() {
+  RDA_RETURN_IF_ERROR(txn_manager_->pool()->PropagateAllDirty());
+  LogRecord record;
+  record.type = LogRecordType::kCheckpoint;
+  record.active_txns = txn_manager_->ActiveTxns();
+  RDA_ASSIGN_OR_RETURN(const Lsn lsn, log_->Append(std::move(record)));
+  RDA_RETURN_IF_ERROR(log_->Flush());
+  last_checkpoint_lsn_ = lsn;
+  ++checkpoints_taken_;
+  return Status::Ok();
+}
+
+}  // namespace rda

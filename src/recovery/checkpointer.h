@@ -1,0 +1,46 @@
+#ifndef RDA_RECOVERY_CHECKPOINTER_H_
+#define RDA_RECOVERY_CHECKPOINTER_H_
+
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/transaction_manager.h"
+#include "wal/log_manager.h"
+
+namespace rda {
+
+// Checkpoint disciplines (paper Section 2, "Checkpointing Schemes"):
+//  * TOC (transaction-oriented): equivalent to the FORCE discipline — every
+//    commit propagates the transaction's pages, so no separate checkpoint
+//    operation exists. TakeCheckpoint() is a no-op in that configuration.
+//  * ACC (action-consistent): periodically propagate every modified buffer
+//    page (a quiescent point between update actions) and log a checkpoint
+//    record naming the transactions then active. Bounds REDO work after a
+//    crash.
+class Checkpointer {
+ public:
+  Checkpointer(TransactionManager* txn_manager, LogManager* log)
+      : txn_manager_(txn_manager), log_(log) {}
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  // Takes an action-consistent checkpoint: propagates all dirty buffer
+  // frames (uncommitted ones follow the Figure 3 steal rule — this is where
+  // ACC algorithms harvest unlogged propagations), then appends and flushes
+  // a kCheckpoint record.
+  Status TakeCheckpoint();
+
+  // LSN of the most recent completed checkpoint, or kInvalidLsn.
+  Lsn last_checkpoint_lsn() const { return last_checkpoint_lsn_; }
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+
+ private:
+  TransactionManager* txn_manager_;
+  LogManager* log_;
+  Lsn last_checkpoint_lsn_ = kInvalidLsn;
+  uint64_t checkpoints_taken_ = 0;
+};
+
+}  // namespace rda
+
+#endif  // RDA_RECOVERY_CHECKPOINTER_H_

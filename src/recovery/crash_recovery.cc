@@ -1,0 +1,229 @@
+#include "recovery/crash_recovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "storage/data_page_meta.h"
+#include "txn/record_page.h"
+#include "wal/log_record.h"
+
+namespace rda {
+
+Status CrashRecovery::ConsumeFaultBudget() {
+  if (!fault_armed_) {
+    return Status::Ok();
+  }
+  if (fault_budget_ == 0) {
+    return Status::Aborted("injected crash during recovery");
+  }
+  --fault_budget_;
+  return Status::Ok();
+}
+
+Status CrashRecovery::RedoAfterImage(const LogRecord& record,
+                                     CrashRecoveryReport* report) {
+  PageImage current;
+  RDA_RETURN_IF_ERROR(parity_->array()->ReadData(record.page, &current));
+  const DataPageMeta disk_meta = LoadDataMeta(current.payload);
+
+  PageImage restored(0);
+  DataPageMeta meta;
+  if (!record.record_granular) {
+    // Whole-page image: the captured payload embeds the pageLSN it
+    // represents, so the skip test compares captured vs on-disk pageLSN —
+    // a FORCEd page whose latest image already reached the disk is left
+    // alone.
+    const DataPageMeta captured = LoadDataMeta(record.after);
+    if (captured.page_lsn <= disk_meta.page_lsn) {
+      ++report->redo_skipped;
+      return Status::Ok();
+    }
+    restored.payload = record.after;
+    meta = captured;
+  } else {
+    // Record-granular image: page-level LSN gating, replay in log order.
+    if (record.lsn <= disk_meta.page_lsn) {
+      ++report->redo_skipped;
+      return Status::Ok();
+    }
+    restored.payload = current.payload;
+    RecordPageView view(&restored.payload,
+                        txn_manager_->config().record_size);
+    RDA_RETURN_IF_ERROR(view.Write(record.slot, record.after));
+    meta = LoadDataMeta(restored.payload);
+    meta.page_lsn = record.lsn;
+  }
+  meta.txn_id = kInvalidTxnId;
+  meta.chain_prev = kInvalidPageId;
+  StoreDataMeta(meta, &restored.payload);
+
+  RDA_RETURN_IF_ERROR(parity_->Propagate(record.page, kInvalidTxnId,
+                                         PropagationKind::kPlain,
+                                         &current.payload, restored));
+  ++report->redo_applied;
+  return Status::Ok();
+}
+
+Result<CrashRecoveryReport> CrashRecovery::Recover() {
+  CrashRecoveryReport report;
+
+  // Phase 1: Current_Parity — rebuild the volatile parity directory.
+  RDA_RETURN_IF_ERROR(parity_->RebuildDirectory());
+
+  // Phase 2: analysis.
+  std::vector<LogRecord> records;
+  RDA_RETURN_IF_ERROR(log_->Scan(0, &records));
+  std::unordered_set<TxnId> seen;
+  std::unordered_set<TxnId> finished;  // Committed or abort-complete.
+  std::unordered_set<TxnId> winners;
+  TxnId max_txn = 0;
+  for (const LogRecord& record : records) {
+    if (record.txn != kInvalidTxnId) {
+      seen.insert(record.txn);
+      max_txn = std::max(max_txn, record.txn);
+    }
+    switch (record.type) {
+      case LogRecordType::kCommit:
+        winners.insert(record.txn);
+        finished.insert(record.txn);
+        break;
+      case LogRecordType::kAbortComplete:
+        finished.insert(record.txn);
+        break;
+      default:
+        break;
+    }
+  }
+  std::unordered_set<TxnId> losers;
+  for (const TxnId txn : seen) {
+    if (!finished.contains(txn)) {
+      losers.insert(txn);
+    }
+  }
+  // A dirty group whose owner never reached the log (BOT flushed with the
+  // first propagation, so this is defensive) is a loser as well.
+  for (const GroupId group : parity_->directory().AllDirtyGroups()) {
+    const GroupState& state = parity_->directory().Get(group);
+    if (!winners.contains(state.dirty_txn)) {
+      losers.insert(state.dirty_txn);
+    }
+  }
+
+  report.winners.assign(winners.begin(), winners.end());
+  std::sort(report.winners.begin(), report.winners.end());
+  report.losers.assign(losers.begin(), losers.end());
+  std::sort(report.losers.begin(), report.losers.end());
+
+  // Phase 3: roll forward twin finalization for winners (crash landed
+  // between the commit record and FinalizeCommit).
+  for (const GroupId group : parity_->directory().AllDirtyGroups()) {
+    const GroupState& state = parity_->directory().Get(group);
+    if (winners.contains(state.dirty_txn)) {
+      RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+      RDA_RETURN_IF_ERROR(parity_->FinalizeCommit(group, state.dirty_txn));
+      ++report.groups_finalized;
+    }
+  }
+
+  // Phase 4a: audit-walk the TWIST chains of losers (the paper's mechanism
+  // for identifying pages propagated without UNDO logging). The chain
+  // heads are the dirty pages recorded in the rebuilt parity directory;
+  // each page's embedded chain_prev link leads to the transaction's
+  // previously unlogged page. The directory is authoritative — the walk
+  // cross-checks it and feeds the report.
+  {
+    std::unordered_set<PageId> visited;
+    for (const GroupId group : parity_->directory().AllDirtyGroups()) {
+      const GroupState& state = parity_->directory().Get(group);
+      if (!losers.contains(state.dirty_txn)) {
+        continue;
+      }
+      PageId cursor = state.dirty_page;
+      while (cursor != kInvalidPageId && visited.insert(cursor).second) {
+        PageImage data;
+        RDA_RETURN_IF_ERROR(parity_->array()->ReadData(cursor, &data));
+        const DataPageMeta meta = LoadDataMeta(data.payload);
+        if (meta.txn_id != state.dirty_txn) {
+          break;  // Chain tail (or a page already undone).
+        }
+        ++report.chain_pages_walked;
+        cursor = meta.chain_prev;
+      }
+    }
+  }
+
+  // Phase 4b: logged before-images of losers, reverse LSN order. These go
+  // FIRST: a before-image from a later steal can contain the loser's own
+  // bytes from an earlier unlogged steal; the parity undo below cancels
+  // exactly that unlogged delta, so it must run last (DESIGN.md 4.3).
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    const LogRecord& record = *it;
+    if (record.type != LogRecordType::kBeforeImage ||
+        !losers.contains(record.txn)) {
+      continue;
+    }
+    RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+    if (!record.record_granular) {
+      RDA_RETURN_IF_ERROR(parity_->ApplyLoggedUndo(record.page,
+                                                   record.before));
+    } else {
+      PageImage current;
+      RDA_RETURN_IF_ERROR(parity_->array()->ReadData(record.page, &current));
+      std::vector<uint8_t> payload = std::move(current.payload);
+      RecordPageView view(&payload, txn_manager_->config().record_size);
+      RDA_RETURN_IF_ERROR(view.Write(record.slot, record.before));
+      DataPageMeta meta = LoadDataMeta(payload);
+      const GroupState& undo_group = parity_->directory().Get(
+          parity_->array()->layout().GroupOf(record.page));
+      if (!(undo_group.dirty && undo_group.dirty_page == record.page)) {
+        // Keep the covering transaction's stamp so the parity undo of
+        // phase 4c still recognizes its work.
+        meta.txn_id = kInvalidTxnId;
+      }
+      meta.page_lsn = 0;  // Mixed state: let REDO replay decide per record.
+      StoreDataMeta(meta, &payload);
+      RDA_RETURN_IF_ERROR(parity_->ApplyLoggedUndo(record.page, payload));
+    }
+    ++report.logged_undos;
+  }
+
+  // Phase 4c: parity-undo every dirty group owned by a loser.
+  for (const GroupId group : parity_->directory().AllDirtyGroups()) {
+    const GroupState& state = parity_->directory().Get(group);
+    if (!losers.contains(state.dirty_txn)) {
+      continue;
+    }
+    RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+    RDA_RETURN_IF_ERROR(
+        parity_->UndoUnloggedUpdate(group, state.dirty_txn).status());
+    ++report.parity_undos;
+  }
+
+  // Phase 5: REDO committed after-images in LSN order (records is already
+  // LSN-ordered). The pageLSN check skips work already on disk.
+  for (const LogRecord& record : records) {
+    if (record.type != LogRecordType::kAfterImage ||
+        !winners.contains(record.txn)) {
+      continue;
+    }
+    RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+    RDA_RETURN_IF_ERROR(RedoAfterImage(record, &report));
+  }
+
+  // Phase 6: mark losers resolved so a crash during the next epoch does not
+  // re-undo them.
+  for (const TxnId txn : report.losers) {
+    LogRecord done;
+    done.type = LogRecordType::kAbortComplete;
+    done.txn = txn;
+    RDA_RETURN_IF_ERROR(log_->Append(std::move(done)).status());
+  }
+  RDA_RETURN_IF_ERROR(log_->Flush());
+
+  txn_manager_->BumpNextTxnId(max_txn + 1);
+  return report;
+}
+
+}  // namespace rda

@@ -1,0 +1,40 @@
+#include "recovery/media_recovery.h"
+
+#include <algorithm>
+
+namespace rda {
+
+Result<MediaRecoveryReport> MediaRecovery::RebuildDisk(DiskId disk) {
+  DiskArray* array = parity_->array();
+  if (!array->DiskFailed(disk)) {
+    return Status::InvalidArgument("disk is not failed");
+  }
+  if (array->NumFailedDisks() != 1) {
+    return Status::FailedPrecondition(
+        "single-failure model: more than one disk is down");
+  }
+
+  MediaRecoveryReport report;
+  report.disk = disk;
+  RDA_RETURN_IF_ERROR(array->ReplaceDisk(disk));
+
+  for (GroupId group = 0; group < array->num_groups(); ++group) {
+    RDA_ASSIGN_OR_RETURN(TwinParityManager::GroupRebuildOutcome outcome,
+                         parity_->RebuildGroupMember(group, disk));
+    report.data_pages_rebuilt += outcome.data_rebuilt;
+    report.parity_pages_rebuilt += outcome.parity_rebuilt;
+    report.obsolete_twins_reset += outcome.obsolete_reset;
+    if (outcome.undo_lost) {
+      report.undo_coverage_lost.push_back(outcome.lost_txn);
+    }
+  }
+  std::sort(report.undo_coverage_lost.begin(),
+            report.undo_coverage_lost.end());
+  report.undo_coverage_lost.erase(
+      std::unique(report.undo_coverage_lost.begin(),
+                  report.undo_coverage_lost.end()),
+      report.undo_coverage_lost.end());
+  return report;
+}
+
+}  // namespace rda

@@ -1,0 +1,48 @@
+#ifndef RDA_RECOVERY_MEDIA_RECOVERY_H_
+#define RDA_RECOVERY_MEDIA_RECOVERY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "parity/twin_parity_manager.h"
+
+namespace rda {
+
+// What a disk rebuild did.
+struct MediaRecoveryReport {
+  DiskId disk = kInvalidDiskId;
+  uint32_t data_pages_rebuilt = 0;
+  uint32_t parity_pages_rebuilt = 0;
+  uint32_t obsolete_twins_reset = 0;
+  // Transactions whose in-flight unlogged update lost its undo coverage
+  // because the failed disk held the OLD (valid) parity twin of a dirty
+  // group. Their data survives, but they can no longer be rolled back —
+  // the documented limit of the twin-page scheme under a worst-case single
+  // disk failure. The caller must resolve them (force-commit or accept
+  // kDataLoss on abort).
+  std::vector<TxnId> undo_coverage_lost;
+};
+
+// Media recovery (the classic redundant-array pay-off the paper builds on):
+// rebuilds a single failed disk from the surviving members of each parity
+// group. Data pages are recovered as XOR(other data pages, consistent
+// parity); lost parity twins are recomputed from data.
+class MediaRecovery {
+ public:
+  explicit MediaRecovery(TwinParityManager* parity) : parity_(parity) {}
+
+  MediaRecovery(const MediaRecovery&) = delete;
+  MediaRecovery& operator=(const MediaRecovery&) = delete;
+
+  // Replaces `disk` with a fresh medium and reconstructs every page it
+  // held. Requires that no other disk is failed (single-failure model).
+  Result<MediaRecoveryReport> RebuildDisk(DiskId disk);
+
+ private:
+  TwinParityManager* parity_;
+};
+
+}  // namespace rda
+
+#endif  // RDA_RECOVERY_MEDIA_RECOVERY_H_

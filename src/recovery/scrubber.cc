@@ -1,0 +1,25 @@
+#include "recovery/scrubber.h"
+
+namespace rda {
+
+Result<ScrubReport> ParityScrubber::ScrubAll() {
+  ScrubReport report;
+  DiskArray* array = parity_->array();
+  for (GroupId group = 0; group < array->num_groups(); ++group) {
+    ++report.groups_checked;
+    const GroupState& state = parity_->directory().Get(group);
+    if (state.dirty) {
+      ++report.groups_skipped_dirty;
+      continue;
+    }
+    RDA_ASSIGN_OR_RETURN(const bool consistent,
+                         parity_->VerifyGroupParity(group));
+    if (!consistent) {
+      RDA_RETURN_IF_ERROR(parity_->ScrubGroup(group));
+      report.repaired.push_back(group);
+    }
+  }
+  return report;
+}
+
+}  // namespace rda

@@ -1,0 +1,149 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace rda::sim {
+
+Simulator::Simulator(const SimOptions& options)
+    : options_(options),
+      workload_(options.workload),
+      rng_(options.seed ^ 0x5157ULL) {}
+
+Status Simulator::Init() {
+  if (db_ != nullptr) {
+    return Status::Ok();
+  }
+  DatabaseOptions db_options = options_.db;
+  db_options.array.min_data_pages = options_.workload.num_pages;
+  RDA_ASSIGN_OR_RETURN(db_, Database::Open(db_options));
+  return Status::Ok();
+}
+
+std::vector<uint8_t> Simulator::RandomPagePayload() {
+  std::vector<uint8_t> bytes(db_->user_page_size());
+  rng_.FillBytes(&bytes);
+  return bytes;
+}
+
+std::vector<uint8_t> Simulator::RandomRecord() {
+  std::vector<uint8_t> bytes(options_.db.txn.record_size);
+  rng_.FillBytes(&bytes);
+  return bytes;
+}
+
+Status Simulator::StartTxn(ActiveTxn* slot) {
+  RDA_ASSIGN_OR_RETURN(slot->id, db_->Begin());
+  slot->script = workload_.Next();
+  slot->next_op = 0;
+  slot->stall_rounds = 0;
+  return Status::Ok();
+}
+
+Result<bool> Simulator::Step(ActiveTxn* txn) {
+  if (txn->next_op >= txn->script.ops.size()) {
+    // EOT.
+    if (txn->script.client_aborts) {
+      RDA_RETURN_IF_ERROR(db_->Abort(txn->id));
+      ++result_.client_aborts;
+    } else {
+      RDA_RETURN_IF_ERROR(db_->Commit(txn->id));
+      ++result_.committed;
+    }
+    return true;
+  }
+
+  const TxnOp& op = txn->script.ops[txn->next_op];
+  Status status;
+  const bool record_mode =
+      options_.db.txn.logging_mode == LoggingMode::kRecordLogging;
+  if (op.is_update) {
+    status = record_mode
+                 ? db_->WriteRecord(txn->id, op.page, op.slot, RandomRecord())
+                 : db_->WritePage(txn->id, op.page, RandomPagePayload());
+  } else {
+    std::vector<uint8_t> scratch;
+    status = record_mode
+                 ? db_->ReadRecord(txn->id, op.page, op.slot, &scratch)
+                 : db_->ReadPage(txn->id, op.page, &scratch);
+  }
+
+  if (status.ok()) {
+    ++txn->next_op;
+    txn->stall_rounds = 0;
+    return false;
+  }
+  if (!status.IsBusy()) {
+    return status;
+  }
+  // Lock conflict: become a deadlock victim, give up after prolonged
+  // starvation, or simply retry on the next round.
+  ++txn->stall_rounds;
+  if (db_->txn_manager()->WouldDeadlock(txn->id) ||
+      txn->stall_rounds > options_.max_stall_rounds) {
+    RDA_RETURN_IF_ERROR(db_->Abort(txn->id));
+    ++result_.deadlock_aborts;
+    return true;
+  }
+  return false;
+}
+
+Result<SimResult> Simulator::Run() {
+  RDA_RETURN_IF_ERROR(Init());
+  result_ = SimResult();
+  db_->array()->ResetCounters();
+  db_->log()->ResetCounters();
+  db_->txn_manager()->ResetStats();
+  db_->parity()->ResetStats();
+  db_->txn_manager()->pool()->ResetStats();
+
+  std::vector<ActiveTxn> active(options_.concurrency);
+  for (ActiveTxn& slot : active) {
+    RDA_RETURN_IF_ERROR(StartTxn(&slot));
+  }
+
+  uint64_t finished = 0;
+  while (finished < options_.num_transactions) {
+    bool progressed = false;
+    for (ActiveTxn& slot : active) {
+      if (finished >= options_.num_transactions) {
+        break;
+      }
+      RDA_ASSIGN_OR_RETURN(const bool done, Step(&slot));
+      progressed = true;
+      if (done) {
+        ++finished;
+        RDA_RETURN_IF_ERROR(StartTxn(&slot));
+      }
+    }
+    if (!progressed) {
+      return Status::Aborted("simulator made no progress");
+    }
+  }
+  // Drain the still-active transactions so the run ends at a clean point.
+  for (ActiveTxn& slot : active) {
+    for (uint32_t round = 0; round < options_.max_stall_rounds * 2; ++round) {
+      RDA_ASSIGN_OR_RETURN(const bool done, Step(&slot));
+      if (done) {
+        break;
+      }
+    }
+  }
+
+  result_.array_transfers = db_->array()->counters().total();
+  result_.log_transfers = db_->log()->counters().total();
+  result_.total_transfers = result_.array_transfers + result_.log_transfers;
+  result_.buffer = db_->txn_manager()->pool()->stats();
+  result_.parity = db_->parity()->stats();
+  result_.txn = db_->txn_manager()->stats();
+  if (result_.committed > 0) {
+    result_.transfers_per_commit =
+        static_cast<double>(result_.total_transfers) /
+        static_cast<double>(result_.committed);
+    result_.interval_t = 5e6;
+    result_.throughput_per_interval =
+        result_.interval_t / result_.transfers_per_commit;
+  }
+  return result_;
+}
+
+}  // namespace rda::sim

@@ -1,0 +1,86 @@
+#ifndef RDA_SIM_SIMULATOR_H_
+#define RDA_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/database.h"
+#include "sim/workload.h"
+
+namespace rda::sim {
+
+struct SimOptions {
+  DatabaseOptions db;
+  WorkloadOptions workload;
+  // Transactions to complete (committed + aborted).
+  uint32_t num_transactions = 200;
+  // Concurrently active transactions (the model's P); the simulator
+  // interleaves their operations round-robin.
+  uint32_t concurrency = 4;
+  // A transaction blocked this many consecutive scheduling rounds without
+  // a deadlock being detected is aborted anyway (starvation backstop).
+  uint32_t max_stall_rounds = 1000;
+  uint64_t seed = 1;
+};
+
+// Outcome of a simulation run, in the paper's metric (page transfers).
+struct SimResult {
+  uint64_t committed = 0;
+  uint64_t client_aborts = 0;    // Aborts requested by the workload (p_b).
+  uint64_t deadlock_aborts = 0;  // Victims of wait-for cycles.
+  uint64_t array_transfers = 0;
+  uint64_t log_transfers = 0;
+  uint64_t total_transfers = 0;
+  double transfers_per_commit = 0;
+  // Committed transactions per T page transfers — directly comparable to
+  // the model's r_t.
+  double throughput_per_interval = 0;
+  double interval_t = 0;  // The T used for the line above.
+  BufferStats buffer;
+  ParityStats parity;
+  TxnStats txn;
+};
+
+// Drives a real Database with the Reuter-parameterized workload,
+// interleaving `concurrency` transactions, handling lock conflicts and
+// deadlock victims, and measuring page transfers. Used by the validation
+// benches to check the analytical model's shape and by integration tests.
+class Simulator {
+ public:
+  explicit Simulator(const SimOptions& options);
+
+  // Opens the database (idempotent; called by Run if needed).
+  Status Init();
+
+  // Runs `options.num_transactions` to completion and reports.
+  Result<SimResult> Run();
+
+  Database* db() { return db_.get(); }
+  const SimOptions& options() const { return options_; }
+
+ private:
+  struct ActiveTxn {
+    TxnId id = kInvalidTxnId;
+    TxnScript script;
+    size_t next_op = 0;
+    uint32_t stall_rounds = 0;
+  };
+
+  // Executes one operation (or EOT) of `slot`; returns true if the
+  // transaction finished (committed or aborted).
+  Result<bool> Step(ActiveTxn* txn);
+  Status StartTxn(ActiveTxn* slot);
+  std::vector<uint8_t> RandomPagePayload();
+  std::vector<uint8_t> RandomRecord();
+
+  SimOptions options_;
+  std::unique_ptr<Database> db_;
+  WorkloadGenerator workload_;
+  Random rng_;
+  SimResult result_;
+};
+
+}  // namespace rda::sim
+
+#endif  // RDA_SIM_SIMULATOR_H_

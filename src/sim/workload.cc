@@ -1,0 +1,45 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+
+namespace rda::sim {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+PageId WorkloadGenerator::NextPage() {
+  PageId page;
+  if (!hot_window_.empty() && rng_.Bernoulli(options_.communality)) {
+    page = hot_window_[rng_.Uniform(hot_window_.size())];
+  } else {
+    page = static_cast<PageId>(rng_.Uniform(options_.num_pages));
+  }
+  // Referencing a page keeps it hot.
+  hot_window_.push_back(page);
+  while (hot_window_.size() > options_.hot_window) {
+    hot_window_.pop_front();
+  }
+  return page;
+}
+
+TxnScript WorkloadGenerator::Next() {
+  TxnScript script;
+  script.is_update_txn = rng_.Bernoulli(options_.update_txn_fraction);
+  script.client_aborts =
+      script.is_update_txn && rng_.Bernoulli(options_.abort_probability);
+  script.ops.reserve(options_.pages_per_txn);
+  for (uint32_t i = 0; i < options_.pages_per_txn; ++i) {
+    TxnOp op;
+    op.page = NextPage();
+    op.is_update =
+        script.is_update_txn && rng_.Bernoulli(options_.update_probability);
+    if (options_.mode == LoggingMode::kRecordLogging) {
+      op.slot = static_cast<RecordSlot>(
+          rng_.Uniform(std::max<uint32_t>(1, options_.records_per_page)));
+    }
+    script.ops.push_back(op);
+  }
+  return script;
+}
+
+}  // namespace rda::sim

@@ -1,0 +1,71 @@
+#ifndef RDA_SIM_WORKLOAD_H_
+#define RDA_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "txn/transaction_manager.h"
+
+namespace rda::sim {
+
+// Knobs mirroring the analytical model's workload parameters (Section 5):
+// s page references per transaction, fraction f_u of update transactions,
+// update probability p_u per referenced page, abort probability p_b, and
+// communality C — the probability that a reference hits a page referenced
+// recently enough to still be buffer-resident.
+struct WorkloadOptions {
+  uint32_t num_pages = 64;          // S.
+  uint32_t pages_per_txn = 8;       // s.
+  double communality = 0.5;         // C.
+  double update_txn_fraction = 0.5; // f_u.
+  double update_probability = 0.5;  // p_u.
+  double abort_probability = 0.0;   // p_b (requested client-side aborts).
+  LoggingMode mode = LoggingMode::kPageLogging;
+  uint32_t records_per_page = 4;    // Record-mode slot fan-out.
+  // Size of the "hot window" from which communality hits are drawn; should
+  // be at most the buffer capacity B for C to approximate the hit rate.
+  uint32_t hot_window = 64;
+  uint64_t seed = 1;
+};
+
+// One page/record reference of a transaction script.
+struct TxnOp {
+  PageId page = kInvalidPageId;
+  RecordSlot slot = 0;
+  bool is_update = false;
+};
+
+// A pre-generated transaction: its references, whether it is an update
+// transaction, and whether the client will abort it at the end.
+struct TxnScript {
+  bool is_update_txn = false;
+  bool client_aborts = false;
+  std::vector<TxnOp> ops;
+};
+
+// Deterministic workload generator. Communality is realised by drawing a
+// reference, with probability C, from a sliding window of recently
+// referenced pages (which the buffer keeps resident), and otherwise
+// uniformly from the database.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(const WorkloadOptions& options);
+
+  TxnScript Next();
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  PageId NextPage();
+
+  WorkloadOptions options_;
+  Random rng_;
+  std::deque<PageId> hot_window_;
+};
+
+}  // namespace rda::sim
+
+#endif  // RDA_SIM_WORKLOAD_H_

@@ -1,0 +1,27 @@
+#include "storage/data_page_meta.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace rda {
+
+void StoreDataMeta(const DataPageMeta& meta, std::vector<uint8_t>* payload) {
+  assert(payload->size() >= kDataRegionOffset);
+  uint8_t* p = payload->data();
+  std::memcpy(p, &meta.txn_id, sizeof(meta.txn_id));
+  std::memcpy(p + 8, &meta.page_lsn, sizeof(meta.page_lsn));
+  std::memcpy(p + 16, &meta.chain_prev, sizeof(meta.chain_prev));
+  // Bytes [20, 24) are reserved padding, left untouched.
+}
+
+DataPageMeta LoadDataMeta(const std::vector<uint8_t>& payload) {
+  assert(payload.size() >= kDataRegionOffset);
+  DataPageMeta meta;
+  const uint8_t* p = payload.data();
+  std::memcpy(&meta.txn_id, p, sizeof(meta.txn_id));
+  std::memcpy(&meta.page_lsn, p + 8, sizeof(meta.page_lsn));
+  std::memcpy(&meta.chain_prev, p + 16, sizeof(meta.chain_prev));
+  return meta;
+}
+
+}  // namespace rda

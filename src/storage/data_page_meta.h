@@ -1,0 +1,50 @@
+#ifndef RDA_STORAGE_DATA_PAGE_META_H_
+#define RDA_STORAGE_DATA_PAGE_META_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rda {
+
+// Metadata embedded in the first bytes of every DATA page payload (an
+// on-page header, like real database pages). Because it lives inside the
+// payload it is covered by the parity XOR: a media rebuild reconstructs it,
+// and the twin-page undo D_old = (P xor P') xor D_new restores it exactly —
+// including the TWIST chain link — with no extra machinery.
+//
+// Parity pages, in contrast, keep their metadata (state, timestamp, covered
+// page) in the out-of-band PageImage::header: parity metadata describes the
+// parity page itself and must not participate in the XOR.
+struct DataPageMeta {
+  // Transaction whose (uncommitted) update this propagated page carries;
+  // kInvalidTxnId once the content is committed or undone. The parity undo
+  // uses it as an idempotence stamp.
+  TxnId txn_id = kInvalidTxnId;
+  // pageLSN: stamp of the latest update included in this page image. REDO
+  // applies a committed after-image iff its LSN is greater.
+  Lsn page_lsn = 0;
+  // Previous page propagated without UNDO logging by the same transaction
+  // (TWIST-style chain, paper Section 4.3); kInvalidPageId terminates.
+  PageId chain_prev = kInvalidPageId;
+
+  bool operator==(const DataPageMeta&) const = default;
+};
+
+// Bytes reserved at the start of every data page payload for the embedded
+// metadata. Records / user bytes start at this offset.
+inline constexpr size_t kDataRegionOffset = 24;
+
+// Serializes `meta` into the first kDataRegionOffset bytes of `payload`.
+// Precondition: payload->size() >= kDataRegionOffset.
+void StoreDataMeta(const DataPageMeta& meta, std::vector<uint8_t>* payload);
+
+// Reads the embedded metadata back. Precondition: payload.size() >=
+// kDataRegionOffset.
+DataPageMeta LoadDataMeta(const std::vector<uint8_t>& payload);
+
+}  // namespace rda
+
+#endif  // RDA_STORAGE_DATA_PAGE_META_H_

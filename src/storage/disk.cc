@@ -1,0 +1,97 @@
+#include "storage/disk.h"
+
+#include <string>
+
+#include "common/crc32.h"
+
+namespace rda {
+
+Disk::Disk(DiskId id, SlotId num_slots, size_t page_size)
+    : id_(id),
+      page_size_(page_size),
+      pages_(num_slots, PageImage(page_size)),
+      checksums_(num_slots, 0) {
+  // Checksums of zeroed pages are computed lazily: slot checksum 0 with an
+  // all-default image means "never written", which ChecksumOf also yields.
+  for (SlotId s = 0; s < num_slots; ++s) {
+    checksums_[s] = ChecksumOf(pages_[s]);
+  }
+}
+
+uint32_t Disk::ChecksumOf(const PageImage& image) const {
+  uint32_t crc = Crc32c(image.payload.data(), image.payload.size());
+  crc = Crc32c(&image.header.txn_id, sizeof(image.header.txn_id), crc);
+  crc = Crc32c(&image.header.timestamp, sizeof(image.header.timestamp), crc);
+  crc = Crc32c(&image.header.parity_state, sizeof(image.header.parity_state),
+               crc);
+  crc = Crc32c(&image.header.dirty_page, sizeof(image.header.dirty_page), crc);
+  return crc;
+}
+
+void Disk::AccountAccess(SlotId slot) const {
+  if (slot == head_slot_ + 1) {
+    busy_ms_ += model_.transfer_ms;  // Sequential: no seek, no rotation.
+  } else {
+    const double distance = slot > head_slot_
+                                ? static_cast<double>(slot - head_slot_)
+                                : static_cast<double>(head_slot_ - slot);
+    busy_ms_ += model_.min_seek_ms + model_.seek_ms_per_slot * distance +
+                model_.rotation_ms + model_.transfer_ms;
+  }
+  head_slot_ = slot;
+}
+
+Status Disk::Read(SlotId slot, PageImage* out) const {
+  if (failed_) {
+    return Status::IoError("disk " + std::to_string(id_) + " failed");
+  }
+  if (slot >= pages_.size()) {
+    return Status::InvalidArgument("slot " + std::to_string(slot) +
+                                   " out of range on disk " +
+                                   std::to_string(id_));
+  }
+  ++counters_.page_reads;
+  AccountAccess(slot);
+  if (ChecksumOf(pages_[slot]) != checksums_[slot]) {
+    return Status::Corruption("checksum mismatch at disk " +
+                              std::to_string(id_) + " slot " +
+                              std::to_string(slot));
+  }
+  *out = pages_[slot];
+  return Status::Ok();
+}
+
+Status Disk::Write(SlotId slot, const PageImage& image) {
+  if (failed_) {
+    return Status::IoError("disk " + std::to_string(id_) + " failed");
+  }
+  if (slot >= pages_.size()) {
+    return Status::InvalidArgument("slot " + std::to_string(slot) +
+                                   " out of range on disk " +
+                                   std::to_string(id_));
+  }
+  if (image.payload.size() != page_size_) {
+    return Status::InvalidArgument("payload size mismatch on disk " +
+                                   std::to_string(id_));
+  }
+  ++counters_.page_writes;
+  AccountAccess(slot);
+  pages_[slot] = image;
+  checksums_[slot] = ChecksumOf(image);
+  return Status::Ok();
+}
+
+void Disk::Fail() {
+  failed_ = true;
+  // Media failure destroys the content; Replace() must not resurrect it.
+  for (auto& page : pages_) {
+    page = PageImage(page_size_);
+  }
+  for (SlotId s = 0; s < pages_.size(); ++s) {
+    checksums_[s] = ChecksumOf(pages_[s]);
+  }
+}
+
+void Disk::Replace() { failed_ = false; }
+
+}  // namespace rda

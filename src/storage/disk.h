@@ -1,0 +1,93 @@
+#ifndef RDA_STORAGE_DISK_H_
+#define RDA_STORAGE_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace rda {
+
+// Simple positional service-time model: every access pays a settle time, a
+// seek proportional to the slot distance travelled, and half a rotation —
+// except strictly sequential accesses (next slot after the previous one),
+// which pay the transfer only. This is what makes the sequentiality
+// argument of parity striping (Gray et al., paper Section 3.2) measurable:
+// transfer COUNTS are layout-independent, service TIME is not.
+struct ServiceTimeModel {
+  double min_seek_ms = 0.5;
+  double seek_ms_per_slot = 0.01;
+  double rotation_ms = 4.2;  // Half a rotation at 7200 rpm.
+  double transfer_ms = 0.5;
+};
+
+// One simulated disk: a page-granular, randomly addressable device with
+// failure injection and transfer accounting.
+//
+// Failure model: Fail() makes every subsequent read and write return
+// kIoError until Replace() installs a fresh (zeroed) medium — this models a
+// total media failure of the drive, the failure class the paper's arrays are
+// designed to survive (Section 1). Content present before Fail() is lost.
+//
+// A per-page checksum is maintained on write and verified on read, modelling
+// sector ECC: it turns silent corruption of the in-memory store (e.g. a test
+// poking bytes) into a kCorruption error.
+class Disk {
+ public:
+  Disk(DiskId id, SlotId num_slots, size_t page_size);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+  Disk(Disk&&) = default;
+  Disk& operator=(Disk&&) = default;
+
+  // Reads the page at `slot` into `*out`. Counts one page transfer.
+  Status Read(SlotId slot, PageImage* out) const;
+
+  // Writes `image` to `slot`. Counts one page transfer. The payload size
+  // must equal the disk's page size.
+  Status Write(SlotId slot, const PageImage& image);
+
+  // Injects a media failure: all content is lost, I/O fails until Replace().
+  void Fail();
+
+  // Installs a fresh zeroed medium; the disk becomes usable again.
+  void Replace();
+
+  // Accumulated service time under the positional model.
+  double busy_ms() const { return busy_ms_; }
+  void ResetServiceClock() { busy_ms_ = 0; }
+  void set_service_model(const ServiceTimeModel& model) { model_ = model; }
+
+  bool failed() const { return failed_; }
+  DiskId id() const { return id_; }
+  SlotId num_slots() const { return static_cast<SlotId>(pages_.size()); }
+  size_t page_size() const { return page_size_; }
+  const IoCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = IoCounters(); }
+
+  // Test-only: direct mutable access to a stored page, bypassing accounting
+  // and checksum maintenance (used to simulate silent corruption).
+  PageImage* MutablePageForTest(SlotId slot) { return &pages_[slot]; }
+
+ private:
+  uint32_t ChecksumOf(const PageImage& image) const;
+  void AccountAccess(SlotId slot) const;
+
+  DiskId id_;
+  size_t page_size_;
+  bool failed_ = false;
+  std::vector<PageImage> pages_;
+  std::vector<uint32_t> checksums_;
+  mutable IoCounters counters_;
+  ServiceTimeModel model_;
+  mutable double busy_ms_ = 0;
+  mutable SlotId head_slot_ = 0;  // Current head position.
+};
+
+}  // namespace rda
+
+#endif  // RDA_STORAGE_DISK_H_

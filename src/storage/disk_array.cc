@@ -1,0 +1,170 @@
+#include "storage/disk_array.h"
+
+#include <algorithm>
+
+#include <string>
+#include <utility>
+
+#include "storage/data_striping_layout.h"
+#include "storage/parity_striping_layout.h"
+
+namespace rda {
+
+Result<std::unique_ptr<DiskArray>> DiskArray::Create(const Options& options) {
+  if (options.page_size == 0) {
+    return Status::InvalidArgument("page_size must be > 0");
+  }
+  std::unique_ptr<Layout> layout;
+  switch (options.layout_kind) {
+    case LayoutKind::kDataStriping: {
+      auto result = DataStripingLayout::Create(options.data_pages_per_group,
+                                               options.parity_copies,
+                                               options.min_data_pages);
+      if (!result.ok()) {
+        return result.status();
+      }
+      layout = std::move(result).value();
+      break;
+    }
+    case LayoutKind::kParityStriping: {
+      auto result = ParityStripingLayout::Create(options.data_pages_per_group,
+                                                 options.parity_copies,
+                                                 options.min_data_pages);
+      if (!result.ok()) {
+        return result.status();
+      }
+      layout = std::move(result).value();
+      break;
+    }
+  }
+  return std::unique_ptr<DiskArray>(
+      new DiskArray(std::move(layout), options.page_size));
+}
+
+DiskArray::DiskArray(std::unique_ptr<Layout> layout, size_t page_size)
+    : layout_(std::move(layout)), page_size_(page_size) {
+  disks_.reserve(layout_->num_disks());
+  for (DiskId d = 0; d < layout_->num_disks(); ++d) {
+    disks_.emplace_back(d, layout_->slots_per_disk(), page_size_);
+  }
+}
+
+Status DiskArray::CheckPage(PageId page) const {
+  if (page >= layout_->num_data_pages()) {
+    return Status::InvalidArgument("data page " + std::to_string(page) +
+                                   " out of range");
+  }
+  return Status::Ok();
+}
+
+Status DiskArray::CheckGroup(GroupId group, uint32_t twin) const {
+  if (group >= layout_->num_groups()) {
+    return Status::InvalidArgument("group " + std::to_string(group) +
+                                   " out of range");
+  }
+  if (twin >= layout_->parity_copies()) {
+    return Status::InvalidArgument("parity twin " + std::to_string(twin) +
+                                   " out of range");
+  }
+  return Status::Ok();
+}
+
+Status DiskArray::ReadData(PageId page, PageImage* out) const {
+  RDA_RETURN_IF_ERROR(CheckPage(page));
+  const PhysicalLocation loc = layout_->DataLocation(page);
+  return disks_[loc.disk].Read(loc.slot, out);
+}
+
+Status DiskArray::WriteData(PageId page, const PageImage& image) {
+  RDA_RETURN_IF_ERROR(CheckPage(page));
+  const PhysicalLocation loc = layout_->DataLocation(page);
+  return disks_[loc.disk].Write(loc.slot, image);
+}
+
+Status DiskArray::ReadParity(GroupId group, uint32_t twin,
+                             PageImage* out) const {
+  RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
+  const PhysicalLocation loc = layout_->ParityLocation(group, twin);
+  return disks_[loc.disk].Read(loc.slot, out);
+}
+
+Status DiskArray::WriteParity(GroupId group, uint32_t twin,
+                              const PageImage& image) {
+  RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
+  const PhysicalLocation loc = layout_->ParityLocation(group, twin);
+  return disks_[loc.disk].Write(loc.slot, image);
+}
+
+Status DiskArray::FailDisk(DiskId disk) {
+  if (disk >= disks_.size()) {
+    return Status::InvalidArgument("no such disk");
+  }
+  disks_[disk].Fail();
+  return Status::Ok();
+}
+
+Status DiskArray::ReplaceDisk(DiskId disk) {
+  if (disk >= disks_.size()) {
+    return Status::InvalidArgument("no such disk");
+  }
+  disks_[disk].Replace();
+  return Status::Ok();
+}
+
+bool DiskArray::DiskFailed(DiskId disk) const {
+  return disk < disks_.size() && disks_[disk].failed();
+}
+
+uint32_t DiskArray::NumFailedDisks() const {
+  uint32_t failed = 0;
+  for (const Disk& d : disks_) {
+    if (d.failed()) {
+      ++failed;
+    }
+  }
+  return failed;
+}
+
+IoCounters DiskArray::counters() const {
+  IoCounters total;
+  for (const Disk& d : disks_) {
+    total += d.counters();
+  }
+  return total;
+}
+
+void DiskArray::ResetCounters() {
+  for (Disk& d : disks_) {
+    d.ResetCounters();
+  }
+}
+
+double DiskArray::TotalBusyMs() const {
+  double total = 0;
+  for (const Disk& d : disks_) {
+    total += d.busy_ms();
+  }
+  return total;
+}
+
+double DiskArray::MaxBusyMs() const {
+  double max = 0;
+  for (const Disk& d : disks_) {
+    max = std::max(max, d.busy_ms());
+  }
+  return max;
+}
+
+void DiskArray::ResetServiceClocks() {
+  for (Disk& d : disks_) {
+    d.ResetServiceClock();
+  }
+}
+
+void DiskArray::SetServiceModel(const ServiceTimeModel& model) {
+  for (Disk& d : disks_) {
+    d.set_service_model(model);
+  }
+}
+
+}  // namespace rda

@@ -1,0 +1,93 @@
+#ifndef RDA_STORAGE_DISK_ARRAY_H_
+#define RDA_STORAGE_DISK_ARRAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/disk.h"
+#include "storage/layout.h"
+#include "storage/page.h"
+
+namespace rda {
+
+// Which array organization to use (paper Section 3).
+enum class LayoutKind {
+  kDataStriping,    // RAID-5 style rotated parity, Figures 1 / 4.
+  kParityStriping,  // Gray et al. parity striping, Figures 2 / 5.
+};
+
+// The redundant disk array: a set of Disks addressed through a Layout.
+// This class does raw page I/O only — parity *semantics* (twin-page states,
+// XOR maintenance, recovery) live in the parity/ and recovery/ layers.
+class DiskArray {
+ public:
+  struct Options {
+    LayoutKind layout_kind = LayoutKind::kDataStriping;
+    // The paper's N: data pages per parity group.
+    uint32_t data_pages_per_group = 4;
+    // 2 = twin page scheme (the paper's contribution); 1 = classic RAID
+    // parity, kept for the ablation benchmarks.
+    uint32_t parity_copies = 2;
+    // Minimum number of logical data pages (the paper's S). Rounded up to
+    // whole groups.
+    uint32_t min_data_pages = 64;
+    size_t page_size = 512;
+  };
+
+  static Result<std::unique_ptr<DiskArray>> Create(const Options& options);
+
+  DiskArray(const DiskArray&) = delete;
+  DiskArray& operator=(const DiskArray&) = delete;
+
+  // Raw data-page I/O. Fails with kIoError if the owning disk has failed
+  // (degraded-mode reconstruction is the recovery layer's job).
+  Status ReadData(PageId page, PageImage* out) const;
+  Status WriteData(PageId page, const PageImage& image);
+
+  // Raw parity-page I/O. `twin` in [0, parity_copies).
+  Status ReadParity(GroupId group, uint32_t twin, PageImage* out) const;
+  Status WriteParity(GroupId group, uint32_t twin, const PageImage& image);
+
+  // Media-failure injection and repair plumbing.
+  Status FailDisk(DiskId disk);
+  Status ReplaceDisk(DiskId disk);
+  bool DiskFailed(DiskId disk) const;
+  // Number of currently failed disks.
+  uint32_t NumFailedDisks() const;
+
+  const Layout& layout() const { return *layout_; }
+  size_t page_size() const { return page_size_; }
+  uint32_t num_data_pages() const { return layout_->num_data_pages(); }
+  uint32_t num_groups() const { return layout_->num_groups(); }
+  uint32_t num_disks() const { return layout_->num_disks(); }
+
+  // Aggregate transfer counters over all disks.
+  IoCounters counters() const;
+  void ResetCounters();
+
+  // Service-time aggregation (see ServiceTimeModel): sum of per-disk busy
+  // time, and the busiest disk (the parallel critical path).
+  double TotalBusyMs() const;
+  double MaxBusyMs() const;
+  void ResetServiceClocks();
+  void SetServiceModel(const ServiceTimeModel& model);
+
+  // Test-only access to the raw disk (corruption injection etc.).
+  Disk* disk(DiskId id) { return &disks_[id]; }
+
+ private:
+  DiskArray(std::unique_ptr<Layout> layout, size_t page_size);
+
+  Status CheckPage(PageId page) const;
+  Status CheckGroup(GroupId group, uint32_t twin) const;
+
+  std::unique_ptr<Layout> layout_;
+  size_t page_size_;
+  std::vector<Disk> disks_;
+};
+
+}  // namespace rda
+
+#endif  // RDA_STORAGE_DISK_ARRAY_H_

@@ -1,0 +1,33 @@
+#ifndef RDA_STORAGE_IO_STATS_H_
+#define RDA_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace rda {
+
+// Page-transfer counters. The paper's evaluation measures every cost in
+// "units of page transfers" (Section 5); these counters are the simulator's
+// equivalent of that metric.
+struct IoCounters {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+
+  uint64_t total() const { return page_reads + page_writes; }
+
+  IoCounters& operator+=(const IoCounters& other) {
+    page_reads += other.page_reads;
+    page_writes += other.page_writes;
+    return *this;
+  }
+
+  IoCounters operator-(const IoCounters& other) const {
+    return IoCounters{page_reads - other.page_reads,
+                      page_writes - other.page_writes};
+  }
+
+  bool operator==(const IoCounters&) const = default;
+};
+
+}  // namespace rda
+
+#endif  // RDA_STORAGE_IO_STATS_H_

@@ -1,0 +1,54 @@
+#include "txn/record_page.h"
+
+#include <cstring>
+#include <string>
+
+#include "storage/data_page_meta.h"
+
+namespace rda {
+
+uint32_t RecordPageView::SlotsPerPage(size_t page_size, size_t record_size) {
+  if (record_size == 0 || page_size <= kDataRegionOffset) {
+    return 0;
+  }
+  return static_cast<uint32_t>((page_size - kDataRegionOffset) / record_size);
+}
+
+RecordPageView::RecordPageView(std::vector<uint8_t>* payload,
+                               size_t record_size)
+    : payload_(payload), record_size_(record_size) {}
+
+uint32_t RecordPageView::num_slots() const {
+  return SlotsPerPage(payload_->size(), record_size_);
+}
+
+size_t RecordPageView::SlotOffset(RecordSlot slot) const {
+  return kDataRegionOffset + static_cast<size_t>(slot) * record_size_;
+}
+
+Status RecordPageView::Read(RecordSlot slot, std::vector<uint8_t>* out) const {
+  if (slot >= num_slots()) {
+    return Status::InvalidArgument("record slot " + std::to_string(slot) +
+                                   " out of range");
+  }
+  out->assign(payload_->begin() + SlotOffset(slot),
+              payload_->begin() + SlotOffset(slot) + record_size_);
+  return Status::Ok();
+}
+
+Status RecordPageView::Write(RecordSlot slot,
+                             const std::vector<uint8_t>& bytes) {
+  if (slot >= num_slots()) {
+    return Status::InvalidArgument("record slot " + std::to_string(slot) +
+                                   " out of range");
+  }
+  if (bytes.size() > record_size_) {
+    return Status::InvalidArgument("record too large for slot");
+  }
+  uint8_t* dst = payload_->data() + SlotOffset(slot);
+  std::memcpy(dst, bytes.data(), bytes.size());
+  std::memset(dst + bytes.size(), 0, record_size_ - bytes.size());
+  return Status::Ok();
+}
+
+}  // namespace rda

@@ -1,0 +1,45 @@
+#ifndef RDA_TXN_RECORD_PAGE_H_
+#define RDA_TXN_RECORD_PAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rda {
+
+// A fixed-size-record slotted view over a data page payload. The record
+// region starts after the embedded page metadata (kDataRegionOffset); all
+// slots have the same size, which keeps the record-logging arithmetic of the
+// paper's model (record length r / e, page length l_p) straightforward.
+//
+// The view does not own the payload; it reads/writes the caller's buffer.
+class RecordPageView {
+ public:
+  // Number of record slots a page of `page_size` offers for `record_size`.
+  static uint32_t SlotsPerPage(size_t page_size, size_t record_size);
+
+  RecordPageView(std::vector<uint8_t>* payload, size_t record_size);
+
+  uint32_t num_slots() const;
+
+  // Copies the record at `slot` into `*out` (resized to record_size).
+  Status Read(RecordSlot slot, std::vector<uint8_t>* out) const;
+
+  // Writes `bytes` into `slot`. bytes.size() must be <= record_size; the
+  // remainder of the slot is zero-filled.
+  Status Write(RecordSlot slot, const std::vector<uint8_t>& bytes);
+
+  // Byte offset of `slot` within the payload (tests / log bookkeeping).
+  size_t SlotOffset(RecordSlot slot) const;
+  size_t record_size() const { return record_size_; }
+
+ private:
+  std::vector<uint8_t>* payload_;
+  size_t record_size_;
+};
+
+}  // namespace rda
+
+#endif  // RDA_TXN_RECORD_PAGE_H_

@@ -1,0 +1,30 @@
+#include "txn/transaction.h"
+
+#include <algorithm>
+
+namespace rda {
+
+void Transaction::NoteModifiedPage(PageId page) {
+  if (std::find(modified_pages.begin(), modified_pages.end(), page) ==
+      modified_pages.end()) {
+    modified_pages.push_back(page);
+  }
+}
+
+void Transaction::NoteDirtiedGroup(GroupId group) {
+  if (std::find(dirtied_groups.begin(), dirtied_groups.end(), group) ==
+      dirtied_groups.end()) {
+    dirtied_groups.push_back(group);
+  }
+}
+
+RecordWrite* Transaction::FindRecordWrite(PageId page, RecordSlot slot) {
+  for (RecordWrite& write : record_writes) {
+    if (write.page == page && write.slot == slot) {
+      return &write;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace rda

@@ -1,0 +1,81 @@
+#ifndef RDA_TXN_TRANSACTION_H_
+#define RDA_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rda {
+
+enum class TxnState : uint8_t { kActive, kCommitted, kAborted };
+
+// In-memory copy of one logged before-image, kept so a runtime abort can
+// undo without re-scanning the log (crash recovery scans the log instead).
+struct LoggedUndo {
+  PageId page = kInvalidPageId;
+  bool record_granular = false;
+  RecordSlot slot = 0;
+  std::vector<uint8_t> before;  // Whole payload (page) or record bytes.
+  Lsn lsn = kInvalidLsn;
+};
+
+// Latest value a transaction wrote to one record slot (record-logging mode);
+// used to build after-images at commit even if the frame was evicted.
+struct RecordWrite {
+  PageId page = kInvalidPageId;
+  RecordSlot slot = 0;
+  std::vector<uint8_t> after;
+  Lsn stamp = 0;  // Update stamp (pageLSN source).
+};
+
+// Per-transaction state tracked by the TransactionManager. A passive data
+// holder; all protocol logic lives in the manager.
+class Transaction {
+ public:
+  explicit Transaction(TxnId id) : id_(id) {}
+
+  TxnId id() const { return id_; }
+
+  TxnState state = TxnState::kActive;
+
+  // Begin-of-transaction record is written lazily, "before it writes back
+  // any modified pages" (paper Section 4.3).
+  bool bot_logged = false;
+  Lsn bot_lsn = kInvalidLsn;
+
+  // Whether a kChainHead record has been logged for this transaction.
+  bool chain_head_logged = false;
+  // Most recently unlogged-propagated page (head of the TWIST chain).
+  PageId chain_head = kInvalidPageId;
+
+  // Parity groups this transaction dirtied via unlogged propagation, in
+  // order of first dirtying.
+  std::vector<GroupId> dirtied_groups;
+
+  // Pages modified (page-logging granularity bookkeeping), insertion order,
+  // de-duplicated.
+  std::vector<PageId> modified_pages;
+
+  // Logged before-images, append order (undo applies them in reverse).
+  std::vector<LoggedUndo> logged_undos;
+
+  // Record-mode writes (latest value per (page, slot)).
+  std::vector<RecordWrite> record_writes;
+
+  // Statistics for the simulator.
+  uint64_t page_updates = 0;
+  uint64_t record_updates = 0;
+  uint64_t reads = 0;
+
+  void NoteModifiedPage(PageId page);
+  void NoteDirtiedGroup(GroupId group);
+  RecordWrite* FindRecordWrite(PageId page, RecordSlot slot);
+
+ private:
+  TxnId id_;
+};
+
+}  // namespace rda
+
+#endif  // RDA_TXN_TRANSACTION_H_

@@ -1,0 +1,682 @@
+#include "txn/transaction_manager.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "storage/data_page_meta.h"
+#include "txn/record_page.h"
+#include "wal/log_record.h"
+
+namespace rda {
+
+TransactionManager::TransactionManager(const TxnConfig& config,
+                                       TwinParityManager* parity,
+                                       LogManager* log, LockManager* locks,
+                                       const BufferPool::Options& pool_options)
+    : config_(config),
+      parity_(parity),
+      log_(log),
+      locks_(locks),
+      pool_(
+          pool_options,
+          [this](PageId page, PageImage* out) {
+            Status status = parity_->array()->ReadData(page, out);
+            if (status.IsIoError()) {
+              // Degraded mode: reconstruct the page from its parity group
+              // while the disk awaits rebuild.
+              Result<std::vector<uint8_t>> rebuilt =
+                  parity_->ReconstructDataPayload(page);
+              if (!rebuilt.ok()) {
+                return status;
+              }
+              out->payload = std::move(rebuilt).value();
+              out->header = PageHeader{};
+              return Status::Ok();
+            }
+            return status;
+          },
+          [this](Frame* frame) { return PropagateFrame(frame); }) {}
+
+size_t TransactionManager::user_page_size() const {
+  return parity_->array()->page_size() - kDataRegionOffset;
+}
+
+uint32_t TransactionManager::records_per_page() const {
+  return RecordPageView::SlotsPerPage(parity_->array()->page_size(),
+                                      config_.record_size);
+}
+
+Result<TxnId> TransactionManager::Begin() {
+  const TxnId id = next_txn_++;
+  txns_.emplace(id, std::make_unique<Transaction>(id));
+  ++stats_.begun;
+  return id;
+}
+
+Transaction* TransactionManager::Find(TxnId txn) {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? nullptr : it->second.get();
+}
+
+std::vector<TxnId> TransactionManager::ActiveTxns() const {
+  std::vector<TxnId> out;
+  for (const auto& [id, txn] : txns_) {
+    if (txn->state == TxnState::kActive) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void TransactionManager::BumpNextTxnId(TxnId floor) {
+  next_txn_ = std::max(next_txn_, floor);
+}
+
+namespace {
+
+Status RequireActive(Transaction* txn) {
+  if (txn == nullptr) {
+    return Status::NotFound("unknown transaction");
+  }
+  if (txn->state != TxnState::kActive) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status TransactionManager::EnsureBot(Transaction* txn) {
+  if (txn->bot_logged) {
+    return Status::Ok();
+  }
+  LogRecord bot;
+  bot.type = LogRecordType::kBot;
+  bot.txn = txn->id();
+  RDA_ASSIGN_OR_RETURN(txn->bot_lsn, log_->Append(std::move(bot)));
+  txn->bot_logged = true;
+  return Status::Ok();
+}
+
+Status TransactionManager::ReadPage(TxnId txn_id, PageId page,
+                                    std::vector<uint8_t>* out) {
+  Transaction* txn = Find(txn_id);
+  RDA_RETURN_IF_ERROR(RequireActive(txn));
+  if (config_.logging_mode != LoggingMode::kPageLogging) {
+    return Status::FailedPrecondition("page API requires page logging mode");
+  }
+  RDA_RETURN_IF_ERROR(locks_->Acquire(txn_id, LockKey::Page(page),
+                                      LockMode::kShared));
+  RDA_ASSIGN_OR_RETURN(Frame * frame, pool_.Fetch(page, nullptr));
+  out->assign(frame->payload.begin() + kDataRegionOffset,
+              frame->payload.end());
+  ++txn->reads;
+  return Status::Ok();
+}
+
+Status TransactionManager::WritePage(TxnId txn_id, PageId page,
+                                     const std::vector<uint8_t>& bytes) {
+  Transaction* txn = Find(txn_id);
+  RDA_RETURN_IF_ERROR(RequireActive(txn));
+  if (config_.logging_mode != LoggingMode::kPageLogging) {
+    return Status::FailedPrecondition("page API requires page logging mode");
+  }
+  if (bytes.size() != user_page_size()) {
+    return Status::InvalidArgument("page write must cover the user region");
+  }
+  RDA_RETURN_IF_ERROR(locks_->Acquire(txn_id, LockKey::Page(page),
+                                      LockMode::kExclusive));
+  RDA_RETURN_IF_ERROR(EnsureBot(txn));
+  RDA_ASSIGN_OR_RETURN(Frame * frame, pool_.Fetch(page, nullptr));
+
+  if (!frame->has_pending_before) {
+    // Logical before-image for this propagation epoch: what an abort (or a
+    // before-image log record) must restore. It may contain committed-but-
+    // unpropagated bytes of earlier transactions — which is why it is
+    // captured here and not derived from last_propagated.
+    frame->pending_before = frame->payload;
+    frame->has_pending_before = true;
+  }
+  std::copy(bytes.begin(), bytes.end(),
+            frame->payload.begin() + kDataRegionOffset);
+  DataPageMeta meta = LoadDataMeta(frame->payload);
+  meta.page_lsn = log_->next_lsn();  // Monotone update stamp.
+  StoreDataMeta(meta, &frame->payload);
+
+  frame->dirty = true;
+  frame->AddModifier(txn_id);
+  txn->NoteModifiedPage(page);
+  ++txn->page_updates;
+  return Status::Ok();
+}
+
+Status TransactionManager::ReadRecord(TxnId txn_id, PageId page,
+                                      RecordSlot slot,
+                                      std::vector<uint8_t>* out) {
+  Transaction* txn = Find(txn_id);
+  RDA_RETURN_IF_ERROR(RequireActive(txn));
+  if (config_.logging_mode != LoggingMode::kRecordLogging) {
+    return Status::FailedPrecondition(
+        "record API requires record logging mode");
+  }
+  RDA_RETURN_IF_ERROR(locks_->Acquire(txn_id, LockKey::Record(page, slot),
+                                      LockMode::kShared));
+  RDA_ASSIGN_OR_RETURN(Frame * frame, pool_.Fetch(page, nullptr));
+  RecordPageView view(&frame->payload, config_.record_size);
+  RDA_RETURN_IF_ERROR(view.Read(slot, out));
+  ++txn->reads;
+  return Status::Ok();
+}
+
+Status TransactionManager::WriteRecord(TxnId txn_id, PageId page,
+                                       RecordSlot slot,
+                                       const std::vector<uint8_t>& bytes) {
+  Transaction* txn = Find(txn_id);
+  RDA_RETURN_IF_ERROR(RequireActive(txn));
+  if (config_.logging_mode != LoggingMode::kRecordLogging) {
+    return Status::FailedPrecondition(
+        "record API requires record logging mode");
+  }
+  RDA_RETURN_IF_ERROR(locks_->Acquire(txn_id, LockKey::Record(page, slot),
+                                      LockMode::kExclusive));
+  RDA_RETURN_IF_ERROR(EnsureBot(txn));
+  RDA_ASSIGN_OR_RETURN(Frame * frame, pool_.Fetch(page, nullptr));
+
+  RecordPageView view(&frame->payload, config_.record_size);
+  const Lsn stamp = log_->next_lsn();
+
+  // In-buffer undo info: value before this modification.
+  RecordMod mod;
+  mod.txn = txn_id;
+  mod.slot = slot;
+  mod.stamp = stamp;
+  RDA_RETURN_IF_ERROR(view.Read(slot, &mod.before));
+  frame->record_mods.push_back(std::move(mod));
+
+  RDA_RETURN_IF_ERROR(view.Write(slot, bytes));
+  DataPageMeta meta = LoadDataMeta(frame->payload);
+  meta.page_lsn = stamp;
+  StoreDataMeta(meta, &frame->payload);
+
+  bool pending_known = false;
+  for (const PendingMod& pending : frame->pending_mods) {
+    if (pending.txn == txn_id && pending.slot == slot) {
+      pending_known = true;
+      break;
+    }
+  }
+  if (!pending_known) {
+    PendingMod pending;
+    pending.txn = txn_id;
+    pending.slot = slot;
+    pending.before = frame->record_mods.back().before;
+    frame->pending_mods.push_back(std::move(pending));
+  }
+
+  std::vector<uint8_t> after;
+  RDA_RETURN_IF_ERROR(view.Read(slot, &after));
+  if (RecordWrite* existing = txn->FindRecordWrite(page, slot)) {
+    existing->after = std::move(after);
+    existing->stamp = stamp;
+  } else {
+    txn->record_writes.push_back(
+        RecordWrite{page, slot, std::move(after), stamp});
+  }
+
+  frame->dirty = true;
+  frame->AddModifier(txn_id);
+  txn->NoteModifiedPage(page);
+  ++txn->record_updates;
+  return Status::Ok();
+}
+
+Status TransactionManager::LogBeforeImagesForSteal(
+    Frame* frame, const std::vector<TxnId>& modifiers) {
+  for (const TxnId txn_id : modifiers) {
+    Transaction* txn = Find(txn_id);
+    if (txn == nullptr || txn->state != TxnState::kActive) {
+      continue;
+    }
+    RDA_RETURN_IF_ERROR(EnsureBot(txn));
+    if (config_.logging_mode == LoggingMode::kPageLogging) {
+      // The logical before-image captured at the transaction's first touch
+      // of this propagation epoch (it may carry committed-but-unpropagated
+      // bytes of earlier transactions — last_propagated may not).
+      const std::vector<uint8_t>& before =
+          frame->has_pending_before ? frame->pending_before
+                                    : frame->last_propagated;
+      LogRecord bi;
+      bi.type = LogRecordType::kBeforeImage;
+      bi.txn = txn_id;
+      bi.page = frame->page;
+      bi.before = before;
+      RDA_ASSIGN_OR_RETURN(const Lsn lsn, log_->Append(bi));
+      txn->logged_undos.push_back(
+          LoggedUndo{frame->page, false, 0, before, lsn});
+      ++stats_.before_images_logged;
+    } else {
+      // One record-granular before-image per slot this transaction touched
+      // since the last propagation, valued at the slot's logical
+      // before-state (captured with the pending entry).
+      std::vector<RecordSlot> seen;
+      for (const PendingMod& pending : frame->pending_mods) {
+        if (pending.txn != txn_id ||
+            std::find(seen.begin(), seen.end(), pending.slot) !=
+                seen.end()) {
+          continue;
+        }
+        seen.push_back(pending.slot);
+        LogRecord bi;
+        bi.type = LogRecordType::kBeforeImage;
+        bi.txn = txn_id;
+        bi.page = frame->page;
+        bi.slot = pending.slot;
+        bi.record_granular = true;
+        bi.before = pending.before;
+        RDA_ASSIGN_OR_RETURN(const Lsn lsn, log_->Append(bi));
+        txn->logged_undos.push_back(
+            LoggedUndo{frame->page, true, pending.slot, pending.before,
+                       lsn});
+        ++stats_.before_images_logged;
+      }
+    }
+  }
+  // WAL: undo information must be stable before the page is overwritten.
+  return log_->Flush();
+}
+
+bool TransactionManager::UnloggedCoverageExact(Frame* frame, TxnId txn) {
+  // Parity undo restores the page to its last PROPAGATED state. That is
+  // only the correct logical rollback if everything the frame changed since
+  // the last propagation belongs to `txn`: any committed-but-unpropagated
+  // bytes of earlier transactions (notFORCE) would be wiped with it. When
+  // the logical before-state differs from the propagated state, fall back
+  // to a logged steal whose before-image carries the committed bytes.
+  if (config_.logging_mode == LoggingMode::kPageLogging) {
+    return !frame->has_pending_before ||
+           frame->pending_before == frame->last_propagated;
+  }
+  // Record mode: reconstruct "last_propagated + txn's pending changes" and
+  // require it to equal the current payload outside the meta region.
+  std::vector<uint8_t> expected = frame->last_propagated;
+  RecordPageView expected_view(&expected, config_.record_size);
+  std::vector<uint8_t> snapshot = frame->payload;
+  RecordPageView payload_view(&snapshot, config_.record_size);
+  for (const PendingMod& pending : frame->pending_mods) {
+    if (pending.txn != txn) {
+      return false;  // Another (committed) txn's pending change.
+    }
+    // The slot's pre-modification value must be the propagated one.
+    std::vector<uint8_t> propagated;
+    if (!expected_view.Read(pending.slot, &propagated).ok() ||
+        propagated != pending.before) {
+      return false;
+    }
+    std::vector<uint8_t> current;
+    if (!payload_view.Read(pending.slot, &current).ok() ||
+        !expected_view.Write(pending.slot, current).ok()) {
+      return false;
+    }
+  }
+  return std::equal(expected.begin() + kDataRegionOffset, expected.end(),
+                    snapshot.begin() + kDataRegionOffset);
+}
+
+Status TransactionManager::PropagateFrame(Frame* frame) {
+  // Active modifiers only; committed/aborted ones were detached at EOT.
+  std::vector<TxnId> modifiers;
+  for (const TxnId id : frame->modifiers) {
+    Transaction* txn = Find(id);
+    if (txn != nullptr && txn->state == TxnState::kActive) {
+      modifiers.push_back(id);
+    }
+  }
+
+  DataPageMeta meta = LoadDataMeta(frame->payload);
+  meta.chain_prev = kInvalidPageId;
+
+  if (modifiers.size() == 1 && config_.rda_undo &&
+      UnloggedCoverageExact(frame, modifiers[0])) {
+    const TxnId owner = modifiers[0];
+    const PropagationKind kind = parity_->Classify(frame->page, owner);
+    if (kind == PropagationKind::kUnloggedFirst ||
+        kind == PropagationKind::kUnloggedRepeat) {
+      Transaction* txn = Find(owner);
+      RDA_RETURN_IF_ERROR(EnsureBot(txn));
+      if (!txn->chain_head_logged) {
+        // The paper pairs the chain head with the BOT record (the
+        // (l_bc + l_h) term); one small record per transaction that ever
+        // propagates without UNDO logging.
+        LogRecord head;
+        head.type = LogRecordType::kChainHead;
+        head.txn = owner;
+        head.chain_head = frame->page;
+        RDA_RETURN_IF_ERROR(log_->Append(std::move(head)).status());
+        txn->chain_head_logged = true;
+      }
+      RDA_RETURN_IF_ERROR(log_->Flush());
+
+      meta.txn_id = owner;
+      meta.chain_prev =
+          (kind == PropagationKind::kUnloggedFirst) ? txn->chain_head
+                                                    : meta.chain_prev;
+      if (kind == PropagationKind::kUnloggedRepeat) {
+        // Re-steal of the same page: it is already on the chain.
+        meta.chain_prev = LoadDataMeta(frame->payload).chain_prev;
+      }
+      StoreDataMeta(meta, &frame->payload);
+
+      PageImage image(0);
+      image.payload = frame->payload;
+      RDA_RETURN_IF_ERROR(parity_->Propagate(frame->page, owner, kind,
+                                             &frame->last_propagated, image));
+      if (kind == PropagationKind::kUnloggedFirst) {
+        txn->NoteDirtiedGroup(
+            parity_->array()->layout().GroupOf(frame->page));
+        txn->chain_head = frame->page;
+      }
+      ++stats_.before_images_avoided;
+      return Status::Ok();
+    }
+  }
+
+  // Logged (or plain committed-data) propagation.
+  if (!modifiers.empty()) {
+    RDA_RETURN_IF_ERROR(LogBeforeImagesForSteal(frame, modifiers));
+  }
+  // If this page is the covered (dirty) page of its group, its embedded
+  // txn stamp and chain link are the parity-undo bookkeeping of the
+  // covering transaction — a logged rewrite must NOT clear them.
+  const GroupState& group_state = parity_->directory().Get(
+      parity_->array()->layout().GroupOf(frame->page));
+  if (group_state.dirty && group_state.dirty_page == frame->page) {
+    meta.txn_id = group_state.dirty_txn;
+    meta.chain_prev = LoadDataMeta(frame->payload).chain_prev;
+  } else {
+    meta.txn_id = kInvalidTxnId;
+  }
+  StoreDataMeta(meta, &frame->payload);
+  PageImage image(0);
+  image.payload = frame->payload;
+  return parity_->Propagate(frame->page, kInvalidTxnId,
+                            PropagationKind::kPlain, &frame->last_propagated,
+                            image);
+}
+
+Status TransactionManager::LogAfterImages(Transaction* txn) {
+  if (!config_.log_after_images) {
+    return Status::Ok();
+  }
+  if (config_.logging_mode == LoggingMode::kPageLogging) {
+    for (const PageId page : txn->modified_pages) {
+      LogRecord ai;
+      ai.type = LogRecordType::kAfterImage;
+      ai.txn = txn->id();
+      ai.page = page;
+      if (Frame* frame = pool_.Lookup(page)) {
+        ai.after = frame->payload;
+      } else {
+        // Stolen and evicted: the latest content is on disk.
+        PageImage image;
+        RDA_RETURN_IF_ERROR(parity_->array()->ReadData(page, &image));
+        ai.after = std::move(image.payload);
+      }
+      RDA_RETURN_IF_ERROR(log_->Append(std::move(ai)).status());
+    }
+    return Status::Ok();
+  }
+  for (const RecordWrite& write : txn->record_writes) {
+    LogRecord ai;
+    ai.type = LogRecordType::kAfterImage;
+    ai.txn = txn->id();
+    ai.page = write.page;
+    ai.slot = write.slot;
+    ai.record_granular = true;
+    ai.after = write.after;
+    RDA_RETURN_IF_ERROR(log_->Append(std::move(ai)).status());
+  }
+  return Status::Ok();
+}
+
+Status TransactionManager::Commit(TxnId txn_id) {
+  Transaction* txn = Find(txn_id);
+  RDA_RETURN_IF_ERROR(RequireActive(txn));
+
+  if (config_.force) {
+    // FORCE discipline: propagate every modified page before EOT. The
+    // transaction is still active, so Figure 3 applies — this is where the
+    // FORCE/TOC algorithms harvest unlogged propagations.
+    for (const PageId page : txn->modified_pages) {
+      Frame* frame = pool_.Lookup(page);
+      if (frame != nullptr && frame->dirty) {
+        RDA_RETURN_IF_ERROR(pool_.PropagateFrame(frame));
+      }
+    }
+  }
+
+  if (txn->bot_logged) {
+    RDA_RETURN_IF_ERROR(LogAfterImages(txn));
+    LogRecord commit;
+    commit.type = LogRecordType::kCommit;
+    commit.txn = txn_id;
+    RDA_RETURN_IF_ERROR(log_->Append(std::move(commit)).status());
+    RDA_RETURN_IF_ERROR(log_->Flush());
+  }
+
+  // After the commit point, finalize the twin parity of dirtied groups
+  // (crash between the two is rolled forward by recovery).
+  for (const GroupId group : txn->dirtied_groups) {
+    RDA_RETURN_IF_ERROR(parity_->FinalizeCommit(group, txn_id));
+  }
+
+  for (const PageId page : txn->modified_pages) {
+    if (Frame* frame = pool_.Lookup(page)) {
+      frame->RemoveModifier(txn_id);
+      frame->record_mods.erase(
+          std::remove_if(frame->record_mods.begin(), frame->record_mods.end(),
+                         [txn_id](const RecordMod& mod) {
+                           return mod.txn == txn_id;
+                         }),
+          frame->record_mods.end());
+      // pending_mods stay: committed slots still need before-images? No —
+      // committed data needs no UNDO; drop this transaction's entries.
+      frame->pending_mods.erase(
+          std::remove_if(frame->pending_mods.begin(),
+                         frame->pending_mods.end(),
+                         [txn_id](const PendingMod& mod) {
+                           return mod.txn == txn_id;
+                         }),
+          frame->pending_mods.end());
+      // The next transaction's first write must capture ITS logical
+      // before-state (which now includes this commit's bytes).
+      if (frame->modifiers.empty()) {
+        frame->has_pending_before = false;
+        frame->pending_before.clear();
+      }
+    }
+  }
+
+  locks_->ReleaseAll(txn_id);
+  txn->state = TxnState::kCommitted;
+  ++stats_.committed;
+  return Status::Ok();
+}
+
+Status TransactionManager::UndoDiskState(
+    Transaction* txn,
+    std::unordered_map<PageId, std::vector<uint8_t>>* restored_disk) {
+  // Logged before-images FIRST, in reverse LSN order. A before-image taken
+  // at a later steal may contain this transaction's own bytes from an
+  // earlier UNLOGGED steal; restoring it first re-creates exactly the state
+  // the parity undo then cancels: P xor P' equals the unlogged steal's
+  // delta, so applying the parity undo LAST lands on the pre-transaction
+  // image (see DESIGN.md 4.3).
+  for (auto it = txn->logged_undos.rbegin(); it != txn->logged_undos.rend();
+       ++it) {
+    const LoggedUndo& undo = *it;
+    if (!undo.record_granular) {
+      RDA_RETURN_IF_ERROR(parity_->ApplyLoggedUndo(undo.page, undo.before));
+      (*restored_disk)[undo.page] = undo.before;
+      continue;
+    }
+    // Record-granular: patch the slot inside the current on-disk payload.
+    std::vector<uint8_t> payload;
+    auto cached = restored_disk->find(undo.page);
+    if (cached != restored_disk->end()) {
+      payload = cached->second;
+    } else {
+      PageImage image;
+      RDA_RETURN_IF_ERROR(parity_->array()->ReadData(undo.page, &image));
+      payload = std::move(image.payload);
+    }
+    RecordPageView view(&payload, config_.record_size);
+    RDA_RETURN_IF_ERROR(view.Write(undo.slot, undo.before));
+    DataPageMeta meta = LoadDataMeta(payload);
+    const GroupState& undo_group = parity_->directory().Get(
+        parity_->array()->layout().GroupOf(undo.page));
+    if (!(undo_group.dirty && undo_group.dirty_page == undo.page)) {
+      meta.txn_id = kInvalidTxnId;  // Keep the covering txn's stamp intact.
+    }
+    meta.page_lsn = 0;  // Mixed state: force full REDO replay after a crash.
+    StoreDataMeta(meta, &payload);
+    RDA_RETURN_IF_ERROR(parity_->ApplyLoggedUndo(undo.page, payload));
+    (*restored_disk)[undo.page] = std::move(payload);
+  }
+
+  // Parity undo LAST: cancels each dirtied group's unlogged delta exactly.
+  for (const GroupId group : txn->dirtied_groups) {
+    const GroupState& state = parity_->directory().Get(group);
+    if (!state.dirty || state.dirty_txn != txn->id()) {
+      continue;  // Already finalized or undone.
+    }
+    RDA_ASSIGN_OR_RETURN(ParityUndoResult undo,
+                         parity_->UndoUnloggedUpdate(group, txn->id()));
+    if (undo.payload_restored) {
+      (*restored_disk)[undo.page] = std::move(undo.restored_payload);
+    }
+  }
+  return Status::Ok();
+}
+
+void TransactionManager::CleanBufferAfterAbort(
+    Transaction* txn,
+    const std::unordered_map<PageId, std::vector<uint8_t>>& restored_disk) {
+  if (config_.logging_mode == LoggingMode::kPageLogging) {
+    // Pages are not shared between active transactions under page locking,
+    // but the frame may hold committed-but-unpropagated bytes of EARLIER
+    // transactions (notFORCE) underneath this one's writes — so instead of
+    // discarding, restore the frame to the logical before-state: the
+    // disk-undo result if the page was propagated, else the captured
+    // pending_before snapshot.
+    for (const PageId page : txn->modified_pages) {
+      Frame* frame = pool_.Lookup(page);
+      if (frame == nullptr) {
+        continue;
+      }
+      auto restored = restored_disk.find(page);
+      if (restored != restored_disk.end()) {
+        frame->payload = restored->second;
+        frame->last_propagated = restored->second;
+      } else if (frame->has_pending_before) {
+        frame->payload = frame->pending_before;
+      }
+      frame->RemoveModifier(txn->id());
+      frame->pending_mods.clear();
+      frame->has_pending_before = false;
+      frame->pending_before.clear();
+      frame->dirty = frame->payload != frame->last_propagated;
+    }
+    return;
+  }
+  for (const PageId page : txn->modified_pages) {
+    Frame* frame = pool_.Lookup(page);
+    if (frame == nullptr) {
+      continue;
+    }
+    auto restored = restored_disk.find(page);
+    if (restored != restored_disk.end()) {
+      // The disk-level undo rewrote this page; the frame may hold stale
+      // content from before an earlier steal (its in-buffer undo info was
+      // lost with the eviction). Reconcile: every slot this transaction
+      // ever wrote takes its restored on-disk (pre-transaction) value;
+      // every other slot keeps the buffer value — that preserves other
+      // active transactions' changes and committed-but-unpropagated data.
+      RecordPageView frame_view(&frame->payload, config_.record_size);
+      std::vector<uint8_t> restored_copy = restored->second;
+      RecordPageView disk_view(&restored_copy, config_.record_size);
+      for (const RecordWrite& write : txn->record_writes) {
+        if (write.page != page) {
+          continue;
+        }
+        std::vector<uint8_t> bytes;
+        if (disk_view.Read(write.slot, &bytes).ok()) {
+          frame_view.Write(write.slot, bytes).ok();
+        }
+      }
+    } else {
+      // Never propagated: revert this transaction's record modifications
+      // in reverse append order (stamps can tie when no log append
+      // happened between updates, so the vector order is the authority).
+      std::vector<const RecordMod*> mine;
+      for (const RecordMod& mod : frame->record_mods) {
+        if (mod.txn == txn->id()) {
+          mine.push_back(&mod);
+        }
+      }
+      RecordPageView view(&frame->payload, config_.record_size);
+      for (auto it = mine.rbegin(); it != mine.rend(); ++it) {
+        view.Write((*it)->slot, (*it)->before).ok();
+      }
+    }
+    frame->record_mods.erase(
+        std::remove_if(
+            frame->record_mods.begin(), frame->record_mods.end(),
+            [txn](const RecordMod& mod) { return mod.txn == txn->id(); }),
+        frame->record_mods.end());
+    frame->pending_mods.erase(
+        std::remove_if(
+            frame->pending_mods.begin(), frame->pending_mods.end(),
+            [txn](const PendingMod& mod) { return mod.txn == txn->id(); }),
+        frame->pending_mods.end());
+    frame->RemoveModifier(txn->id());
+    if (restored != restored_disk.end()) {
+      frame->last_propagated = restored->second;
+    }
+    if (frame->modifiers.empty() && frame->record_mods.empty() &&
+        frame->payload == frame->last_propagated) {
+      frame->dirty = false;
+    }
+  }
+}
+
+Status TransactionManager::Abort(TxnId txn_id) {
+  Transaction* txn = Find(txn_id);
+  RDA_RETURN_IF_ERROR(RequireActive(txn));
+
+  std::unordered_map<PageId, std::vector<uint8_t>> restored_disk;
+  RDA_RETURN_IF_ERROR(UndoDiskState(txn, &restored_disk));
+  CleanBufferAfterAbort(txn, restored_disk);
+
+  if (txn->bot_logged) {
+    LogRecord done;
+    done.type = LogRecordType::kAbortComplete;
+    done.txn = txn_id;
+    RDA_RETURN_IF_ERROR(log_->Append(std::move(done)).status());
+    RDA_RETURN_IF_ERROR(log_->Flush());
+  }
+
+  locks_->ReleaseAll(txn_id);
+  txn->state = TxnState::kAborted;
+  ++stats_.aborted;
+  return Status::Ok();
+}
+
+void TransactionManager::LoseVolatileState() {
+  pool_.LoseAll();
+  locks_->Clear();
+  txns_.clear();
+}
+
+}  // namespace rda

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/xor_util.h"
+
+namespace rda {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  const Status status = Status::Corruption("bad page");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsCorruption());
+  EXPECT_EQ(status.message(), "bad page");
+  EXPECT_EQ(status.ToString(), "CORRUPTION: bad page");
+}
+
+TEST(StatusTest, AllCodesRoundTrip) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 7);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> result(Status::NotFound("missing"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  std::vector<int> taken = std::move(result).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(42);
+  Random b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (a.Next() == b.Next());
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RandomTest, UniformRespectsBound) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.UniformRange(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // All four values appear.
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyFair) {
+  Random rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.Bernoulli(0.5);
+  }
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(RandomTest, FillBytesCoversWholeBuffer) {
+  Random rng(17);
+  std::vector<uint8_t> bytes(37, 0);
+  rng.FillBytes(&bytes);
+  int nonzero = 0;
+  for (const uint8_t b : bytes) {
+    nonzero += (b != 0);
+  }
+  EXPECT_GT(nonzero, 25);  // Random bytes are rarely zero.
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32C("123456789") = 0xE3069283 (RFC 3720 test vector).
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32c(data, 9), 0xE3069283u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32c(nullptr, 0), 0u); }
+
+TEST(Crc32Test, SeedChainsIncrementally) {
+  const char data[] = "hello world";
+  const uint32_t whole = Crc32c(data, 11);
+  const uint32_t first = Crc32c(data, 5);
+  const uint32_t chained = Crc32c(data + 5, 6, first);
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<uint8_t> data(128, 0x3c);
+  const uint32_t before = Crc32c(data.data(), data.size());
+  data[77] ^= 0x01;
+  EXPECT_NE(before, Crc32c(data.data(), data.size()));
+}
+
+TEST(XorTest, SelfInverse) {
+  Random rng(23);
+  std::vector<uint8_t> a(100);
+  std::vector<uint8_t> b(100);
+  rng.FillBytes(&a);
+  rng.FillBytes(&b);
+  std::vector<uint8_t> original = a;
+  XorInto(&a, b);
+  EXPECT_NE(a, original);
+  XorInto(&a, b);
+  EXPECT_EQ(a, original);
+}
+
+TEST(XorTest, OddSizesHandled) {
+  for (const size_t size : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u}) {
+    std::vector<uint8_t> a(size, 0xff);
+    std::vector<uint8_t> b(size, 0x0f);
+    XorInto(&a, b);
+    for (const uint8_t byte : a) {
+      EXPECT_EQ(byte, 0xf0);
+    }
+  }
+}
+
+TEST(XorTest, AllZeroDetector) {
+  std::vector<uint8_t> zero(64, 0);
+  EXPECT_TRUE(AllZero(zero.data(), zero.size()));
+  zero[63] = 1;
+  EXPECT_FALSE(AllZero(zero.data(), zero.size()));
+}
+
+// Parity algebra property: XOR of any even multiset of pages cancels —
+// the identity behind D_old = (P xor P') xor D_new.
+TEST(XorTest, ParityUndoIdentity) {
+  Random rng(31);
+  std::vector<uint8_t> d_old(256);
+  std::vector<uint8_t> d_new(256);
+  std::vector<uint8_t> others(256);  // XOR of the group's other pages.
+  rng.FillBytes(&d_old);
+  rng.FillBytes(&d_new);
+  rng.FillBytes(&others);
+
+  // P  = parity before the update, P' = parity after.
+  std::vector<uint8_t> p = others;
+  XorInto(&p, d_old);
+  std::vector<uint8_t> p_prime = others;
+  XorInto(&p_prime, d_new);
+
+  std::vector<uint8_t> recovered = p;
+  XorInto(&recovered, p_prime);
+  XorInto(&recovered, d_new);
+  EXPECT_EQ(recovered, d_old);
+}
+
+}  // namespace
+}  // namespace rda

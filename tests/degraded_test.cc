@@ -1,0 +1,293 @@
+// Degraded-mode operation: the availability motivation of redundant arrays
+// (paper Section 1) — the database keeps serving reads AND writes while a
+// disk is down, and a later rebuild materializes everything. Also covers
+// the full-stripe bulk load and crash-during-recovery fault injection.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/database.h"
+
+namespace rda {
+namespace {
+
+DatabaseOptions BaseOptions() {
+  DatabaseOptions options;
+  options.array.data_pages_per_group = 4;
+  options.array.parity_copies = 2;
+  options.array.min_data_pages = 48;
+  options.array.page_size = 128;
+  options.buffer.capacity = 12;
+  options.txn.force = true;
+  options.txn.rda_undo = true;
+  return options;
+}
+
+class DegradedTest : public ::testing::Test {
+ protected:
+  void Open(const DatabaseOptions& options = BaseOptions()) {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  Status WriteTxn(PageId page, uint8_t fill) {
+    auto txn = db_->Begin();
+    RDA_RETURN_IF_ERROR(txn.status());
+    RDA_RETURN_IF_ERROR(db_->WritePage(
+        *txn, page, std::vector<uint8_t>(db_->user_page_size(), fill)));
+    return db_->Commit(*txn);
+  }
+
+  uint8_t DiskByte(PageId page) {
+    auto payload = db_->RawReadPage(page);
+    EXPECT_TRUE(payload.ok()) << payload.status().ToString();
+    return (*payload)[kDataRegionOffset];
+  }
+
+  // Disk hosting `page`'s data.
+  DiskId DataDiskOf(PageId page) {
+    return db_->array()->layout().DataLocation(page).disk;
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DegradedTest, CommittedWriteWithDataDiskDown) {
+  Open();
+  ASSERT_TRUE(WriteTxn(1, 0x11).ok());
+  const DiskId victim = DataDiskOf(1);
+  ASSERT_TRUE(db_->FailDisk(victim).ok());
+
+  // The write succeeds in degraded mode (parity carries it) ...
+  ASSERT_TRUE(WriteTxn(1, 0x22).ok());
+  // ... degraded reads see the new content ...
+  EXPECT_EQ(DiskByte(1), 0x22);
+  // ... and the rebuild materializes it.
+  ASSERT_TRUE(db_->RebuildDisk(victim).ok());
+  EXPECT_EQ(DiskByte(1), 0x22);
+  auto ok = db_->VerifyAllParity();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DegradedTest, UnloggedStealRefusedWhileDegraded) {
+  Open();
+  const DiskId victim = DataDiskOf(1);
+  ASSERT_TRUE(db_->FailDisk(victim).ok());
+  // Classify falls back to plain, so the steal logs a before-image instead
+  // of relying on undo coverage it cannot guarantee.
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*txn, 1,
+                             std::vector<uint8_t>(db_->user_page_size(),
+                                                  0x33))
+                  .ok());
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+  EXPECT_EQ(db_->txn_manager()->stats().before_images_avoided, 0u);
+  EXPECT_GE(db_->txn_manager()->stats().before_images_logged, 1u);
+  EXPECT_EQ(DiskByte(1), 0x33);
+  ASSERT_TRUE(db_->RebuildDisk(victim).ok());
+  EXPECT_EQ(DiskByte(1), 0x33);
+}
+
+TEST_F(DegradedTest, AbortWithDataDiskDownUndoesInParitySpace) {
+  Open();
+  ASSERT_TRUE(WriteTxn(2, 0x11).ok());
+  // Dirty the group while healthy, then lose the covered page's disk.
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*txn, 2,
+                             std::vector<uint8_t>(db_->user_page_size(),
+                                                  0x99))
+                  .ok());
+  Frame* frame = db_->txn_manager()->pool()->Lookup(2);
+  ASSERT_TRUE(db_->txn_manager()->pool()->PropagateFrame(frame).ok());
+  ASSERT_TRUE(db_->parity()->directory().Get(0).dirty);
+
+  ASSERT_TRUE(db_->FailDisk(DataDiskOf(2)).ok());
+  ASSERT_TRUE(db_->Abort(*txn).ok());
+  // Degraded read must show the pre-transaction content.
+  EXPECT_EQ(DiskByte(2), 0x11);
+  ASSERT_TRUE(db_->RebuildDisk(DataDiskOf(2)).ok());
+  EXPECT_EQ(DiskByte(2), 0x11);
+  auto ok = db_->VerifyAllParity();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DegradedTest, WritesWithParityDiskDownSurviveRebuild) {
+  Open();
+  // Fail the disk holding group 0's valid twin; committed writes continue
+  // (parity on that twin goes stale) and the rebuild recomputes it.
+  const GroupState& state = db_->parity()->directory().Get(0);
+  const DiskId victim =
+      db_->array()->layout().ParityLocation(0, state.valid_twin).disk;
+  ASSERT_TRUE(db_->FailDisk(victim).ok());
+  ASSERT_TRUE(WriteTxn(0, 0x44).ok());
+  ASSERT_TRUE(WriteTxn(1, 0x45).ok());
+  EXPECT_EQ(DiskByte(0), 0x44);
+  ASSERT_TRUE(db_->RebuildDisk(victim).ok());
+  EXPECT_EQ(DiskByte(0), 0x44);
+  EXPECT_EQ(DiskByte(1), 0x45);
+  auto ok = db_->VerifyAllParity();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DegradedTest, MixedWorkloadAcrossFailureAndRebuild) {
+  Open();
+  Random rng(31);
+  std::vector<uint8_t> expected(db_->num_pages(), 0);
+  auto churn = [&](int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      const PageId page =
+          static_cast<PageId>(rng.Uniform(db_->num_pages()));
+      const uint8_t fill = static_cast<uint8_t>(rng.UniformRange(1, 250));
+      ASSERT_TRUE(WriteTxn(page, fill).ok());
+      expected[page] = fill;
+    }
+  };
+  churn(30);
+  ASSERT_TRUE(db_->FailDisk(2).ok());
+  churn(30);  // Degraded operation.
+  ASSERT_TRUE(db_->RebuildDisk(2).ok());
+  churn(30);
+  for (PageId page = 0; page < db_->num_pages(); ++page) {
+    ASSERT_EQ(DiskByte(page), expected[page]) << "page " << page;
+  }
+  auto ok = db_->VerifyAllParity();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+// ---------------------------------------------------------------------------
+// Full-stripe bulk load.
+// ---------------------------------------------------------------------------
+
+TEST_F(DegradedTest, BulkLoadRoundTripsAndKeepsParity) {
+  Open();
+  std::vector<std::vector<uint8_t>> pages(db_->num_pages());
+  Random rng(7);
+  for (PageId page = 0; page < db_->num_pages(); ++page) {
+    pages[page].assign(db_->user_page_size(), 0);
+    rng.FillBytes(&pages[page]);
+  }
+  ASSERT_TRUE(db_->BulkLoad(pages).ok());
+  for (PageId page = 0; page < db_->num_pages(); ++page) {
+    auto payload = db_->RawReadPage(page);
+    ASSERT_TRUE(payload.ok());
+    EXPECT_TRUE(std::equal(pages[page].begin(), pages[page].end(),
+                           payload->begin() + kDataRegionOffset))
+        << "page " << page;
+  }
+  auto ok = db_->VerifyAllParity();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DegradedTest, BulkLoadCheaperThanTransactionalLoad) {
+  Open();
+  std::vector<std::vector<uint8_t>> pages(
+      db_->num_pages(), std::vector<uint8_t>(db_->user_page_size(), 0x17));
+  db_->array()->ResetCounters();
+  ASSERT_TRUE(db_->BulkLoad(pages).ok());
+  const uint64_t bulk = db_->array()->counters().total();
+
+  Open();  // Fresh database for the transactional variant.
+  db_->array()->ResetCounters();
+  for (PageId page = 0; page < db_->num_pages(); ++page) {
+    ASSERT_TRUE(WriteTxn(page, 0x17).ok());
+  }
+  const uint64_t transactional = db_->array()->counters().total();
+  EXPECT_LT(bulk * 2, transactional)
+      << "full-stripe load should be at least 2x cheaper";
+}
+
+TEST_F(DegradedTest, BulkLoadValidatesInput) {
+  Open();
+  EXPECT_TRUE(db_->BulkLoad(std::vector<std::vector<uint8_t>>(
+                               db_->num_pages() + 1,
+                               std::vector<uint8_t>(db_->user_page_size())))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      db_->BulkLoad({std::vector<uint8_t>(3)}).IsInvalidArgument());
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*txn, 0,
+                             std::vector<uint8_t>(db_->user_page_size(), 1))
+                  .ok());
+  EXPECT_TRUE(db_->BulkLoad({std::vector<uint8_t>(db_->user_page_size())})
+                  .IsFailedPrecondition());
+}
+
+TEST_F(DegradedTest, FullGroupWriteRefusedForDirtyGroup) {
+  Open();
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*txn, 0,
+                             std::vector<uint8_t>(db_->user_page_size(),
+                                                  0x55))
+                  .ok());
+  Frame* frame = db_->txn_manager()->pool()->Lookup(0);
+  ASSERT_TRUE(db_->txn_manager()->pool()->PropagateFrame(frame).ok());
+  std::vector<std::vector<uint8_t>> payloads(
+      4, std::vector<uint8_t>(db_->array()->page_size(), 0));
+  EXPECT_TRUE(
+      db_->parity()->WriteFullGroup(0, payloads).IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// Crash during recovery.
+// ---------------------------------------------------------------------------
+
+TEST_F(DegradedTest, CrashDuringRecoveryConvergesAtEveryFaultPoint) {
+  for (uint64_t fault_at = 0; fault_at < 12; ++fault_at) {
+    Open();  // Fresh database per fault point.
+    // Workload: a winner needing redo, a loser needing parity undo, a
+    // loser needing log undo, and a winner needing twin finalization.
+    DatabaseOptions options = BaseOptions();
+    options.txn.force = false;
+    Open(options);
+    auto winner = db_->Begin();
+    ASSERT_TRUE(db_->WritePage(*winner, 0,
+                               std::vector<uint8_t>(db_->user_page_size(),
+                                                    0xA1))
+                    .ok());
+    ASSERT_TRUE(db_->Commit(*winner).ok());
+    auto loser1 = db_->Begin();
+    ASSERT_TRUE(db_->WritePage(*loser1, 4,
+                               std::vector<uint8_t>(db_->user_page_size(),
+                                                    0xB1))
+                    .ok());
+    Frame* frame = db_->txn_manager()->pool()->Lookup(4);
+    ASSERT_TRUE(db_->txn_manager()->pool()->PropagateFrame(frame).ok());
+    auto loser2 = db_->Begin();
+    ASSERT_TRUE(db_->WritePage(*loser2, 8,
+                               std::vector<uint8_t>(db_->user_page_size(),
+                                                    0xC1))
+                    .ok());
+    ASSERT_TRUE(db_->WritePage(*loser2, 9,
+                               std::vector<uint8_t>(db_->user_page_size(),
+                                                    0xC2))
+                    .ok());
+    for (const PageId page : {8u, 9u}) {
+      Frame* f = db_->txn_manager()->pool()->Lookup(page);
+      ASSERT_TRUE(db_->txn_manager()->pool()->PropagateFrame(f).ok());
+    }
+
+    db_->Crash();
+    auto faulty = db_->RecoverWithInjectedFault(fault_at);
+    if (!faulty.ok()) {
+      EXPECT_TRUE(faulty.status().IsAborted());
+      // The "re-crash": volatile state gone again, then a clean recovery.
+      db_->Crash();
+      ASSERT_TRUE(db_->Recover().ok()) << "fault point " << fault_at;
+    }
+    EXPECT_EQ(DiskByte(0), 0xA1) << "fault point " << fault_at;
+    EXPECT_EQ(DiskByte(4), 0x00) << "fault point " << fault_at;
+    EXPECT_EQ(DiskByte(8), 0x00) << "fault point " << fault_at;
+    EXPECT_EQ(DiskByte(9), 0x00) << "fault point " << fault_at;
+    auto ok = db_->VerifyAllParity();
+    ASSERT_TRUE(ok.ok());
+    ASSERT_TRUE(*ok) << "fault point " << fault_at;
+  }
+}
+
+}  // namespace
+}  // namespace rda

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "lock/lock_manager.h"
+
+namespace rda {
+namespace {
+
+TEST(LockKeyTest, EncodingDistinguishesResources) {
+  EXPECT_NE(LockKey::Page(1).Encoded(), LockKey::Page(2).Encoded());
+  EXPECT_NE(LockKey::Page(1).Encoded(), LockKey::Record(1, 0).Encoded());
+  EXPECT_NE(LockKey::Record(1, 0).Encoded(), LockKey::Record(1, 1).Encoded());
+}
+
+TEST(LockManagerTest, SharedLocksCompatible) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(5), LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(2, LockKey::Page(5), LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Holds(1, LockKey::Page(5), LockMode::kShared));
+  EXPECT_TRUE(locks.Holds(2, LockKey::Page(5), LockMode::kShared));
+}
+
+TEST(LockManagerTest, ExclusiveConflicts) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(5), LockMode::kExclusive).ok());
+  EXPECT_TRUE(
+      locks.Acquire(2, LockKey::Page(5), LockMode::kShared).IsBusy());
+  EXPECT_TRUE(
+      locks.Acquire(2, LockKey::Page(5), LockMode::kExclusive).IsBusy());
+}
+
+TEST(LockManagerTest, ReacquireIsIdempotent) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(5), LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(5), LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(5), LockMode::kShared).ok());
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(5), LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(5), LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Holds(1, LockKey::Page(5), LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReaders) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(5), LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(2, LockKey::Page(5), LockMode::kShared).ok());
+  EXPECT_TRUE(
+      locks.Acquire(1, LockKey::Page(5), LockMode::kExclusive).IsBusy());
+  // Still holds the shared lock.
+  EXPECT_TRUE(locks.Holds(1, LockKey::Page(5), LockMode::kShared));
+  EXPECT_FALSE(locks.Holds(1, LockKey::Page(5), LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, ReleaseAllFreesResources) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(1), LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(2), LockMode::kShared).ok());
+  EXPECT_EQ(locks.HeldCount(1), 2u);
+  locks.ReleaseAll(1);
+  EXPECT_EQ(locks.HeldCount(1), 0u);
+  EXPECT_EQ(locks.LockedResourceCount(), 0u);
+  EXPECT_TRUE(locks.Acquire(2, LockKey::Page(1), LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, RecordLocksIndependentOfEachOther) {
+  LockManager locks;
+  EXPECT_TRUE(
+      locks.Acquire(1, LockKey::Record(9, 0), LockMode::kExclusive).ok());
+  EXPECT_TRUE(
+      locks.Acquire(2, LockKey::Record(9, 1), LockMode::kExclusive).ok());
+  EXPECT_TRUE(
+      locks.Acquire(2, LockKey::Record(9, 0), LockMode::kShared).IsBusy());
+}
+
+TEST(LockManagerTest, DeadlockCycleDetected) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(1), LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(2, LockKey::Page(2), LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(2), LockMode::kExclusive)
+                  .IsBusy());  // 1 waits on 2.
+  EXPECT_FALSE(locks.WouldDeadlock(1));
+  EXPECT_TRUE(locks.Acquire(2, LockKey::Page(1), LockMode::kExclusive)
+                  .IsBusy());  // 2 waits on 1: cycle.
+  EXPECT_TRUE(locks.WouldDeadlock(1));
+  EXPECT_TRUE(locks.WouldDeadlock(2));
+}
+
+TEST(LockManagerTest, ThreeWayDeadlockDetected) {
+  LockManager locks;
+  for (TxnId t = 1; t <= 3; ++t) {
+    EXPECT_TRUE(
+        locks.Acquire(t, LockKey::Page(static_cast<PageId>(t)),
+                      LockMode::kExclusive)
+            .ok());
+  }
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(2), LockMode::kExclusive)
+                  .IsBusy());
+  EXPECT_TRUE(locks.Acquire(2, LockKey::Page(3), LockMode::kExclusive)
+                  .IsBusy());
+  EXPECT_FALSE(locks.WouldDeadlock(2));
+  EXPECT_TRUE(locks.Acquire(3, LockKey::Page(1), LockMode::kExclusive)
+                  .IsBusy());
+  EXPECT_TRUE(locks.WouldDeadlock(1));
+  EXPECT_TRUE(locks.WouldDeadlock(3));
+}
+
+TEST(LockManagerTest, AbortBreaksDeadlock) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(1), LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(2, LockKey::Page(2), LockMode::kExclusive).ok());
+  EXPECT_TRUE(
+      locks.Acquire(1, LockKey::Page(2), LockMode::kExclusive).IsBusy());
+  EXPECT_TRUE(
+      locks.Acquire(2, LockKey::Page(1), LockMode::kExclusive).IsBusy());
+  locks.ReleaseAll(2);  // Victim aborts.
+  EXPECT_FALSE(locks.WouldDeadlock(1));
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(2), LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, GrantClearsWaitEdges) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(1), LockMode::kExclusive).ok());
+  EXPECT_TRUE(
+      locks.Acquire(2, LockKey::Page(1), LockMode::kExclusive).IsBusy());
+  locks.ReleaseAll(1);
+  EXPECT_TRUE(locks.Acquire(2, LockKey::Page(1), LockMode::kExclusive).ok());
+  EXPECT_FALSE(locks.WouldDeadlock(2));
+}
+
+TEST(LockManagerTest, CancelWaitsForgetsEdges) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(1), LockMode::kExclusive).ok());
+  EXPECT_TRUE(
+      locks.Acquire(2, LockKey::Page(1), LockMode::kExclusive).IsBusy());
+  locks.CancelWaits(2);
+  EXPECT_TRUE(locks.Acquire(2, LockKey::Page(5), LockMode::kExclusive).ok());
+  EXPECT_FALSE(locks.WouldDeadlock(2));
+}
+
+TEST(LockManagerTest, ClearDropsEverything) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, LockKey::Page(1), LockMode::kExclusive).ok());
+  EXPECT_TRUE(
+      locks.Acquire(2, LockKey::Page(1), LockMode::kExclusive).IsBusy());
+  locks.Clear();
+  EXPECT_EQ(locks.LockedResourceCount(), 0u);
+  EXPECT_TRUE(locks.Acquire(2, LockKey::Page(1), LockMode::kExclusive).ok());
+}
+
+}  // namespace
+}  // namespace rda

@@ -1,0 +1,530 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "parity/twin_parity_manager.h"
+#include "storage/data_page_meta.h"
+
+namespace rda {
+namespace {
+
+constexpr size_t kPageSize = 128;
+
+class TwinParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DiskArray::Options options;
+    options.data_pages_per_group = 4;
+    options.parity_copies = 2;
+    options.min_data_pages = 32;
+    options.page_size = kPageSize;
+    auto array = DiskArray::Create(options);
+    ASSERT_TRUE(array.ok());
+    array_ = std::move(array).value();
+    parity_ = std::make_unique<TwinParityManager>(array_.get());
+    ASSERT_TRUE(parity_->FormatArray().ok());
+  }
+
+  // Payload with embedded meta stamped for `txn`.
+  std::vector<uint8_t> MakePayload(uint8_t fill, TxnId txn = kInvalidTxnId,
+                                   PageId chain_prev = kInvalidPageId) {
+    std::vector<uint8_t> payload(kPageSize, fill);
+    DataPageMeta meta;
+    meta.txn_id = txn;
+    meta.chain_prev = chain_prev;
+    StoreDataMeta(meta, &payload);
+    return payload;
+  }
+
+  Status Propagate(PageId page, TxnId txn, PropagationKind kind,
+                   const std::vector<uint8_t>& payload) {
+    PageImage image(0);
+    image.payload = payload;
+    return parity_->Propagate(page, txn, kind, nullptr, image);
+  }
+
+  std::vector<uint8_t> ReadPayload(PageId page) {
+    PageImage image;
+    EXPECT_TRUE(array_->ReadData(page, &image).ok());
+    return image.payload;
+  }
+
+  std::unique_ptr<DiskArray> array_;
+  std::unique_ptr<TwinParityManager> parity_;
+};
+
+TEST_F(TwinParityTest, FormatLeavesAllGroupsCleanAndConsistent) {
+  EXPECT_EQ(parity_->directory().DirtyCount(), 0u);
+  for (GroupId group = 0; group < array_->num_groups(); ++group) {
+    auto ok = parity_->VerifyGroupParity(group);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(*ok) << "group " << group;
+  }
+}
+
+TEST_F(TwinParityTest, ClassifyFollowsFigure3) {
+  // Clean group: unlogged-first.
+  EXPECT_EQ(parity_->Classify(0, 1), PropagationKind::kUnloggedFirst);
+  ASSERT_TRUE(Propagate(0, 1, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x11, 1))
+                  .ok());
+  // Same page, same txn: unlogged repeat.
+  EXPECT_EQ(parity_->Classify(0, 1), PropagationKind::kUnloggedRepeat);
+  // Same page, different txn: must log.
+  EXPECT_EQ(parity_->Classify(0, 2), PropagationKind::kLoggedDirtyGroup);
+  // Different page in the dirty group, same txn: must log.
+  EXPECT_EQ(parity_->Classify(1, 1), PropagationKind::kLoggedDirtyGroup);
+  // Page in another (clean) group: unlogged-first again.
+  EXPECT_EQ(parity_->Classify(4, 1), PropagationKind::kUnloggedFirst);
+  // No transaction: plain.
+  EXPECT_EQ(parity_->Classify(0, kInvalidTxnId), PropagationKind::kPlain);
+}
+
+TEST_F(TwinParityTest, UnloggedWriteDirtiesGroupAndKeepsBothInvariants) {
+  ASSERT_TRUE(Propagate(1, 7, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x22, 7))
+                  .ok());
+  const GroupState& state = parity_->directory().Get(0);
+  EXPECT_TRUE(state.dirty);
+  EXPECT_EQ(state.dirty_page, 1u);
+  EXPECT_EQ(state.dirty_txn, 7u);
+  // Working twin consistent with current data.
+  auto ok = parity_->VerifyGroupParity(0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(TwinParityTest, ParityUndoRestoresExactPreStealImage) {
+  // Commit an initial value for page 2 via a plain write.
+  const std::vector<uint8_t> before = MakePayload(0x33);
+  ASSERT_TRUE(Propagate(2, kInvalidTxnId, PropagationKind::kPlain, before)
+                  .ok());
+
+  // Unlogged steal by txn 9.
+  ASSERT_TRUE(Propagate(2, 9, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x44, 9))
+                  .ok());
+  EXPECT_EQ(ReadPayload(2)[kDataRegionOffset], 0x44);
+
+  auto undo = parity_->UndoUnloggedUpdate(0, 9);
+  ASSERT_TRUE(undo.ok());
+  EXPECT_TRUE(undo->payload_restored);
+  EXPECT_EQ(undo->page, 2u);
+  EXPECT_EQ(undo->overwritten_meta.txn_id, 9u);
+  EXPECT_EQ(ReadPayload(2), before);  // Byte-exact, embedded meta included.
+  EXPECT_FALSE(parity_->directory().Get(0).dirty);
+  auto ok = parity_->VerifyGroupParity(0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(TwinParityTest, RepeatStealStillUndoesToOriginal) {
+  const std::vector<uint8_t> original = ReadPayload(3);
+  ASSERT_TRUE(Propagate(3, 5, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x55, 5))
+                  .ok());
+  ASSERT_TRUE(Propagate(3, 5, PropagationKind::kUnloggedRepeat,
+                        MakePayload(0x66, 5))
+                  .ok());
+  ASSERT_TRUE(Propagate(3, 5, PropagationKind::kUnloggedRepeat,
+                        MakePayload(0x77, 5))
+                  .ok());
+  auto undo = parity_->UndoUnloggedUpdate(0, 5);
+  ASSERT_TRUE(undo.ok());
+  EXPECT_EQ(ReadPayload(3), original);
+}
+
+TEST_F(TwinParityTest, CommitFinalizesWorkingTwin) {
+  ASSERT_TRUE(Propagate(0, 3, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x88, 3))
+                  .ok());
+  const uint32_t working = parity_->directory().Get(0).working_twin;
+  ASSERT_TRUE(parity_->FinalizeCommit(0, 3).ok());
+  const GroupState& state = parity_->directory().Get(0);
+  EXPECT_FALSE(state.dirty);
+  EXPECT_EQ(state.valid_twin, working);
+  PageImage twin;
+  ASSERT_TRUE(array_->ReadParity(0, working, &twin).ok());
+  EXPECT_EQ(twin.header.parity_state, ParityState::kCommitted);
+  // Idempotent re-run (recovery path).
+  EXPECT_TRUE(parity_->FinalizeCommit(0, 3).ok());
+}
+
+TEST_F(TwinParityTest, FinalizeRejectsWrongTransaction) {
+  ASSERT_TRUE(Propagate(0, 3, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x88, 3))
+                  .ok());
+  EXPECT_TRUE(parity_->FinalizeCommit(0, 4).IsFailedPrecondition());
+}
+
+TEST_F(TwinParityTest, LoggedWriteToDirtyGroupPreservesUndoInvariant) {
+  const std::vector<uint8_t> original1 = ReadPayload(1);
+  // Txn 2 dirties the group via page 1.
+  ASSERT_TRUE(Propagate(1, 2, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x11, 2))
+                  .ok());
+  // Txn 3 writes page 0 in the same group (logged steal; both twins XORed).
+  ASSERT_TRUE(Propagate(0, 3, PropagationKind::kLoggedDirtyGroup,
+                        MakePayload(0x99))
+                  .ok());
+  EXPECT_EQ(ReadPayload(0)[kDataRegionOffset], 0x99);
+  // Undo of txn 2's page 1 must restore it exactly, and keep 0x99 intact.
+  auto undo = parity_->UndoUnloggedUpdate(0, 2);
+  ASSERT_TRUE(undo.ok());
+  EXPECT_EQ(ReadPayload(1), original1);
+  EXPECT_EQ(ReadPayload(0)[kDataRegionOffset], 0x99);
+  auto ok = parity_->VerifyGroupParity(0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(TwinParityTest, UnloggedPropagationValidatedAgainstRule) {
+  ASSERT_TRUE(Propagate(0, 1, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x10, 1))
+                  .ok());
+  // A second unlogged-first into the same dirty group must be refused.
+  EXPECT_TRUE(Propagate(1, 1, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x20, 1))
+                  .IsFailedPrecondition());
+  // Repeat kind for a different page must be refused too.
+  EXPECT_TRUE(Propagate(1, 1, PropagationKind::kUnloggedRepeat,
+                        MakePayload(0x20, 1))
+                  .IsFailedPrecondition());
+}
+
+TEST_F(TwinParityTest, ApplyLoggedUndoRestoresAndMaintainsParity) {
+  const std::vector<uint8_t> before = MakePayload(0x21);
+  ASSERT_TRUE(Propagate(5, kInvalidTxnId, PropagationKind::kPlain, before)
+                  .ok());
+  ASSERT_TRUE(Propagate(5, kInvalidTxnId, PropagationKind::kPlain,
+                        MakePayload(0x42))
+                  .ok());
+  ASSERT_TRUE(parity_->ApplyLoggedUndo(5, before).ok());
+  EXPECT_EQ(ReadPayload(5), before);
+  auto ok = parity_->VerifyGroupParity(array_->layout().GroupOf(5));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(TwinParityTest, RebuildDirectoryAfterCrashFindsDirtyGroups) {
+  ASSERT_TRUE(Propagate(2, 11, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x61, 11))
+                  .ok());
+  ASSERT_TRUE(Propagate(8, 12, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x62, 12))
+                  .ok());
+  ASSERT_TRUE(parity_->FinalizeCommit(array_->layout().GroupOf(8), 12).ok());
+
+  parity_->LoseVolatileState();
+  EXPECT_EQ(parity_->Classify(0, 1), PropagationKind::kPlain);  // Unusable.
+  ASSERT_TRUE(parity_->RebuildDirectory().ok());
+
+  const GroupState& dirty = parity_->directory().Get(0);
+  EXPECT_TRUE(dirty.dirty);
+  EXPECT_EQ(dirty.dirty_page, 2u);
+  EXPECT_EQ(dirty.dirty_txn, 11u);
+  const GroupState& clean = parity_->directory().Get(2);
+  EXPECT_FALSE(clean.dirty);
+  // The finalized group's valid twin must be the committed one with the
+  // highest timestamp.
+  PageImage twin;
+  ASSERT_TRUE(array_->ReadParity(2, clean.valid_twin, &twin).ok());
+  EXPECT_EQ(twin.header.parity_state, ParityState::kCommitted);
+}
+
+TEST_F(TwinParityTest, UndoAfterRebuildStillExact) {
+  const std::vector<uint8_t> original = ReadPayload(6);
+  ASSERT_TRUE(Propagate(6, 21, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x71, 21))
+                  .ok());
+  parity_->LoseVolatileState();
+  ASSERT_TRUE(parity_->RebuildDirectory().ok());
+  const GroupId group = array_->layout().GroupOf(6);
+  auto undo = parity_->UndoUnloggedUpdate(group, 21);
+  ASSERT_TRUE(undo.ok());
+  EXPECT_EQ(ReadPayload(6), original);
+}
+
+TEST_F(TwinParityTest, UndoIsIdempotentAcrossInterruptedRecovery) {
+  ASSERT_TRUE(Propagate(6, 21, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x71, 21))
+                  .ok());
+  const GroupId group = array_->layout().GroupOf(6);
+  auto first = parity_->UndoUnloggedUpdate(group, 21);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->payload_restored);
+  const std::vector<uint8_t> restored = ReadPayload(6);
+
+  // Simulate a crash after the data restore but before the recovery epoch
+  // finished: the directory is rebuilt and the undo re-runs. The working
+  // twin was invalidated, so the group is clean and a second undo is
+  // rejected as a precondition failure — and the data stays put.
+  parity_->LoseVolatileState();
+  ASSERT_TRUE(parity_->RebuildDirectory().ok());
+  EXPECT_FALSE(parity_->directory().Get(group).dirty);
+  EXPECT_TRUE(
+      parity_->UndoUnloggedUpdate(group, 21).status().IsFailedPrecondition());
+  EXPECT_EQ(ReadPayload(6), restored);
+}
+
+TEST_F(TwinParityTest, ScrubRecomputesCommittedParity) {
+  ASSERT_TRUE(Propagate(9, kInvalidTxnId, PropagationKind::kPlain,
+                        MakePayload(0x13))
+                  .ok());
+  const GroupId group = array_->layout().GroupOf(9);
+  // Corrupt the valid twin behind the manager's back, then scrub.
+  const GroupState& state = parity_->directory().Get(group);
+  const PhysicalLocation loc =
+      array_->layout().ParityLocation(group, state.valid_twin);
+  PageImage bogus(kPageSize);
+  bogus.payload[50] = 0xFF;
+  bogus.header.parity_state = ParityState::kCommitted;
+  bogus.header.timestamp = 1;
+  ASSERT_TRUE(array_->disk(loc.disk)->Write(loc.slot, bogus).ok());
+  auto broken = parity_->VerifyGroupParity(group);
+  ASSERT_TRUE(broken.ok());
+  EXPECT_FALSE(*broken);
+  ASSERT_TRUE(parity_->ScrubGroup(group).ok());
+  auto fixed = parity_->VerifyGroupParity(group);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_TRUE(*fixed);
+}
+
+TEST_F(TwinParityTest, ScrubRefusesDirtyGroup) {
+  ASSERT_TRUE(Propagate(0, 2, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x31, 2))
+                  .ok());
+  EXPECT_TRUE(parity_->ScrubGroup(0).IsFailedPrecondition());
+}
+
+TEST_F(TwinParityTest, ReconstructDataPayloadMatchesDisk) {
+  const std::vector<uint8_t> payload = MakePayload(0x47);
+  ASSERT_TRUE(Propagate(10, kInvalidTxnId, PropagationKind::kPlain, payload)
+                  .ok());
+  auto rebuilt = parity_->ReconstructDataPayload(10);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(*rebuilt, payload);
+}
+
+TEST_F(TwinParityTest, ReconstructWorksForDirtyGroups) {
+  ASSERT_TRUE(Propagate(10, 4, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x58, 4))
+                  .ok());
+  auto rebuilt = parity_->ReconstructDataPayload(10);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ((*rebuilt)[kDataRegionOffset], 0x58);
+}
+
+TEST_F(TwinParityTest, StatsCountDecisions) {
+  ASSERT_TRUE(Propagate(0, 1, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x01, 1))
+                  .ok());
+  ASSERT_TRUE(Propagate(0, 1, PropagationKind::kUnloggedRepeat,
+                        MakePayload(0x02, 1))
+                  .ok());
+  ASSERT_TRUE(Propagate(1, 2, PropagationKind::kLoggedDirtyGroup,
+                        MakePayload(0x03))
+                  .ok());
+  ASSERT_TRUE(Propagate(20, kInvalidTxnId, PropagationKind::kPlain,
+                        MakePayload(0x04))
+                  .ok());
+  const ParityStats& stats = parity_->stats();
+  EXPECT_EQ(stats.unlogged_first, 1u);
+  EXPECT_EQ(stats.unlogged_repeat, 1u);
+  EXPECT_EQ(stats.logged_dirty_group, 1u);
+  EXPECT_EQ(stats.plain, 1u);
+}
+
+// Property sweep: random interleavings of plain writes, unlogged steals,
+// logged writes, commits and aborts across all groups keep (a) the
+// consistent twin equal to XOR(data) and (b) parity undo exact.
+class TwinParityRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TwinParityRandomTest, InvariantsHoldUnderRandomOperations) {
+  DiskArray::Options options;
+  options.data_pages_per_group = 4;
+  options.parity_copies = 2;
+  options.min_data_pages = 24;
+  options.page_size = 96;
+  auto array_or = DiskArray::Create(options);
+  ASSERT_TRUE(array_or.ok());
+  DiskArray* array = array_or->get();
+  TwinParityManager parity(array);
+  ASSERT_TRUE(parity.FormatArray().ok());
+
+  Random rng(GetParam());
+  const uint32_t pages = array->num_data_pages();
+  std::vector<std::vector<uint8_t>> committed(pages);
+  std::vector<std::vector<uint8_t>> pre_steal(pages);
+  for (PageId page = 0; page < pages; ++page) {
+    PageImage image;
+    ASSERT_TRUE(array->ReadData(page, &image).ok());
+    committed[page] = image.payload;
+  }
+  TxnId next_txn = 100;
+
+  for (int step = 0; step < 300; ++step) {
+    const PageId page = static_cast<PageId>(rng.Uniform(pages));
+    const GroupId group = array->layout().GroupOf(page);
+    const GroupState& state = parity.directory().Get(group);
+
+    std::vector<uint8_t> payload(96);
+    rng.FillBytes(&payload);
+
+    if (!state.dirty && rng.Bernoulli(0.5)) {
+      // Unlogged steal by a fresh transaction.
+      const TxnId txn = next_txn++;
+      DataPageMeta meta;
+      meta.txn_id = txn;
+      StoreDataMeta(meta, &payload);
+      pre_steal[page] = committed[page];
+      PageImage image(0);
+      image.payload = payload;
+      ASSERT_TRUE(parity
+                      .Propagate(page, txn, PropagationKind::kUnloggedFirst,
+                                 nullptr, image)
+                      .ok());
+      if (rng.Bernoulli(0.5)) {
+        ASSERT_TRUE(parity.FinalizeCommit(group, txn).ok());
+        committed[page] = payload;
+      } else {
+        auto undo = parity.UndoUnloggedUpdate(group, txn);
+        ASSERT_TRUE(undo.ok());
+        PageImage check;
+        ASSERT_TRUE(array->ReadData(page, &check).ok());
+        ASSERT_EQ(check.payload, pre_steal[page]) << "undo not exact";
+      }
+    } else {
+      // Plain committed write (auto-upgrades inside dirty groups).
+      DataPageMeta meta;
+      StoreDataMeta(meta, &payload);
+      PageImage image(0);
+      image.payload = payload;
+      const PropagationKind kind = state.dirty && state.dirty_page == page
+                                       ? PropagationKind::kUnloggedRepeat
+                                       : PropagationKind::kPlain;
+      if (kind == PropagationKind::kUnloggedRepeat) {
+        continue;  // Avoid mutating another txn's covered page.
+      }
+      ASSERT_TRUE(
+          parity.Propagate(page, kInvalidTxnId, kind, nullptr, image).ok());
+      committed[page] = payload;
+    }
+
+    if (step % 25 == 0) {
+      for (GroupId g = 0; g < array->num_groups(); ++g) {
+        auto ok = parity.VerifyGroupParity(g);
+        ASSERT_TRUE(ok.ok());
+        ASSERT_TRUE(*ok) << "group " << g << " inconsistent at step " << step;
+      }
+    }
+  }
+
+  // Resolve leftover dirty groups by undoing them, then final full check.
+  for (const GroupId group : parity.directory().AllDirtyGroups()) {
+    const GroupState& state = parity.directory().Get(group);
+    ASSERT_TRUE(parity.UndoUnloggedUpdate(group, state.dirty_txn).ok());
+  }
+  for (GroupId g = 0; g < array->num_groups(); ++g) {
+    auto ok = parity.VerifyGroupParity(g);
+    ASSERT_TRUE(ok.ok());
+    ASSERT_TRUE(*ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwinParityRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+
+TEST_F(TwinParityTest, WriteFullGroupInstallsConsistentParity) {
+  std::vector<std::vector<uint8_t>> payloads;
+  for (int i = 0; i < 4; ++i) {
+    payloads.push_back(MakePayload(static_cast<uint8_t>(0x30 + i)));
+  }
+  ASSERT_TRUE(parity_->WriteFullGroup(2, payloads).ok());
+  for (uint32_t i = 0; i < 4; ++i) {
+    const PageId page = array_->layout().PageAt(2, i);
+    EXPECT_EQ(ReadPayload(page)[kDataRegionOffset], 0x30 + i);
+  }
+  auto ok = parity_->VerifyGroupParity(2);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(TwinParityTest, WriteFullGroupValidation) {
+  std::vector<std::vector<uint8_t>> too_few(3, MakePayload(0x01));
+  EXPECT_TRUE(parity_->WriteFullGroup(0, too_few).IsInvalidArgument());
+  std::vector<std::vector<uint8_t>> wrong_size(
+      4, std::vector<uint8_t>(kPageSize / 2));
+  EXPECT_TRUE(parity_->WriteFullGroup(0, wrong_size).IsInvalidArgument());
+}
+
+TEST_F(TwinParityTest, RebuildGroupMemberRestoresEachRole) {
+  // Populate group 1, then exercise a data-page rebuild directly.
+  ASSERT_TRUE(Propagate(4, kInvalidTxnId, PropagationKind::kPlain,
+                        MakePayload(0x51))
+                  .ok());
+  const std::vector<uint8_t> golden = ReadPayload(4);
+  const DiskId victim = array_->layout().DataLocation(4).disk;
+  ASSERT_TRUE(array_->FailDisk(victim).ok());
+  ASSERT_TRUE(array_->ReplaceDisk(victim).ok());
+  // The replaced disk is zeroed: rebuild every group's member on it.
+  for (GroupId g = 0; g < array_->num_groups(); ++g) {
+    ASSERT_TRUE(parity_->RebuildGroupMember(g, victim).ok());
+  }
+  EXPECT_EQ(ReadPayload(4), golden);
+}
+
+TEST_F(TwinParityTest, ReconstructFailsWhenTwoMembersDown) {
+  const DiskId d0 = array_->layout().DataLocation(0).disk;
+  const DiskId d1 = array_->layout().DataLocation(1).disk;
+  ASSERT_TRUE(array_->FailDisk(d0).ok());
+  ASSERT_TRUE(array_->FailDisk(d1).ok());
+  EXPECT_FALSE(parity_->ReconstructDataPayload(0).ok());
+}
+
+TEST_F(TwinParityTest, ClassifyRefusesUnloggedOnDegradedGroup) {
+  const DiskId victim = array_->layout().DataLocation(0).disk;
+  ASSERT_TRUE(array_->FailDisk(victim).ok());
+  EXPECT_EQ(parity_->Classify(0, 5), PropagationKind::kPlain);
+  // Pages on healthy disks in OTHER groups are unaffected... unless their
+  // own group's members share the failed disk.
+  PageId healthy = kInvalidPageId;
+  for (PageId p = 0; p < array_->num_data_pages(); ++p) {
+    const GroupId g = array_->layout().GroupOf(p);
+    bool touched = array_->layout().DataLocation(p).disk == victim;
+    for (uint32_t t = 0; t < 2; ++t) {
+      touched |= array_->layout().ParityLocation(g, t).disk == victim;
+    }
+    if (!touched) {
+      healthy = p;
+      break;
+    }
+  }
+  if (healthy != kInvalidPageId) {
+    EXPECT_EQ(parity_->Classify(healthy, 5),
+              PropagationKind::kUnloggedFirst);
+  }
+}
+
+TEST_F(TwinParityTest, ReinitializeParityFromDataResetsEverything) {
+  ASSERT_TRUE(Propagate(0, 9, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x61, 9))
+                  .ok());
+  EXPECT_EQ(parity_->directory().DirtyCount(), 1u);
+  ASSERT_TRUE(parity_->ReinitializeParityFromData().ok());
+  EXPECT_EQ(parity_->directory().DirtyCount(), 0u);
+  for (GroupId g = 0; g < array_->num_groups(); ++g) {
+    auto ok = parity_->VerifyGroupParity(g);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(*ok);
+  }
+  // Note: the uncommitted content of page 0 is now committed at the parity
+  // level — ReinitializeParityFromData is a catastrophic-restore tool, not
+  // part of normal operation.
+}
+
+}  // namespace
+}  // namespace rda

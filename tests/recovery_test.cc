@@ -1,0 +1,412 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace rda {
+namespace {
+
+DatabaseOptions BaseOptions() {
+  DatabaseOptions options;
+  options.array.data_pages_per_group = 4;
+  options.array.parity_copies = 2;
+  options.array.min_data_pages = 64;
+  options.array.page_size = 128;
+  options.buffer.capacity = 16;
+  options.txn.force = false;  // notFORCE exercises REDO.
+  options.txn.rda_undo = true;
+  return options;
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void Open(const DatabaseOptions& options = BaseOptions()) {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  std::vector<uint8_t> UserBytes(uint8_t fill) {
+    return std::vector<uint8_t>(db_->user_page_size(), fill);
+  }
+
+  uint8_t DiskByte(PageId page) {
+    auto payload = db_->RawReadPage(page);
+    EXPECT_TRUE(payload.ok());
+    return (*payload)[kDataRegionOffset];
+  }
+
+  void Steal(PageId page) {
+    Frame* frame = db_->txn_manager()->pool()->Lookup(page);
+    ASSERT_NE(frame, nullptr);
+    ASSERT_TRUE(db_->txn_manager()->pool()->PropagateFrame(frame).ok());
+  }
+
+  void ExpectParityConsistent() {
+    auto ok = db_->VerifyAllParity();
+    ASSERT_TRUE(ok.ok());
+    EXPECT_TRUE(*ok);
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(CrashRecoveryTest, CommittedWorkIsRedone) {
+  Open();
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*txn, 1, UserBytes(0xAA)).ok());
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+  EXPECT_EQ(DiskByte(1), 0x00);  // notFORCE: still only in the buffer.
+
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->winners.size(), 1u);
+  EXPECT_GE(report->redo_applied, 1u);
+  EXPECT_EQ(DiskByte(1), 0xAA);
+  ExpectParityConsistent();
+}
+
+TEST_F(CrashRecoveryTest, BufferedLoserSimplyVanishes) {
+  Open();
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*txn, 1, UserBytes(0xBB)).ok());
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  // The transaction never propagated anything: its BOT record was still in
+  // the volatile log buffer, so it leaves no trace at all — nothing to
+  // undo.
+  EXPECT_TRUE(report->losers.empty());
+  EXPECT_EQ(report->parity_undos, 0u);
+  EXPECT_EQ(DiskByte(1), 0x00);
+  ExpectParityConsistent();
+}
+
+TEST_F(CrashRecoveryTest, StolenLoserUndoneFromParityAlone) {
+  Open();
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*txn, 1, UserBytes(0xCC)).ok());
+  Steal(1);
+  EXPECT_EQ(DiskByte(1), 0xCC);
+
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->losers.size(), 1u);
+  EXPECT_EQ(report->parity_undos, 1u);
+  EXPECT_EQ(report->logged_undos, 0u);
+  EXPECT_EQ(DiskByte(1), 0x00);
+  ExpectParityConsistent();
+}
+
+TEST_F(CrashRecoveryTest, LoggedLoserUndoneFromLog) {
+  Open();
+  auto txn = db_->Begin();
+  // Two pages in the same group: the second steal is a logged one.
+  ASSERT_TRUE(db_->WritePage(*txn, 0, UserBytes(0xD1)).ok());
+  ASSERT_TRUE(db_->WritePage(*txn, 1, UserBytes(0xD2)).ok());
+  Steal(0);
+  Steal(1);
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->parity_undos, 1u);
+  EXPECT_EQ(report->logged_undos, 1u);
+  EXPECT_EQ(DiskByte(0), 0x00);
+  EXPECT_EQ(DiskByte(1), 0x00);
+  ExpectParityConsistent();
+}
+
+TEST_F(CrashRecoveryTest, CrashBetweenCommitAndFinalizeRollsForward) {
+  Open();
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*txn, 2, UserBytes(0xE1)).ok());
+  Steal(2);
+  // Write the commit record manually, crash BEFORE FinalizeCommit: the
+  // group is still dirty but the transaction is a winner.
+  LogRecord commit;
+  commit.type = LogRecordType::kCommit;
+  commit.txn = *txn;
+  ASSERT_TRUE(db_->log()->Append(std::move(commit)).ok());
+  ASSERT_TRUE(db_->log()->Flush().ok());
+  EXPECT_TRUE(db_->parity()->directory().Get(0).dirty);
+
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->groups_finalized, 1u);
+  EXPECT_TRUE(report->losers.empty());
+  EXPECT_EQ(DiskByte(2), 0xE1);  // Kept: the transaction committed.
+  EXPECT_FALSE(db_->parity()->directory().Get(0).dirty);
+  ExpectParityConsistent();
+}
+
+TEST_F(CrashRecoveryTest, WinnersAndLosersMixed) {
+  Open();
+  auto winner = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*winner, 0, UserBytes(0x10)).ok());
+  ASSERT_TRUE(db_->Commit(*winner).ok());
+  auto loser = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*loser, 4, UserBytes(0x20)).ok());
+  Steal(4);
+  auto loser2 = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*loser2, 8, UserBytes(0x30)).ok());
+
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->winners.size(), 1u);
+  // Only the loser that stole a page is visible after the crash; the
+  // buffered-only one evaporated with the volatile log tail.
+  EXPECT_EQ(report->losers.size(), 1u);
+  EXPECT_EQ(DiskByte(0), 0x10);
+  EXPECT_EQ(DiskByte(4), 0x00);
+  EXPECT_EQ(DiskByte(8), 0x00);
+  ExpectParityConsistent();
+}
+
+TEST_F(CrashRecoveryTest, CommittedThenOverwrittenByLoser) {
+  // The subtle interleaving from DESIGN.md: a winner's committed-but-
+  // unpropagated change is wiped from disk by the loser's parity undo and
+  // must be REDOne on top.
+  Open();
+  auto winner = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*winner, 3, UserBytes(0x77)).ok());
+  ASSERT_TRUE(db_->Commit(*winner).ok());  // notFORCE: not on disk.
+  auto loser = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*loser, 3, UserBytes(0x88)).ok());
+  Steal(3);  // Propagates the loser's version (which includes nothing of
+             // the winner's bytes — full page write).
+  EXPECT_EQ(DiskByte(3), 0x88);
+
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(DiskByte(3), 0x77);  // Winner's version, via undo THEN redo.
+  ExpectParityConsistent();
+}
+
+TEST_F(CrashRecoveryTest, RecoveryIsIdempotent) {
+  Open();
+  auto winner = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*winner, 0, UserBytes(0x10)).ok());
+  ASSERT_TRUE(db_->Commit(*winner).ok());
+  auto loser = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*loser, 4, UserBytes(0x20)).ok());
+  Steal(4);
+  db_->Crash();
+  ASSERT_TRUE(db_->Recover().ok());
+
+  // Crash again immediately after recovery, recover again.
+  db_->Crash();
+  auto second = db_->Recover();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->losers.empty());  // AbortComplete was logged.
+  EXPECT_EQ(second->parity_undos, 0u);
+  EXPECT_EQ(DiskByte(0), 0x10);
+  EXPECT_EQ(DiskByte(4), 0x00);
+  ExpectParityConsistent();
+}
+
+TEST_F(CrashRecoveryTest, ChainWalkAuditsUnloggedPages) {
+  Open();
+  auto loser = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*loser, 0, UserBytes(0x41)).ok());
+  ASSERT_TRUE(db_->WritePage(*loser, 4, UserBytes(0x42)).ok());
+  ASSERT_TRUE(db_->WritePage(*loser, 8, UserBytes(0x43)).ok());
+  Steal(0);
+  Steal(4);
+  Steal(8);
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->chain_pages_walked, 3u);
+  EXPECT_EQ(report->parity_undos, 3u);
+  ExpectParityConsistent();
+}
+
+TEST_F(CrashRecoveryTest, NewTransactionsResumeAfterRecovery) {
+  Open();
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*txn, 0, UserBytes(0x10)).ok());
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+  db_->Crash();
+  ASSERT_TRUE(db_->Recover().ok());
+
+  auto fresh = db_->Begin();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(*fresh, *txn);  // Ids never reused.
+  ASSERT_TRUE(db_->WritePage(*fresh, 1, UserBytes(0x99)).ok());
+  ASSERT_TRUE(db_->Commit(*fresh).ok());
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(DiskByte(1), 0x99);
+  EXPECT_EQ(DiskByte(0), 0x10);
+}
+
+TEST_F(CrashRecoveryTest, ForceModeCrashNeedsNoRedo) {
+  DatabaseOptions options = BaseOptions();
+  options.txn.force = true;
+  Open(options);
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*txn, 1, UserBytes(0x66)).ok());
+  ASSERT_TRUE(db_->Commit(*txn).ok());
+  EXPECT_EQ(DiskByte(1), 0x66);  // FORCE put it on disk already.
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->redo_applied, 0u);
+  EXPECT_GE(report->redo_skipped, 1u);  // pageLSN said "already there".
+  EXPECT_EQ(DiskByte(1), 0x66);
+}
+
+TEST_F(CrashRecoveryTest, CheckpointBoundsRedoAndSurvivesCrash) {
+  DatabaseOptions options = BaseOptions();
+  options.checkpoint_interval_updates = 4;
+  Open(options);
+  for (int i = 0; i < 6; ++i) {
+    auto txn = db_->Begin();
+    ASSERT_TRUE(
+        db_->WritePage(*txn, static_cast<PageId>(i * 4),
+                       UserBytes(static_cast<uint8_t>(0x50 + i)))
+            .ok());
+    ASSERT_TRUE(db_->Commit(*txn).ok());
+  }
+  EXPECT_GE(db_->checkpointer()->checkpoints_taken(), 1u);
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(DiskByte(static_cast<PageId>(i * 4)), 0x50 + i);
+  }
+  ExpectParityConsistent();
+}
+
+TEST_F(CrashRecoveryTest, AbortedTransactionNotReundone) {
+  Open();
+  auto setup = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*setup, 2, UserBytes(0x11)).ok());
+  ASSERT_TRUE(db_->Commit(*setup).ok());
+  auto aborted = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*aborted, 2, UserBytes(0x22)).ok());
+  Steal(2);
+  ASSERT_TRUE(db_->Abort(*aborted).ok());
+
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  // The aborted transaction logged AbortComplete: recovery skips it.
+  EXPECT_TRUE(report->losers.empty());
+  EXPECT_EQ(DiskByte(2), 0x11);
+  ExpectParityConsistent();
+}
+
+
+DatabaseOptions RecordOptions() {
+  DatabaseOptions options = BaseOptions();
+  options.txn.logging_mode = LoggingMode::kRecordLogging;
+  options.txn.record_size = 16;
+  return options;
+}
+
+TEST_F(CrashRecoveryTest, RecordModeSharedPageWinnerAndLoser) {
+  Open(RecordOptions());
+  auto winner = db_->Begin();
+  auto loser = db_->Begin();
+  ASSERT_TRUE(
+      db_->WriteRecord(*winner, 1, 0, std::vector<uint8_t>(16, 0xA1)).ok());
+  ASSERT_TRUE(
+      db_->WriteRecord(*loser, 1, 1, std::vector<uint8_t>(16, 0xB1)).ok());
+  Steal(1);  // Multi-modifier: logged for both.
+  ASSERT_TRUE(db_->Commit(*winner).ok());
+
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  auto payload = db_->RawReadPage(1);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ((*payload)[kDataRegionOffset], 0xA1);       // Winner's slot.
+  EXPECT_EQ((*payload)[kDataRegionOffset + 16], 0x00);  // Loser undone.
+  ExpectParityConsistent();
+}
+
+TEST_F(CrashRecoveryTest, RecordModeUnloggedLoserSlotUndone) {
+  Open(RecordOptions());
+  auto setup = db_->Begin();
+  ASSERT_TRUE(
+      db_->WriteRecord(*setup, 2, 0, std::vector<uint8_t>(16, 0x11)).ok());
+  ASSERT_TRUE(db_->Commit(*setup).ok());
+  ASSERT_TRUE(db_->Checkpoint().ok());
+
+  auto loser = db_->Begin();
+  ASSERT_TRUE(
+      db_->WriteRecord(*loser, 2, 0, std::vector<uint8_t>(16, 0x99)).ok());
+  Steal(2);  // Sole modifier: unlogged, parity-covered.
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->parity_undos, 1u);
+  auto payload = db_->RawReadPage(2);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ((*payload)[kDataRegionOffset], 0x11);
+  ExpectParityConsistent();
+}
+
+TEST_F(CrashRecoveryTest, ManyCrashEpochsAccumulateCorrectly) {
+  Open();
+  uint8_t expected = 0;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    auto winner = db_->Begin();
+    expected = static_cast<uint8_t>(0x10 + epoch);
+    ASSERT_TRUE(db_->WritePage(*winner, 1, UserBytes(expected)).ok());
+    ASSERT_TRUE(db_->Commit(*winner).ok());
+    auto loser = db_->Begin();
+    ASSERT_TRUE(db_->WritePage(*loser, 1, UserBytes(0xEE)).ok());
+    Steal(1);
+    db_->Crash();
+    auto report = db_->Recover();
+    ASSERT_TRUE(report.ok()) << "epoch " << epoch;
+    ASSERT_EQ(DiskByte(1), expected) << "epoch " << epoch;
+    ExpectParityConsistent();
+  }
+}
+
+TEST_F(CrashRecoveryTest, RedoSkippedCountsForceProplagatedPages) {
+  DatabaseOptions options = BaseOptions();
+  options.txn.force = true;
+  Open(options);
+  for (int i = 0; i < 3; ++i) {
+    auto txn = db_->Begin();
+    ASSERT_TRUE(db_->WritePage(*txn, static_cast<PageId>(i * 4),
+                               UserBytes(static_cast<uint8_t>(i + 1)))
+                    .ok());
+    ASSERT_TRUE(db_->Commit(*txn).ok());
+  }
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->redo_applied, 0u);
+  EXPECT_EQ(report->redo_skipped, 3u);
+}
+
+TEST_F(CrashRecoveryTest, FlushedBotWithoutWorkIsCleanLoser) {
+  Open();
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*txn, 1, UserBytes(0x44)).ok());
+  ASSERT_TRUE(db_->log()->Flush().ok());  // BOT reaches stable storage.
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->losers.size(), 1u);
+  EXPECT_EQ(report->parity_undos, 0u);  // Nothing was propagated.
+  EXPECT_EQ(DiskByte(1), 0x00);
+  // Its AbortComplete is now logged: the next epoch forgets it.
+  db_->Crash();
+  auto second = db_->Recover();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->losers.empty());
+}
+
+}  // namespace
+}  // namespace rda
