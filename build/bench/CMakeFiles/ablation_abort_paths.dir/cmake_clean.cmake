@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_abort_paths.dir/ablation_abort_paths.cc.o"
+  "CMakeFiles/ablation_abort_paths.dir/ablation_abort_paths.cc.o.d"
+  "ablation_abort_paths"
+  "ablation_abort_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_abort_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

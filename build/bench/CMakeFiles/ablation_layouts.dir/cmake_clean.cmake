@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_layouts.dir/ablation_layouts.cc.o"
+  "CMakeFiles/ablation_layouts.dir/ablation_layouts.cc.o.d"
+  "ablation_layouts"
+  "ablation_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_twin_vs_single.dir/ablation_twin_vs_single.cc.o"
+  "CMakeFiles/ablation_twin_vs_single.dir/ablation_twin_vs_single.cc.o.d"
+  "ablation_twin_vs_single"
+  "ablation_twin_vs_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_twin_vs_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchors_report.dir/anchors_report.cc.o"
+  "CMakeFiles/anchors_report.dir/anchors_report.cc.o.d"
+  "anchors_report"
+  "anchors_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchors_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

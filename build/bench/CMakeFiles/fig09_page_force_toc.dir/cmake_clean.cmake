@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_page_force_toc.dir/fig09_page_force_toc.cc.o"
+  "CMakeFiles/fig09_page_force_toc.dir/fig09_page_force_toc.cc.o.d"
+  "fig09_page_force_toc"
+  "fig09_page_force_toc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_page_force_toc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_page_force_toc.
+# This may be replaced when dependencies are built.

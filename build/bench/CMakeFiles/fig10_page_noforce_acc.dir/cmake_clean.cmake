@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_page_noforce_acc.dir/fig10_page_noforce_acc.cc.o"
+  "CMakeFiles/fig10_page_noforce_acc.dir/fig10_page_noforce_acc.cc.o.d"
+  "fig10_page_noforce_acc"
+  "fig10_page_noforce_acc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_page_noforce_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_page_noforce_acc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_record_force_toc.dir/fig11_record_force_toc.cc.o"
+  "CMakeFiles/fig11_record_force_toc.dir/fig11_record_force_toc.cc.o.d"
+  "fig11_record_force_toc"
+  "fig11_record_force_toc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_record_force_toc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_record_noforce_acc.dir/fig12_record_noforce_acc.cc.o"
+  "CMakeFiles/fig12_record_noforce_acc.dir/fig12_record_noforce_acc.cc.o.d"
+  "fig12_record_noforce_acc"
+  "fig12_record_noforce_acc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_record_noforce_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

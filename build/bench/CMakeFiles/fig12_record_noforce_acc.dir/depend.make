@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_record_noforce_acc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_benefit_vs_s.dir/fig13_benefit_vs_s.cc.o"
+  "CMakeFiles/fig13_benefit_vs_s.dir/fig13_benefit_vs_s.cc.o.d"
+  "fig13_benefit_vs_s"
+  "fig13_benefit_vs_s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_benefit_vs_s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

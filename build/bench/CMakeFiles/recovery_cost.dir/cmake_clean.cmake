@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_cost.dir/recovery_cost.cc.o"
+  "CMakeFiles/recovery_cost.dir/recovery_cost.cc.o.d"
+  "recovery_cost"
+  "recovery_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

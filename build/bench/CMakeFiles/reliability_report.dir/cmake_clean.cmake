@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_report.dir/reliability_report.cc.o"
+  "CMakeFiles/reliability_report.dir/reliability_report.cc.o.d"
+  "reliability_report"
+  "reliability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

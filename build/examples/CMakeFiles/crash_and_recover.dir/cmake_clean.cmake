@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crash_and_recover.dir/crash_and_recover.cpp.o"
+  "CMakeFiles/crash_and_recover.dir/crash_and_recover.cpp.o.d"
+  "crash_and_recover"
+  "crash_and_recover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crash_and_recover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

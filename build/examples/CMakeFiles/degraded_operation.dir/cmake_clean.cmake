@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degraded_operation.dir/degraded_operation.cpp.o"
+  "CMakeFiles/degraded_operation.dir/degraded_operation.cpp.o.d"
+  "degraded_operation"
+  "degraded_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degraded_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_failure_drill.dir/disk_failure_drill.cpp.o"
+  "CMakeFiles/disk_failure_drill.dir/disk_failure_drill.cpp.o.d"
+  "disk_failure_drill"
+  "disk_failure_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_failure_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store_demo.dir/kv_store_demo.cpp.o"
+  "CMakeFiles/kv_store_demo.dir/kv_store_demo.cpp.o.d"
+  "kv_store_demo"
+  "kv_store_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

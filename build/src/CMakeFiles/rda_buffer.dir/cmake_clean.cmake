@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_buffer.dir/buffer/buffer_pool.cc.o"
+  "CMakeFiles/rda_buffer.dir/buffer/buffer_pool.cc.o.d"
+  "librda_buffer.a"
+  "librda_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

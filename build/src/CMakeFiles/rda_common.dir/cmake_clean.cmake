@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_common.dir/common/crc32.cc.o"
+  "CMakeFiles/rda_common.dir/common/crc32.cc.o.d"
+  "CMakeFiles/rda_common.dir/common/random.cc.o"
+  "CMakeFiles/rda_common.dir/common/random.cc.o.d"
+  "CMakeFiles/rda_common.dir/common/status.cc.o"
+  "CMakeFiles/rda_common.dir/common/status.cc.o.d"
+  "CMakeFiles/rda_common.dir/common/xor_util.cc.o"
+  "CMakeFiles/rda_common.dir/common/xor_util.cc.o.d"
+  "librda_common.a"
+  "librda_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_core.dir/core/database.cc.o"
+  "CMakeFiles/rda_core.dir/core/database.cc.o.d"
+  "librda_core.a"
+  "librda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_kv.dir/kv/btree.cc.o"
+  "CMakeFiles/rda_kv.dir/kv/btree.cc.o.d"
+  "CMakeFiles/rda_kv.dir/kv/kv_store.cc.o"
+  "CMakeFiles/rda_kv.dir/kv/kv_store.cc.o.d"
+  "librda_kv.a"
+  "librda_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

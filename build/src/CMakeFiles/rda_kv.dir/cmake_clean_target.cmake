@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librda_kv.a"
+)

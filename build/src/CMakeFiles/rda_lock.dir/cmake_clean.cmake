@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_lock.dir/lock/lock_manager.cc.o"
+  "CMakeFiles/rda_lock.dir/lock/lock_manager.cc.o.d"
+  "librda_lock.a"
+  "librda_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/figures.cc" "src/CMakeFiles/rda_model.dir/model/figures.cc.o" "gcc" "src/CMakeFiles/rda_model.dir/model/figures.cc.o.d"
+  "/root/repo/src/model/page_logging_acc.cc" "src/CMakeFiles/rda_model.dir/model/page_logging_acc.cc.o" "gcc" "src/CMakeFiles/rda_model.dir/model/page_logging_acc.cc.o.d"
+  "/root/repo/src/model/page_logging_force.cc" "src/CMakeFiles/rda_model.dir/model/page_logging_force.cc.o" "gcc" "src/CMakeFiles/rda_model.dir/model/page_logging_force.cc.o.d"
+  "/root/repo/src/model/probabilities.cc" "src/CMakeFiles/rda_model.dir/model/probabilities.cc.o" "gcc" "src/CMakeFiles/rda_model.dir/model/probabilities.cc.o.d"
+  "/root/repo/src/model/record_logging_acc.cc" "src/CMakeFiles/rda_model.dir/model/record_logging_acc.cc.o" "gcc" "src/CMakeFiles/rda_model.dir/model/record_logging_acc.cc.o.d"
+  "/root/repo/src/model/record_logging_force.cc" "src/CMakeFiles/rda_model.dir/model/record_logging_force.cc.o" "gcc" "src/CMakeFiles/rda_model.dir/model/record_logging_force.cc.o.d"
+  "/root/repo/src/model/reliability.cc" "src/CMakeFiles/rda_model.dir/model/reliability.cc.o" "gcc" "src/CMakeFiles/rda_model.dir/model/reliability.cc.o.d"
+  "/root/repo/src/model/throughput.cc" "src/CMakeFiles/rda_model.dir/model/throughput.cc.o" "gcc" "src/CMakeFiles/rda_model.dir/model/throughput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

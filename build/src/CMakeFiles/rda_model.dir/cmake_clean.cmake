@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_model.dir/model/figures.cc.o"
+  "CMakeFiles/rda_model.dir/model/figures.cc.o.d"
+  "CMakeFiles/rda_model.dir/model/page_logging_acc.cc.o"
+  "CMakeFiles/rda_model.dir/model/page_logging_acc.cc.o.d"
+  "CMakeFiles/rda_model.dir/model/page_logging_force.cc.o"
+  "CMakeFiles/rda_model.dir/model/page_logging_force.cc.o.d"
+  "CMakeFiles/rda_model.dir/model/probabilities.cc.o"
+  "CMakeFiles/rda_model.dir/model/probabilities.cc.o.d"
+  "CMakeFiles/rda_model.dir/model/record_logging_acc.cc.o"
+  "CMakeFiles/rda_model.dir/model/record_logging_acc.cc.o.d"
+  "CMakeFiles/rda_model.dir/model/record_logging_force.cc.o"
+  "CMakeFiles/rda_model.dir/model/record_logging_force.cc.o.d"
+  "CMakeFiles/rda_model.dir/model/reliability.cc.o"
+  "CMakeFiles/rda_model.dir/model/reliability.cc.o.d"
+  "CMakeFiles/rda_model.dir/model/throughput.cc.o"
+  "CMakeFiles/rda_model.dir/model/throughput.cc.o.d"
+  "librda_model.a"
+  "librda_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_parity.dir/parity/dirty_set.cc.o"
+  "CMakeFiles/rda_parity.dir/parity/dirty_set.cc.o.d"
+  "CMakeFiles/rda_parity.dir/parity/twin_parity_manager.cc.o"
+  "CMakeFiles/rda_parity.dir/parity/twin_parity_manager.cc.o.d"
+  "librda_parity.a"
+  "librda_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

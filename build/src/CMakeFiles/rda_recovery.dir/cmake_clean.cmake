@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_recovery.dir/recovery/archive.cc.o"
+  "CMakeFiles/rda_recovery.dir/recovery/archive.cc.o.d"
+  "CMakeFiles/rda_recovery.dir/recovery/checkpointer.cc.o"
+  "CMakeFiles/rda_recovery.dir/recovery/checkpointer.cc.o.d"
+  "CMakeFiles/rda_recovery.dir/recovery/crash_recovery.cc.o"
+  "CMakeFiles/rda_recovery.dir/recovery/crash_recovery.cc.o.d"
+  "CMakeFiles/rda_recovery.dir/recovery/media_recovery.cc.o"
+  "CMakeFiles/rda_recovery.dir/recovery/media_recovery.cc.o.d"
+  "CMakeFiles/rda_recovery.dir/recovery/scrubber.cc.o"
+  "CMakeFiles/rda_recovery.dir/recovery/scrubber.cc.o.d"
+  "librda_recovery.a"
+  "librda_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

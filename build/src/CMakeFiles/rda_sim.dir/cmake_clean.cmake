@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/rda_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/rda_sim.dir/sim/workload.cc.o"
+  "CMakeFiles/rda_sim.dir/sim/workload.cc.o.d"
+  "librda_sim.a"
+  "librda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

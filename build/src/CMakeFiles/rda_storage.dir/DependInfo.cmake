@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/data_page_meta.cc" "src/CMakeFiles/rda_storage.dir/storage/data_page_meta.cc.o" "gcc" "src/CMakeFiles/rda_storage.dir/storage/data_page_meta.cc.o.d"
+  "/root/repo/src/storage/data_striping_layout.cc" "src/CMakeFiles/rda_storage.dir/storage/data_striping_layout.cc.o" "gcc" "src/CMakeFiles/rda_storage.dir/storage/data_striping_layout.cc.o.d"
+  "/root/repo/src/storage/disk.cc" "src/CMakeFiles/rda_storage.dir/storage/disk.cc.o" "gcc" "src/CMakeFiles/rda_storage.dir/storage/disk.cc.o.d"
+  "/root/repo/src/storage/disk_array.cc" "src/CMakeFiles/rda_storage.dir/storage/disk_array.cc.o" "gcc" "src/CMakeFiles/rda_storage.dir/storage/disk_array.cc.o.d"
+  "/root/repo/src/storage/parity_striping_layout.cc" "src/CMakeFiles/rda_storage.dir/storage/parity_striping_layout.cc.o" "gcc" "src/CMakeFiles/rda_storage.dir/storage/parity_striping_layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rda_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_storage.dir/storage/data_page_meta.cc.o"
+  "CMakeFiles/rda_storage.dir/storage/data_page_meta.cc.o.d"
+  "CMakeFiles/rda_storage.dir/storage/data_striping_layout.cc.o"
+  "CMakeFiles/rda_storage.dir/storage/data_striping_layout.cc.o.d"
+  "CMakeFiles/rda_storage.dir/storage/disk.cc.o"
+  "CMakeFiles/rda_storage.dir/storage/disk.cc.o.d"
+  "CMakeFiles/rda_storage.dir/storage/disk_array.cc.o"
+  "CMakeFiles/rda_storage.dir/storage/disk_array.cc.o.d"
+  "CMakeFiles/rda_storage.dir/storage/parity_striping_layout.cc.o"
+  "CMakeFiles/rda_storage.dir/storage/parity_striping_layout.cc.o.d"
+  "librda_storage.a"
+  "librda_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

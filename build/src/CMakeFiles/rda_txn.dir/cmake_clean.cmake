@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_txn.dir/txn/record_page.cc.o"
+  "CMakeFiles/rda_txn.dir/txn/record_page.cc.o.d"
+  "CMakeFiles/rda_txn.dir/txn/transaction.cc.o"
+  "CMakeFiles/rda_txn.dir/txn/transaction.cc.o.d"
+  "CMakeFiles/rda_txn.dir/txn/transaction_manager.cc.o"
+  "CMakeFiles/rda_txn.dir/txn/transaction_manager.cc.o.d"
+  "librda_txn.a"
+  "librda_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

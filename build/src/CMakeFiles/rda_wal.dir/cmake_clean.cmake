@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rda_wal.dir/wal/log_manager.cc.o"
+  "CMakeFiles/rda_wal.dir/wal/log_manager.cc.o.d"
+  "CMakeFiles/rda_wal.dir/wal/log_record.cc.o"
+  "CMakeFiles/rda_wal.dir/wal/log_record.cc.o.d"
+  "librda_wal.a"
+  "librda_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rda_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

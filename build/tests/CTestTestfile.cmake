@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/parity_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_test[1]_include.cmake")
+include("/root/repo/build/tests/buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/archive_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_point_test[1]_include.cmake")
+include("/root/repo/build/tests/degraded_test[1]_include.cmake")
+include("/root/repo/build/tests/database_test[1]_include.cmake")
+include("/root/repo/build/tests/media_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
