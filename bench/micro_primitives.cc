@@ -71,6 +71,37 @@ void BM_TxnCommitForce(benchmark::State& state) {
 }
 BENCHMARK(BM_TxnCommitForce);
 
+// Same workload with metrics and tracing off: the hub is null and every
+// instrumentation site collapses to a pointer test. Comparing the two
+// checks the observability layer's cost on the commit path.
+void BM_TxnCommitForceObsDisabled(benchmark::State& state) {
+  rda::DatabaseOptions options = SmallDb();
+  options.obs.enable_metrics = false;
+  options.obs.enable_trace = false;
+  auto db = rda::Database::Open(options);
+  rda::Random rng(1);
+  std::vector<uint8_t> bytes((*db)->user_page_size());
+  for (auto _ : state) {
+    rng.FillBytes(&bytes);
+    auto txn = (*db)->Begin();
+    for (int i = 0; i < 4; ++i) {
+      const rda::PageId page =
+          static_cast<rda::PageId>(rng.Uniform((*db)->num_pages()));
+      if (!(*db)->WritePage(*txn, page, bytes).ok()) {
+        state.SkipWithError("write failed");
+        return;
+      }
+    }
+    if (!(*db)->Commit(*txn).ok()) {
+      state.SkipWithError("commit failed");
+      return;
+    }
+  }
+  state.counters["page_transfers/txn"] = benchmark::Counter(
+      static_cast<double>((*db)->TotalPageTransfers()) / state.iterations());
+}
+BENCHMARK(BM_TxnCommitForceObsDisabled);
+
 void BM_LogAppendFlush(benchmark::State& state) {
   rda::LogManager::Options options;
   rda::LogManager log(options);

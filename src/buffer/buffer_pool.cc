@@ -34,6 +34,7 @@ Result<Frame*> BufferPool::Fetch(PageId page, bool* cache_hit) {
       *cache_hit = true;
     }
     ++stats_.hits;
+    obs::Inc(hits_counter_);
     it->second.lru_tick = ++tick_;
     return &it->second;
   }
@@ -41,6 +42,7 @@ Result<Frame*> BufferPool::Fetch(PageId page, bool* cache_hit) {
     *cache_hit = false;
   }
   ++stats_.misses;
+  obs::Inc(misses_counter_);
   while (frames_.size() >= options_.capacity) {
     RDA_RETURN_IF_ERROR(EvictOne());
   }
@@ -81,10 +83,21 @@ Status BufferPool::EvictOne() {
   if (victim->dirty) {
     if (!victim->modifiers.empty()) {
       ++stats_.steals;
+      obs::Inc(steals_counter_);
+      obs::TraceEvent event;
+      event.subsystem = obs::Subsystem::kBuffer;
+      event.kind = obs::EventKind::kSteal;
+      event.page = victim->page;
+      // A stolen frame can hold several uncommitted modifiers under record
+      // locking; attribute the event to the first for traceability.
+      event.txn = victim->modifiers.front();
+      event.detail = static_cast<int64_t>(victim->modifiers.size());
+      obs::Emit(trace_, event);
     }
     RDA_RETURN_IF_ERROR(PropagateFrame(victim));
   }
   ++stats_.evictions;
+  obs::Inc(evictions_counter_);
   frames_.erase(victim->page);
   return Status::Ok();
 }
@@ -113,6 +126,14 @@ Status BufferPool::PropagateAllDirty() {
     }
   }
   return Status::Ok();
+}
+
+void BufferPool::AttachObs(obs::ObsHub* hub) {
+  trace_ = obs::TraceOf(hub);
+  hits_counter_ = obs::GetCounter(hub, "buffer.hits");
+  misses_counter_ = obs::GetCounter(hub, "buffer.misses");
+  evictions_counter_ = obs::GetCounter(hub, "buffer.evictions");
+  steals_counter_ = obs::GetCounter(hub, "buffer.steals");
 }
 
 void BufferPool::Discard(PageId page) { frames_.erase(page); }

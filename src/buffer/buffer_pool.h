@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/obs.h"
 #include "storage/page.h"
 
 namespace rda {
@@ -131,6 +132,10 @@ class BufferPool {
   const BufferStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BufferStats(); }
 
+  // Hooks the pool into the observability hub (`buffer.*` counters plus a
+  // kSteal trace event per uncommitted-data eviction). Null detaches.
+  void AttachObs(obs::ObsHub* hub);
+
  private:
   // Picks and evicts an LRU victim; propagates it first if dirty (a steal
   // when uncommitted modifiers exist). Fails with kBusy if every frame is
@@ -143,6 +148,13 @@ class BufferPool {
   std::unordered_map<PageId, Frame> frames_;
   uint64_t tick_ = 0;
   BufferStats stats_;
+
+  // Observability (null = disabled).
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* steals_counter_ = nullptr;
 };
 
 }  // namespace rda

@@ -2,6 +2,7 @@
 
 #include "storage/data_page_meta.h"
 
+#include <fstream>
 #include <utility>
 
 namespace rda {
@@ -41,6 +42,17 @@ Result<std::unique_ptr<Database>> Database::Open(
                                                      db->log_.get());
   db->archive_ = std::make_unique<ArchiveManager>(
       db->txn_manager_.get(), db->parity_.get(), db->log_.get());
+  // Attach observability last, after formatting: format I/O is not workload
+  // I/O, and the obs counters should match the freshly reset array counters.
+  if (opts.obs.enable_metrics || opts.obs.enable_trace) {
+    db->obs_ = std::make_unique<obs::ObsHub>(opts.obs);
+    db->array_->AttachObs(db->obs_.get());
+    db->parity_->AttachObs(db->obs_.get());
+    db->log_->AttachObs(db->obs_.get());
+    db->txn_manager_->AttachObs(db->obs_.get());  // Also attaches the pool.
+    db->checkpointer_->AttachObs(db->obs_.get());
+    db->archive_->AttachObs(db->obs_.get());
+  }
   return db;
 }
 
@@ -86,12 +98,14 @@ void Database::Crash() {
 
 Result<CrashRecoveryReport> Database::Recover() {
   CrashRecovery recovery(txn_manager_.get(), parity_.get(), log_.get());
+  recovery.AttachObs(obs_.get());
   return recovery.Recover();
 }
 
 Result<CrashRecoveryReport> Database::RecoverWithInjectedFault(
     uint64_t actions) {
   CrashRecovery recovery(txn_manager_.get(), parity_.get(), log_.get());
+  recovery.AttachObs(obs_.get());
   recovery.InjectFaultAfterActions(actions);
   return recovery.Recover();
 }
@@ -147,6 +161,7 @@ Status Database::BulkLoad(const std::vector<std::vector<uint8_t>>& user_pages) {
 
 Result<MediaRecoveryReport> Database::RebuildDisk(DiskId disk) {
   MediaRecovery recovery(parity_.get());
+  recovery.AttachObs(obs_.get());
   auto report = recovery.RebuildDisk(disk);
   if (report.ok()) {
     for (const TxnId txn : report->undo_coverage_lost) {
@@ -232,6 +247,44 @@ std::string Database::FormatStats() const {
 
 uint64_t Database::TotalPageTransfers() const {
   return array_->counters().total() + log_->counters().total();
+}
+
+obs::MetricsSnapshot Database::SnapshotMetrics() const {
+  const obs::MetricsRegistry* registry =
+      obs_ != nullptr ? obs_->metrics() : nullptr;
+  return registry != nullptr ? registry->Snapshot() : obs::MetricsSnapshot();
+}
+
+namespace {
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  out << text;
+  out.close();
+  if (!out) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Database::DumpTrace(const std::string& path) const {
+  const obs::TraceBuffer* trace = obs_ != nullptr ? obs_->trace() : nullptr;
+  if (trace == nullptr) {
+    return Status::FailedPrecondition("tracing is disabled");
+  }
+  return WriteTextFile(path, obs::TraceToJson(*trace));
+}
+
+Status Database::DumpMetrics(const std::string& path) const {
+  if (obs_ == nullptr || obs_->metrics() == nullptr) {
+    return Status::FailedPrecondition("metrics are disabled");
+  }
+  return WriteTextFile(path, MetricsJson());
 }
 
 }  // namespace rda

@@ -10,6 +10,9 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "lock/lock_manager.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "parity/twin_parity_manager.h"
 #include "recovery/archive.h"
 #include "recovery/checkpointer.h"
@@ -33,6 +36,9 @@ struct DatabaseOptions {
   // ACC checkpoint interval, measured in update operations; 0 disables
   // automatic checkpoints (TOC / FORCE configurations).
   uint64_t checkpoint_interval_updates = 0;
+  // Engine-wide metrics + trace. Disabling both makes the hub null and
+  // instrumentation collapses to a pointer test per site.
+  obs::ObsOptions obs;
 };
 
 // The public facade of the library: a single-node database engine whose
@@ -154,12 +160,26 @@ class Database {
   // Human-readable multi-line rendering of Stats() for logs and examples.
   std::string FormatStats() const;
 
+  // --- observability ---
+  // The hub (null iff both metrics and trace were disabled in options).
+  obs::ObsHub* obs() { return obs_.get(); }
+  // Point-in-time copy of every counter/gauge/histogram. Empty snapshot
+  // when metrics are disabled.
+  obs::MetricsSnapshot SnapshotMetrics() const;
+  // JSON / CSV renderings of SnapshotMetrics().
+  std::string MetricsJson() const { return obs::MetricsToJson(SnapshotMetrics()); }
+  std::string MetricsCsv() const { return obs::MetricsToCsv(SnapshotMetrics()); }
+  // Writes the retained trace (JSON) / metrics (JSON) to `path`.
+  Status DumpTrace(const std::string& path) const;
+  Status DumpMetrics(const std::string& path) const;
+
  private:
   explicit Database(const DatabaseOptions& options);
 
   Status MaybeAutoCheckpoint();
 
   DatabaseOptions options_;
+  std::unique_ptr<obs::ObsHub> obs_;
   std::unique_ptr<DiskArray> array_;
   std::unique_ptr<TwinParityManager> parity_;
   std::unique_ptr<LogManager> log_;

@@ -1,0 +1,128 @@
+#ifndef RDA_OBS_METRICS_H_
+#define RDA_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rda::obs {
+
+// A named monotonic counter. Instrumented components cache the pointer once
+// (AttachObs) and increment through it on the hot path — one add, no lookup.
+// A null pointer means "observability disabled"; use Inc() for null-safe
+// increments.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// A named point-in-time value (signed: deltas may go negative transiently).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_ = value; }
+  void Add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
+// order; one extra overflow bucket catches everything above the last bound.
+// Cheap enough for hot paths: Observe is a linear scan over a handful of
+// bounds plus three scalar updates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double max() const { return max_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double max_ = 0;
+};
+
+// A coherent copy of every metric, detached from the registry (safe to keep
+// across further engine activity). Entries are sorted by name.
+struct MetricsSnapshot {
+  struct HistogramSnapshot {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;
+    uint64_t count = 0;
+    double sum = 0;
+    double max = 0;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  // Value of a counter by exact name; 0 when absent.
+  uint64_t CounterValue(std::string_view name) const;
+  // Sum of all counters whose name starts with `prefix` (metric names follow
+  // the `subsystem.name` convention, so "wal." sums the WAL subsystem).
+  uint64_t CounterSum(std::string_view prefix) const;
+};
+
+// Registry of named metrics. Get* creates on first use and returns a stable
+// pointer (node-based map), so components resolve each name exactly once.
+// Names follow the `subsystem.name` convention ("parity.unlogged_first").
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  // `bounds` is used on first creation only; later calls return the existing
+  // histogram regardless of bounds.
+  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+  void ResetAll();
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+// Null-safe hot-path helpers: a disabled registry hands out null pointers
+// and instrumentation collapses to one branch.
+inline void Inc(Counter* counter, uint64_t delta = 1) {
+  if (counter != nullptr) {
+    counter->Add(delta);
+  }
+}
+
+inline void Observe(Histogram* histogram, double value) {
+  if (histogram != nullptr) {
+    histogram->Observe(value);
+  }
+}
+
+}  // namespace rda::obs
+
+#endif  // RDA_OBS_METRICS_H_

@@ -1,0 +1,82 @@
+#ifndef RDA_OBS_OBS_H_
+#define RDA_OBS_OBS_H_
+
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rda::obs {
+
+struct ObsOptions {
+  bool enable_metrics = true;
+  bool enable_trace = true;
+  // Ring capacity of the trace buffer (oldest events dropped beyond this).
+  size_t trace_capacity = 4096;
+};
+
+// The per-database observability hub: one MetricsRegistry plus one
+// TraceBuffer, handed (as a nullable pointer) to every engine component via
+// AttachObs. Disabled facilities return null, and instrumentation collapses
+// to a pointer test — the registry-null-check flavour of
+// zero-cost-when-disabled.
+class ObsHub {
+ public:
+  explicit ObsHub(const ObsOptions& options) : options_(options) {
+    if (options.enable_metrics) {
+      metrics_ = std::make_unique<MetricsRegistry>();
+    }
+    if (options.enable_trace) {
+      trace_ = std::make_unique<TraceBuffer>(options.trace_capacity);
+    }
+  }
+
+  ObsHub(const ObsHub&) = delete;
+  ObsHub& operator=(const ObsHub&) = delete;
+
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  const MetricsRegistry* metrics() const { return metrics_.get(); }
+  TraceBuffer* trace() { return trace_.get(); }
+  const TraceBuffer* trace() const { return trace_.get(); }
+  const ObsOptions& options() const { return options_; }
+
+ private:
+  ObsOptions options_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<TraceBuffer> trace_;
+};
+
+// Attach-time helpers: components resolve their counters once through these
+// and end up with plain (possibly null) pointers for the hot path.
+inline MetricsRegistry* RegistryOf(ObsHub* hub) {
+  return hub != nullptr ? hub->metrics() : nullptr;
+}
+
+inline TraceBuffer* TraceOf(ObsHub* hub) {
+  return hub != nullptr ? hub->trace() : nullptr;
+}
+
+inline Counter* GetCounter(ObsHub* hub, std::string_view name) {
+  MetricsRegistry* registry = RegistryOf(hub);
+  return registry != nullptr ? registry->GetCounter(name) : nullptr;
+}
+
+inline Gauge* GetGauge(ObsHub* hub, std::string_view name) {
+  MetricsRegistry* registry = RegistryOf(hub);
+  return registry != nullptr ? registry->GetGauge(name) : nullptr;
+}
+
+inline Histogram* GetHistogram(ObsHub* hub, std::string_view name,
+                               std::vector<double> bounds) {
+  MetricsRegistry* registry = RegistryOf(hub);
+  return registry != nullptr
+             ? registry->GetHistogram(name, std::move(bounds))
+             : nullptr;
+}
+
+}  // namespace rda::obs
+
+#endif  // RDA_OBS_OBS_H_

@@ -1,0 +1,101 @@
+#ifndef RDA_OBS_SCOPED_H_
+#define RDA_OBS_SCOPED_H_
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace rda::obs {
+
+// RAII wall-clock timer: records elapsed milliseconds into a histogram on
+// destruction. Null-safe (a null histogram still measures, observes nothing).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  ~ScopedTimer() { Observe(histogram_, ElapsedMs()); }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// RAII recovery-phase scope: on destruction it appends a PhaseCost (page
+// transfers spent inside the scope, per `transfers_now`, plus wall clock) to
+// `out`, bumps the phase's metric counters and emits kPhaseBegin/kPhaseEnd
+// trace events. `out` is always filled — reports carry the breakdown even
+// when observability is disabled; hub may be null.
+class ScopedPhase {
+ public:
+  using TransfersFn = std::function<uint64_t()>;
+
+  ScopedPhase(ObsHub* hub, RecoveryPhase phase, TransfersFn transfers_now,
+              std::vector<PhaseCost>* out)
+      : hub_(hub),
+        phase_(phase),
+        transfers_now_(std::move(transfers_now)),
+        out_(out),
+        transfers_at_start_(transfers_now_()),
+        start_(std::chrono::steady_clock::now()) {
+    TraceEvent begin;
+    begin.subsystem = Subsystem::kRecovery;
+    begin.kind = EventKind::kPhaseBegin;
+    begin.detail = static_cast<int64_t>(phase_);
+    Emit(TraceOf(hub_), begin);
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  ~ScopedPhase() {
+    PhaseCost cost;
+    cost.phase = phase_;
+    cost.page_transfers = transfers_now_() - transfers_at_start_;
+    cost.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+    if (out_ != nullptr) {
+      out_->push_back(cost);
+    }
+    if (MetricsRegistry* registry = RegistryOf(hub_)) {
+      const std::string prefix =
+          std::string("recovery.phase.") + PhaseSlug(phase_);
+      registry->GetCounter(prefix + ".transfers")->Add(cost.page_transfers);
+      registry->GetCounter(prefix + ".runs")->Add(1);
+    }
+    TraceEvent end;
+    end.subsystem = Subsystem::kRecovery;
+    end.kind = EventKind::kPhaseEnd;
+    end.detail = static_cast<int64_t>(phase_);
+    end.value = static_cast<int64_t>(cost.page_transfers);
+    Emit(TraceOf(hub_), end);
+  }
+
+  // Metric-name slug for a phase ("parity_undo" etc.); shared with export.
+  static const char* PhaseSlug(RecoveryPhase phase);
+
+ private:
+  ObsHub* hub_;
+  RecoveryPhase phase_;
+  TransfersFn transfers_now_;
+  std::vector<PhaseCost>* out_;
+  uint64_t transfers_at_start_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace rda::obs
+
+#endif  // RDA_OBS_SCOPED_H_

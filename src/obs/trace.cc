@@ -1,0 +1,41 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace rda::obs {
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+uint64_t TraceBuffer::Record(TraceEvent event) {
+  event.tick = ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+  return event.tick;
+}
+
+size_t TraceBuffer::size() const { return ring_.size(); }
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once wrapped, `next_` points at the oldest retained event.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceBuffer::Clear() {
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace rda::obs

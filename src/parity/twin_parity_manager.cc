@@ -8,7 +8,78 @@
 namespace rda {
 
 TwinParityManager::TwinParityManager(DiskArray* array)
-    : array_(array), directory_(array->num_groups()) {}
+    : array_(array),
+      directory_(array->num_groups()),
+      twin_shadow_(array->num_groups(),
+                   {static_cast<uint8_t>(ParityState::kCommitted),
+                    static_cast<uint8_t>(ParityState::kObsolete)}) {}
+
+void TwinParityManager::XorPage(std::vector<uint8_t>* dst,
+                                const std::vector<uint8_t>& src) {
+  XorInto(dst, src);
+  array_->AccountXor(1);
+}
+
+void TwinParityManager::SyncTwinShadow(GroupId group, uint32_t twin,
+                                       uint8_t state) {
+  if (group < twin_shadow_.size() && twin < 2) {
+    twin_shadow_[group][twin] = state;
+  }
+}
+
+void TwinParityManager::TraceTwinTransition(GroupId group, uint32_t twin,
+                                            uint8_t to_state, PageId page,
+                                            TxnId txn) {
+  const uint8_t from_state =
+      (group < twin_shadow_.size() && twin < 2) ? twin_shadow_[group][twin]
+                                                : 0;
+  SyncTwinShadow(group, twin, to_state);
+  if (trace_ == nullptr) {
+    return;
+  }
+  obs::TraceEvent event;
+  event.subsystem = obs::Subsystem::kParity;
+  event.kind = obs::EventKind::kTwinTransition;
+  event.group = group;
+  event.page = page;
+  event.txn = txn;
+  event.detail = static_cast<int64_t>(twin);
+  event.from_state = from_state;
+  event.to_state = to_state;
+  trace_->Record(event);
+}
+
+void TwinParityManager::TraceGroupTransition(GroupId group, bool to_dirty,
+                                             PageId page, TxnId txn) {
+  if (trace_ == nullptr) {
+    return;
+  }
+  obs::TraceEvent event;
+  event.subsystem = obs::Subsystem::kParity;
+  event.kind = obs::EventKind::kGroupTransition;
+  event.group = group;
+  event.page = page;
+  event.txn = txn;
+  event.from_state = static_cast<uint8_t>(to_dirty ? obs::GroupFigState::kClean
+                                                   : obs::GroupFigState::kDirty);
+  event.to_state = static_cast<uint8_t>(to_dirty ? obs::GroupFigState::kDirty
+                                                 : obs::GroupFigState::kClean);
+  trace_->Record(event);
+}
+
+void TwinParityManager::AttachObs(obs::ObsHub* hub) {
+  trace_ = obs::TraceOf(hub);
+  unlogged_first_counter_ = obs::GetCounter(hub, "parity.unlogged_first");
+  unlogged_repeat_counter_ = obs::GetCounter(hub, "parity.unlogged_repeat");
+  logged_dirty_group_counter_ =
+      obs::GetCounter(hub, "parity.logged_dirty_group");
+  plain_counter_ = obs::GetCounter(hub, "parity.plain");
+  parity_undos_counter_ = obs::GetCounter(hub, "parity.parity_undos");
+  logged_undos_counter_ = obs::GetCounter(hub, "parity.logged_undos");
+  commits_finalized_counter_ =
+      obs::GetCounter(hub, "parity.commits_finalized");
+  degraded_reads_counter_ = obs::GetCounter(hub, "parity.degraded_reads");
+}
 
 Status TwinParityManager::FormatArray() {
   const size_t page_size = array_->page_size();
@@ -17,11 +88,13 @@ Status TwinParityManager::FormatArray() {
     committed.header.parity_state = ParityState::kCommitted;
     committed.header.timestamp = NextTimestamp();
     RDA_RETURN_IF_ERROR(array_->WriteParity(g, 0, committed));
+    SyncTwinShadow(g, 0, static_cast<uint8_t>(ParityState::kCommitted));
     if (array_->layout().parity_copies() == 2) {
       PageImage obsolete(page_size);
       obsolete.header.parity_state = ParityState::kObsolete;
       obsolete.header.timestamp = 0;
       RDA_RETURN_IF_ERROR(array_->WriteParity(g, 1, obsolete));
+      SyncTwinShadow(g, 1, static_cast<uint8_t>(ParityState::kObsolete));
     }
     directory_.MarkClean(g, 0);
   }
@@ -122,36 +195,48 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
   // delta = D_old xor D_new; every affected parity payload absorbs it.
   std::vector<uint8_t> delta = std::move(old_bytes);
   XorInto(delta.data(), new_image.payload.data(), delta.size());
+  array_->AccountXor(1);
 
   switch (kind) {
     case PropagationKind::kUnloggedFirst: {
       ++stats_.unlogged_first;
+      obs::Inc(unlogged_first_counter_);
       PageImage parity;
       RDA_RETURN_IF_ERROR(array_->ReadParity(group, state.valid_twin,
                                              &parity));
-      XorInto(&parity.payload, delta);
+      XorPage(&parity.payload, delta);
       parity.header.parity_state = ParityState::kWorking;
       parity.header.txn_id = txn;
       parity.header.timestamp = NextTimestamp();
       parity.header.dirty_page = page;
       const uint32_t working = OtherTwin(state.valid_twin);
       RDA_RETURN_IF_ERROR(array_->WriteParity(group, working, parity));
+      TraceTwinTransition(group, working,
+                          static_cast<uint8_t>(ParityState::kWorking), page,
+                          txn);
+      TraceGroupTransition(group, /*to_dirty=*/true, page, txn);
       directory_.MarkDirty(group, page, txn, working);
       break;
     }
     case PropagationKind::kUnloggedRepeat: {
       ++stats_.unlogged_repeat;
+      obs::Inc(unlogged_repeat_counter_);
       PageImage parity;
       RDA_RETURN_IF_ERROR(
           array_->ReadParity(group, state.working_twin, &parity));
-      XorInto(&parity.payload, delta);
+      XorPage(&parity.payload, delta);
       parity.header.timestamp = NextTimestamp();
       RDA_RETURN_IF_ERROR(
           array_->WriteParity(group, state.working_twin, parity));
+      // Figure 8 self-loop: the working twin absorbs another update.
+      TraceTwinTransition(group, state.working_twin,
+                          static_cast<uint8_t>(ParityState::kWorking), page,
+                          txn);
       break;
     }
     case PropagationKind::kLoggedDirtyGroup: {
       ++stats_.logged_dirty_group;
+      obs::Inc(logged_dirty_group_counter_);
       // XOR the same delta into both twins: P xor P' is unchanged, so the
       // dirty page's parity undo stays exact (paper Section 4.1). In
       // degraded mode a twin on a failed disk is skipped — it goes stale
@@ -163,19 +248,20 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
         }
         PageImage parity;
         RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &parity));
-        XorInto(&parity.payload, delta);
+        XorPage(&parity.payload, delta);
         RDA_RETURN_IF_ERROR(array_->WriteParity(group, twin, parity));
       }
       break;
     }
     case PropagationKind::kPlain: {
       ++stats_.plain;
+      obs::Inc(plain_counter_);
       if (LocationHealthy(
               array_->layout().ParityLocation(group, state.valid_twin))) {
         PageImage parity;
         RDA_RETURN_IF_ERROR(
             array_->ReadParity(group, state.valid_twin, &parity));
-        XorInto(&parity.payload, delta);
+        XorPage(&parity.payload, delta);
         RDA_RETURN_IF_ERROR(
             array_->WriteParity(group, state.valid_twin, parity));
       }
@@ -205,7 +291,7 @@ Status TwinParityManager::FinalizeCommit(GroupId group, TxnId txn) {
   if (!directory_valid_) {
     return Status::FailedPrecondition("parity directory not available");
   }
-  const GroupState& state = directory_.Get(group);
+  const GroupState state = directory_.Get(group);
   if (!state.dirty) {
     return Status::Ok();  // Already finalized (idempotent for recovery).
   }
@@ -219,8 +305,16 @@ Status TwinParityManager::FinalizeCommit(GroupId group, TxnId txn) {
     // is already stable (winners are rolled forward by recovery) and the
     // rebuild recomputes the consistent twin from data, so the in-memory
     // transition suffices.
+    TraceTwinTransition(group, state.working_twin,
+                        static_cast<uint8_t>(ParityState::kCommitted),
+                        state.dirty_page, txn);
+    TraceTwinTransition(group, state.valid_twin,
+                        static_cast<uint8_t>(ParityState::kObsolete),
+                        state.dirty_page, txn);
+    TraceGroupTransition(group, /*to_dirty=*/false, state.dirty_page, txn);
     directory_.MarkClean(group, state.working_twin);
     ++stats_.commits_finalized;
+    obs::Inc(commits_finalized_counter_);
     return Status::Ok();
   }
   PageImage parity;
@@ -228,8 +322,19 @@ Status TwinParityManager::FinalizeCommit(GroupId group, TxnId txn) {
   parity.header.parity_state = ParityState::kCommitted;
   parity.header.timestamp = NextTimestamp();
   RDA_RETURN_IF_ERROR(array_->WriteParity(group, state.working_twin, parity));
+  // The freshly committed twin supersedes the old valid twin, which becomes
+  // logically obsolete without a write (timestamps disambiguate after a
+  // crash).
+  TraceTwinTransition(group, state.working_twin,
+                      static_cast<uint8_t>(ParityState::kCommitted),
+                      state.dirty_page, txn);
+  TraceTwinTransition(group, state.valid_twin,
+                      static_cast<uint8_t>(ParityState::kObsolete),
+                      state.dirty_page, txn);
+  TraceGroupTransition(group, /*to_dirty=*/false, state.dirty_page, txn);
   directory_.MarkClean(group, state.working_twin);
   ++stats_.commits_finalized;
+  obs::Inc(commits_finalized_counter_);
   return Status::Ok();
 }
 
@@ -245,6 +350,7 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
                                       std::to_string(txn));
   }
   ++stats_.parity_undos;
+  obs::Inc(parity_undos_counter_);
 
   PageImage data;
   Status data_status = array_->ReadData(state.dirty_page, &data);
@@ -273,6 +379,10 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
     working.header.dirty_page = kInvalidPageId;
     RDA_RETURN_IF_ERROR(
         array_->WriteParity(group, state.working_twin, working));
+    TraceTwinTransition(group, state.working_twin,
+                        static_cast<uint8_t>(ParityState::kInvalid),
+                        state.dirty_page, txn);
+    TraceGroupTransition(group, /*to_dirty=*/false, state.dirty_page, txn);
     directory_.MarkClean(group, state.valid_twin);
     RDA_ASSIGN_OR_RETURN(result.restored_payload,
                          ReconstructDataPayload(state.dirty_page));
@@ -290,8 +400,8 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
         array_->ReadParity(group, state.working_twin, &working));
     PageImage restored(array_->page_size());
     restored.payload = valid.payload;
-    XorInto(&restored.payload, working.payload);
-    XorInto(&restored.payload, data.payload);
+    XorPage(&restored.payload, working.payload);
+    XorPage(&restored.payload, data.payload);
     RDA_RETURN_IF_ERROR(array_->WriteData(state.dirty_page, restored));
     result.payload_restored = true;
     result.restored_payload = std::move(restored.payload);
@@ -315,6 +425,10 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
         array_->WriteParity(group, state.working_twin, working));
   }
 
+  TraceTwinTransition(group, state.working_twin,
+                      static_cast<uint8_t>(ParityState::kInvalid),
+                      state.dirty_page, txn);
+  TraceGroupTransition(group, /*to_dirty=*/false, state.dirty_page, txn);
   directory_.MarkClean(group, state.valid_twin);
   return result;
 }
@@ -328,6 +442,7 @@ Status TwinParityManager::ApplyLoggedUndo(PageId page,
     return Status::InvalidArgument("before-image size mismatch");
   }
   ++stats_.logged_undos;
+  obs::Inc(logged_undos_counter_);
   PageImage restored(array_->page_size());
   restored.payload = before;
   // Reuse Propagate's parity maintenance; inside a dirty group both twins
@@ -355,7 +470,16 @@ Result<std::vector<uint8_t>> TwinParityManager::ReconstructDataPayload(
     }
     PageImage data;
     RDA_RETURN_IF_ERROR(array_->ReadData(sibling, &data));
-    XorInto(&payload, data.payload);
+    XorPage(&payload, data.payload);
+  }
+  obs::Inc(degraded_reads_counter_);
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.subsystem = obs::Subsystem::kParity;
+    event.kind = obs::EventKind::kDegradedRead;
+    event.page = page;
+    event.group = group;
+    trace_->Record(event);
   }
   return payload;
 }
@@ -398,7 +522,7 @@ TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
       for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
         PageImage data;
         RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &data));
-        XorInto(&parity.payload, data.payload);
+        XorPage(&parity.payload, data.payload);
       }
       if (state.dirty) {
         parity.header.parity_state = ParityState::kWorking;
@@ -409,6 +533,8 @@ TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
       }
       parity.header.timestamp = NextTimestamp();
       RDA_RETURN_IF_ERROR(array_->WriteParity(group, t, parity));
+      SyncTwinShadow(group, t,
+                     static_cast<uint8_t>(parity.header.parity_state));
       ++outcome.parity_rebuilt;
       return outcome;
     }
@@ -417,6 +543,7 @@ TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
       PageImage obsolete(array_->page_size());
       obsolete.header.parity_state = ParityState::kObsolete;
       RDA_RETURN_IF_ERROR(array_->WriteParity(group, t, obsolete));
+      SyncTwinShadow(group, t, static_cast<uint8_t>(ParityState::kObsolete));
       ++outcome.obsolete_reset;
       return outcome;
     }
@@ -436,6 +563,12 @@ TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
     PageImage obsolete(array_->page_size());
     obsolete.header.parity_state = ParityState::kObsolete;
     RDA_RETURN_IF_ERROR(array_->WriteParity(group, t, obsolete));
+    TraceTwinTransition(group, state.working_twin,
+                        static_cast<uint8_t>(ParityState::kCommitted),
+                        state.dirty_page, state.dirty_txn);
+    SyncTwinShadow(group, t, static_cast<uint8_t>(ParityState::kObsolete));
+    TraceGroupTransition(group, /*to_dirty=*/false, state.dirty_page,
+                         state.dirty_txn);
     directory_.MarkClean(group, state.working_twin);
     ++outcome.parity_rebuilt;
     return outcome;
@@ -462,12 +595,14 @@ Status TwinParityManager::WriteFullGroup(
     if (payloads[i].size() != array_->page_size()) {
       return Status::InvalidArgument("page payload size mismatch");
     }
-    XorInto(&parity.payload, payloads[i]);
+    XorPage(&parity.payload, payloads[i]);
   }
   // Parity first (consistent with the small-write ordering), then data.
   parity.header.parity_state = ParityState::kCommitted;
   parity.header.timestamp = NextTimestamp();
   RDA_RETURN_IF_ERROR(array_->WriteParity(group, state.valid_twin, parity));
+  SyncTwinShadow(group, state.valid_twin,
+                 static_cast<uint8_t>(ParityState::kCommitted));
   for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
     PageImage image(0);
     image.payload = payloads[i];
@@ -489,16 +624,20 @@ Status TwinParityManager::ScrubGroup(GroupId group) {
   for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
     PageImage data;
     RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &data));
-    XorInto(&parity.payload, data.payload);
+    XorPage(&parity.payload, data.payload);
   }
   parity.header.parity_state = ParityState::kCommitted;
   parity.header.timestamp = NextTimestamp();
   RDA_RETURN_IF_ERROR(array_->WriteParity(group, state.valid_twin, parity));
+  SyncTwinShadow(group, state.valid_twin,
+                 static_cast<uint8_t>(ParityState::kCommitted));
   if (array_->layout().parity_copies() == 2) {
     PageImage obsolete(array_->page_size());
     obsolete.header.parity_state = ParityState::kObsolete;
     RDA_RETURN_IF_ERROR(
         array_->WriteParity(group, OtherTwin(state.valid_twin), obsolete));
+    SyncTwinShadow(group, OtherTwin(state.valid_twin),
+                   static_cast<uint8_t>(ParityState::kObsolete));
   }
   return Status::Ok();
 }
@@ -514,7 +653,7 @@ Result<bool> TwinParityManager::VerifyGroupParity(GroupId group) {
   for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
     PageImage data;
     RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &data));
-    XorInto(&expected.payload, data.payload);
+    XorPage(&expected.payload, data.payload);
   }
   PageImage parity;
   RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &parity));
@@ -528,15 +667,17 @@ Status TwinParityManager::ReinitializeParityFromData() {
     for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
       PageImage data;
       RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(g, i), &data));
-      XorInto(&parity.payload, data.payload);
+      XorPage(&parity.payload, data.payload);
     }
     parity.header.parity_state = ParityState::kCommitted;
     parity.header.timestamp = NextTimestamp();
     RDA_RETURN_IF_ERROR(array_->WriteParity(g, 0, parity));
+    SyncTwinShadow(g, 0, static_cast<uint8_t>(ParityState::kCommitted));
     if (layout.parity_copies() == 2) {
       PageImage obsolete(array_->page_size());
       obsolete.header.parity_state = ParityState::kObsolete;
       RDA_RETURN_IF_ERROR(array_->WriteParity(g, 1, obsolete));
+      SyncTwinShadow(g, 1, static_cast<uint8_t>(ParityState::kObsolete));
     }
     directory_.MarkClean(g, 0);
   }
@@ -552,6 +693,8 @@ Status TwinParityManager::RebuildDirectory() {
     for (uint32_t t = 0; t < copies; ++t) {
       RDA_RETURN_IF_ERROR(array_->ReadParity(g, t, &twins[t]));
       max_seen = std::max(max_seen, twins[t].header.timestamp);
+      SyncTwinShadow(g, t,
+                     static_cast<uint8_t>(twins[t].header.parity_state));
     }
     if (copies == 1) {
       directory_.MarkClean(g, 0);

@@ -1,11 +1,13 @@
 #ifndef RDA_PARITY_TWIN_PARITY_MANAGER_H_
 #define RDA_PARITY_TWIN_PARITY_MANAGER_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/obs.h"
 #include "parity/dirty_set.h"
 #include "storage/data_page_meta.h"
 #include "storage/disk_array.h"
@@ -192,6 +194,11 @@ class TwinParityManager {
   const ParityStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ParityStats(); }
 
+  // Hooks the manager into the observability hub: `parity.*` counters plus
+  // the Figure 3 (kGroupTransition) and Figure 8 (kTwinTransition) trace
+  // events at every state change. Null detaches.
+  void AttachObs(obs::ObsHub* hub);
+
  private:
   uint32_t OtherTwin(uint32_t twin) const { return 1 - twin; }
   bool LocationHealthy(const PhysicalLocation& loc) const;
@@ -203,11 +210,45 @@ class TwinParityManager {
   Status ReadOldPayload(PageId page, const std::vector<uint8_t>* hint,
                         std::vector<uint8_t>* out);
 
+  // XOR of one page-sized payload into another, accounted as one XOR
+  // computation on the array.
+  void XorPage(std::vector<uint8_t>* dst, const std::vector<uint8_t>& src);
+
+  // Silently records twin `state` (ParityState numeric value) in the
+  // volatile shadow — used when (re)initializing, not for transitions.
+  void SyncTwinShadow(GroupId group, uint32_t twin, uint8_t state);
+
+  // Records a Figure 8 twin transition: emits a kTwinTransition event with
+  // the accurate from-state (kept in the volatile shadow, so obsolete ->
+  // working and invalid -> working are distinguishable without extra I/O)
+  // and updates the shadow.
+  void TraceTwinTransition(GroupId group, uint32_t twin, uint8_t to_state,
+                           PageId page, TxnId txn);
+
+  // Records a Figure 3 group transition (CLEAN <-> DIRTY).
+  void TraceGroupTransition(GroupId group, bool to_dirty, PageId page,
+                            TxnId txn);
+
   DiskArray* array_;
   DirtySet directory_;
   ParityTimestamp timestamp_ = 0;
   bool directory_valid_ = false;
   ParityStats stats_;
+
+  // Volatile per-group twin-state shadow (ParityState numeric values),
+  // maintained whether or not observability is attached.
+  std::vector<std::array<uint8_t, 2>> twin_shadow_;
+
+  // Observability (null = disabled).
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::Counter* unlogged_first_counter_ = nullptr;
+  obs::Counter* unlogged_repeat_counter_ = nullptr;
+  obs::Counter* logged_dirty_group_counter_ = nullptr;
+  obs::Counter* plain_counter_ = nullptr;
+  obs::Counter* parity_undos_counter_ = nullptr;
+  obs::Counter* logged_undos_counter_ = nullptr;
+  obs::Counter* commits_finalized_counter_ = nullptr;
+  obs::Counter* degraded_reads_counter_ = nullptr;
 };
 
 }  // namespace rda

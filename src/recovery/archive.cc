@@ -2,7 +2,14 @@
 
 #include <utility>
 
+#include "obs/scoped.h"
+
 namespace rda {
+
+void ArchiveManager::AttachObs(obs::ObsHub* hub) {
+  hub_ = hub;
+  archives_counter_ = obs::GetCounter(hub, "recovery.archives_taken");
+}
 
 Status ArchiveManager::TakeArchive(bool truncate_log) {
   if (!txn_manager_->ActiveTxns().empty()) {
@@ -31,6 +38,7 @@ Status ArchiveManager::TakeArchive(bool truncate_log) {
     // were just propagated.
     RDA_RETURN_IF_ERROR(log_->Truncate(archive_lsn_));
   }
+  obs::Inc(archives_counter_);
   return Status::Ok();
 }
 
@@ -39,6 +47,11 @@ Result<CrashRecoveryReport> ArchiveManager::RestoreFromArchive() {
     return Status::FailedPrecondition("no archive has been taken");
   }
   DiskArray* array = parity_->array();
+  const auto transfers_now = [this, array] {
+    return array->counters().total() + log_->counters().total();
+  };
+  std::vector<obs::PhaseCost> restore_phases;
+
   // Fresh media for every failed disk.
   for (DiskId disk = 0; disk < array->num_disks(); ++disk) {
     if (array->DiskFailed(disk)) {
@@ -50,17 +63,29 @@ Result<CrashRecoveryReport> ArchiveManager::RestoreFromArchive() {
   parity_->LoseVolatileState();
   log_->LoseVolatileState();
 
-  for (PageId page = 0; page < array->num_data_pages(); ++page) {
-    PageImage image(0);
-    image.payload = snapshot_[page];
-    RDA_RETURN_IF_ERROR(array->WriteData(page, image));
+  {
+    obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kArchiveRestore,
+                           transfers_now, &restore_phases);
+    for (PageId page = 0; page < array->num_data_pages(); ++page) {
+      PageImage image(0);
+      image.payload = snapshot_[page];
+      RDA_RETURN_IF_ERROR(array->WriteData(page, image));
+    }
   }
-  RDA_RETURN_IF_ERROR(parity_->ReinitializeParityFromData());
+  {
+    obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kParityReinit,
+                           transfers_now, &restore_phases);
+    RDA_RETURN_IF_ERROR(parity_->ReinitializeParityFromData());
+  }
 
   // Roll forward the work committed since the archive; restart recovery's
   // pageLSN checks make replaying from the (truncated) log start safe.
   CrashRecovery recovery(txn_manager_, parity_, log_);
-  return recovery.Recover();
+  recovery.AttachObs(hub_);
+  RDA_ASSIGN_OR_RETURN(CrashRecoveryReport report, recovery.Recover());
+  report.phases.insert(report.phases.begin(), restore_phases.begin(),
+                       restore_phases.end());
+  return report;
 }
 
 }  // namespace rda

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/obs.h"
 #include "parity/twin_parity_manager.h"
 #include "recovery/crash_recovery.h"
 #include "txn/transaction_manager.h"
@@ -48,12 +49,19 @@ class ArchiveManager {
   // winner/loser rules.
   Result<CrashRecoveryReport> RestoreFromArchive();
 
+  // Hooks archiving into the observability hub: `recovery.archives_taken`
+  // counter, and restores report kArchiveRestore/kParityReinit phase costs
+  // ahead of the nested crash-recovery phases. Null detaches.
+  void AttachObs(obs::ObsHub* hub);
+
  private:
   TransactionManager* txn_manager_;
   TwinParityManager* parity_;
   LogManager* log_;
   std::vector<std::vector<uint8_t>> snapshot_;
   Lsn archive_lsn_ = kInvalidLsn;
+  obs::ObsHub* hub_ = nullptr;
+  obs::Counter* archives_counter_ = nullptr;
 };
 
 }  // namespace rda

@@ -6,15 +6,30 @@
 
 namespace rda {
 
+void Checkpointer::AttachObs(obs::ObsHub* hub) {
+  trace_ = obs::TraceOf(hub);
+  checkpoints_counter_ = obs::GetCounter(hub, "recovery.checkpoints");
+}
+
 Status Checkpointer::TakeCheckpoint() {
   RDA_RETURN_IF_ERROR(txn_manager_->pool()->PropagateAllDirty());
   LogRecord record;
   record.type = LogRecordType::kCheckpoint;
   record.active_txns = txn_manager_->ActiveTxns();
+  const size_t active = record.active_txns.size();
   RDA_ASSIGN_OR_RETURN(const Lsn lsn, log_->Append(std::move(record)));
   RDA_RETURN_IF_ERROR(log_->Flush());
   last_checkpoint_lsn_ = lsn;
   ++checkpoints_taken_;
+  obs::Inc(checkpoints_counter_);
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.subsystem = obs::Subsystem::kRecovery;
+    event.kind = obs::EventKind::kCheckpoint;
+    event.detail = static_cast<int64_t>(active);
+    event.value = static_cast<int64_t>(lsn);
+    obs::Emit(trace_, event);
+  }
   return Status::Ok();
 }
 

@@ -3,6 +3,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/obs.h"
 #include "txn/transaction_manager.h"
 #include "wal/log_manager.h"
 
@@ -34,11 +35,17 @@ class Checkpointer {
   Lsn last_checkpoint_lsn() const { return last_checkpoint_lsn_; }
   uint64_t checkpoints_taken() const { return checkpoints_taken_; }
 
+  // Hooks checkpoints into the observability hub (`recovery.checkpoints`
+  // counter and kCheckpoint trace events). Null detaches.
+  void AttachObs(obs::ObsHub* hub);
+
  private:
   TransactionManager* txn_manager_;
   LogManager* log_;
   Lsn last_checkpoint_lsn_ = kInvalidLsn;
   uint64_t checkpoints_taken_ = 0;
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::Counter* checkpoints_counter_ = nullptr;
 };
 
 }  // namespace rda

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/scoped.h"
 #include "storage/data_page_meta.h"
 #include "txn/record_page.h"
 #include "wal/log_record.h"
@@ -66,64 +67,81 @@ Status CrashRecovery::RedoAfterImage(const LogRecord& record,
   return Status::Ok();
 }
 
+uint64_t CrashRecovery::TransfersNow() const {
+  return parity_->array()->counters().total() + log_->counters().total();
+}
+
 Result<CrashRecoveryReport> CrashRecovery::Recover() {
   CrashRecoveryReport report;
+  const auto transfers_now = [this] { return TransfersNow(); };
 
   // Phase 1: Current_Parity — rebuild the volatile parity directory.
-  RDA_RETURN_IF_ERROR(parity_->RebuildDirectory());
+  {
+    obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kDirectoryRebuild,
+                           transfers_now, &report.phases);
+    RDA_RETURN_IF_ERROR(parity_->RebuildDirectory());
+  }
 
   // Phase 2: analysis.
   std::vector<LogRecord> records;
-  RDA_RETURN_IF_ERROR(log_->Scan(0, &records));
-  std::unordered_set<TxnId> seen;
-  std::unordered_set<TxnId> finished;  // Committed or abort-complete.
   std::unordered_set<TxnId> winners;
-  TxnId max_txn = 0;
-  for (const LogRecord& record : records) {
-    if (record.txn != kInvalidTxnId) {
-      seen.insert(record.txn);
-      max_txn = std::max(max_txn, record.txn);
-    }
-    switch (record.type) {
-      case LogRecordType::kCommit:
-        winners.insert(record.txn);
-        finished.insert(record.txn);
-        break;
-      case LogRecordType::kAbortComplete:
-        finished.insert(record.txn);
-        break;
-      default:
-        break;
-    }
-  }
   std::unordered_set<TxnId> losers;
-  for (const TxnId txn : seen) {
-    if (!finished.contains(txn)) {
-      losers.insert(txn);
+  TxnId max_txn = 0;
+  {
+    obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kAnalysis, transfers_now,
+                           &report.phases);
+    RDA_RETURN_IF_ERROR(log_->Scan(0, &records));
+    std::unordered_set<TxnId> seen;
+    std::unordered_set<TxnId> finished;  // Committed or abort-complete.
+    for (const LogRecord& record : records) {
+      if (record.txn != kInvalidTxnId) {
+        seen.insert(record.txn);
+        max_txn = std::max(max_txn, record.txn);
+      }
+      switch (record.type) {
+        case LogRecordType::kCommit:
+          winners.insert(record.txn);
+          finished.insert(record.txn);
+          break;
+        case LogRecordType::kAbortComplete:
+          finished.insert(record.txn);
+          break;
+        default:
+          break;
+      }
     }
-  }
-  // A dirty group whose owner never reached the log (BOT flushed with the
-  // first propagation, so this is defensive) is a loser as well.
-  for (const GroupId group : parity_->directory().AllDirtyGroups()) {
-    const GroupState& state = parity_->directory().Get(group);
-    if (!winners.contains(state.dirty_txn)) {
-      losers.insert(state.dirty_txn);
+    for (const TxnId txn : seen) {
+      if (!finished.contains(txn)) {
+        losers.insert(txn);
+      }
     }
-  }
+    // A dirty group whose owner never reached the log (BOT flushed with the
+    // first propagation, so this is defensive) is a loser as well.
+    for (const GroupId group : parity_->directory().AllDirtyGroups()) {
+      const GroupState& state = parity_->directory().Get(group);
+      if (!winners.contains(state.dirty_txn)) {
+        losers.insert(state.dirty_txn);
+      }
+    }
 
-  report.winners.assign(winners.begin(), winners.end());
-  std::sort(report.winners.begin(), report.winners.end());
-  report.losers.assign(losers.begin(), losers.end());
-  std::sort(report.losers.begin(), report.losers.end());
+    report.winners.assign(winners.begin(), winners.end());
+    std::sort(report.winners.begin(), report.winners.end());
+    report.losers.assign(losers.begin(), losers.end());
+    std::sort(report.losers.begin(), report.losers.end());
+  }
 
   // Phase 3: roll forward twin finalization for winners (crash landed
   // between the commit record and FinalizeCommit).
-  for (const GroupId group : parity_->directory().AllDirtyGroups()) {
-    const GroupState& state = parity_->directory().Get(group);
-    if (winners.contains(state.dirty_txn)) {
-      RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
-      RDA_RETURN_IF_ERROR(parity_->FinalizeCommit(group, state.dirty_txn));
-      ++report.groups_finalized;
+  {
+    obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kRollForward,
+                           transfers_now, &report.phases);
+    for (const GroupId group : parity_->directory().AllDirtyGroups()) {
+      const GroupState& state = parity_->directory().Get(group);
+      if (winners.contains(state.dirty_txn)) {
+        RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+        RDA_RETURN_IF_ERROR(parity_->FinalizeCommit(group, state.dirty_txn));
+        ++report.groups_finalized;
+      }
     }
   }
 
@@ -134,6 +152,8 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
   // previously unlogged page. The directory is authoritative — the walk
   // cross-checks it and feeds the report.
   {
+    obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kChainAudit,
+                           transfers_now, &report.phases);
     std::unordered_set<PageId> visited;
     for (const GroupId group : parity_->directory().AllDirtyGroups()) {
       const GroupState& state = parity_->directory().Get(group);
@@ -158,69 +178,86 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
   // FIRST: a before-image from a later steal can contain the loser's own
   // bytes from an earlier unlogged steal; the parity undo below cancels
   // exactly that unlogged delta, so it must run last (DESIGN.md 4.3).
-  for (auto it = records.rbegin(); it != records.rend(); ++it) {
-    const LogRecord& record = *it;
-    if (record.type != LogRecordType::kBeforeImage ||
-        !losers.contains(record.txn)) {
-      continue;
-    }
-    RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
-    if (!record.record_granular) {
-      RDA_RETURN_IF_ERROR(parity_->ApplyLoggedUndo(record.page,
-                                                   record.before));
-    } else {
-      PageImage current;
-      RDA_RETURN_IF_ERROR(parity_->array()->ReadData(record.page, &current));
-      std::vector<uint8_t> payload = std::move(current.payload);
-      RecordPageView view(&payload, txn_manager_->config().record_size);
-      RDA_RETURN_IF_ERROR(view.Write(record.slot, record.before));
-      DataPageMeta meta = LoadDataMeta(payload);
-      const GroupState& undo_group = parity_->directory().Get(
-          parity_->array()->layout().GroupOf(record.page));
-      if (!(undo_group.dirty && undo_group.dirty_page == record.page)) {
-        // Keep the covering transaction's stamp so the parity undo of
-        // phase 4c still recognizes its work.
-        meta.txn_id = kInvalidTxnId;
+  {
+    obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kLoggedUndo,
+                           transfers_now, &report.phases);
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+      const LogRecord& record = *it;
+      if (record.type != LogRecordType::kBeforeImage ||
+          !losers.contains(record.txn)) {
+        continue;
       }
-      meta.page_lsn = 0;  // Mixed state: let REDO replay decide per record.
-      StoreDataMeta(meta, &payload);
-      RDA_RETURN_IF_ERROR(parity_->ApplyLoggedUndo(record.page, payload));
+      RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+      if (!record.record_granular) {
+        RDA_RETURN_IF_ERROR(parity_->ApplyLoggedUndo(record.page,
+                                                     record.before));
+      } else {
+        PageImage current;
+        RDA_RETURN_IF_ERROR(
+            parity_->array()->ReadData(record.page, &current));
+        std::vector<uint8_t> payload = std::move(current.payload);
+        RecordPageView view(&payload, txn_manager_->config().record_size);
+        RDA_RETURN_IF_ERROR(view.Write(record.slot, record.before));
+        DataPageMeta meta = LoadDataMeta(payload);
+        const GroupState& undo_group = parity_->directory().Get(
+            parity_->array()->layout().GroupOf(record.page));
+        if (!(undo_group.dirty && undo_group.dirty_page == record.page)) {
+          // Keep the covering transaction's stamp so the parity undo of
+          // phase 4c still recognizes its work.
+          meta.txn_id = kInvalidTxnId;
+        }
+        meta.page_lsn = 0;  // Mixed state: let REDO replay decide per record.
+        StoreDataMeta(meta, &payload);
+        RDA_RETURN_IF_ERROR(parity_->ApplyLoggedUndo(record.page, payload));
+      }
+      ++report.logged_undos;
     }
-    ++report.logged_undos;
   }
 
   // Phase 4c: parity-undo every dirty group owned by a loser.
-  for (const GroupId group : parity_->directory().AllDirtyGroups()) {
-    const GroupState& state = parity_->directory().Get(group);
-    if (!losers.contains(state.dirty_txn)) {
-      continue;
+  {
+    obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kParityUndo,
+                           transfers_now, &report.phases);
+    for (const GroupId group : parity_->directory().AllDirtyGroups()) {
+      const GroupState& state = parity_->directory().Get(group);
+      if (!losers.contains(state.dirty_txn)) {
+        continue;
+      }
+      RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+      RDA_RETURN_IF_ERROR(
+          parity_->UndoUnloggedUpdate(group, state.dirty_txn).status());
+      ++report.parity_undos;
     }
-    RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
-    RDA_RETURN_IF_ERROR(
-        parity_->UndoUnloggedUpdate(group, state.dirty_txn).status());
-    ++report.parity_undos;
   }
 
   // Phase 5: REDO committed after-images in LSN order (records is already
   // LSN-ordered). The pageLSN check skips work already on disk.
-  for (const LogRecord& record : records) {
-    if (record.type != LogRecordType::kAfterImage ||
-        !winners.contains(record.txn)) {
-      continue;
+  {
+    obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kRedo, transfers_now,
+                           &report.phases);
+    for (const LogRecord& record : records) {
+      if (record.type != LogRecordType::kAfterImage ||
+          !winners.contains(record.txn)) {
+        continue;
+      }
+      RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+      RDA_RETURN_IF_ERROR(RedoAfterImage(record, &report));
     }
-    RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
-    RDA_RETURN_IF_ERROR(RedoAfterImage(record, &report));
   }
 
   // Phase 6: mark losers resolved so a crash during the next epoch does not
   // re-undo them.
-  for (const TxnId txn : report.losers) {
-    LogRecord done;
-    done.type = LogRecordType::kAbortComplete;
-    done.txn = txn;
-    RDA_RETURN_IF_ERROR(log_->Append(std::move(done)).status());
+  {
+    obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kLoserResolution,
+                           transfers_now, &report.phases);
+    for (const TxnId txn : report.losers) {
+      LogRecord done;
+      done.type = LogRecordType::kAbortComplete;
+      done.txn = txn;
+      RDA_RETURN_IF_ERROR(log_->Append(std::move(done)).status());
+    }
+    RDA_RETURN_IF_ERROR(log_->Flush());
   }
-  RDA_RETURN_IF_ERROR(log_->Flush());
 
   txn_manager_->BumpNextTxnId(max_txn + 1);
   return report;

@@ -5,6 +5,8 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "parity/twin_parity_manager.h"
 #include "txn/transaction_manager.h"
 #include "wal/log_manager.h"
@@ -22,6 +24,9 @@ struct CrashRecoveryReport {
   uint64_t redo_applied = 0;       // Committed after-images re-applied.
   uint64_t redo_skipped = 0;       // Skipped by the pageLSN check.
   uint64_t chain_pages_walked = 0; // TWIST chain links traversed (audit).
+  // Per-phase cost breakdown (page transfers + wall clock), in execution
+  // order. Always filled, whether or not observability is attached.
+  std::vector<obs::PhaseCost> phases;
 };
 
 // System-failure recovery (paper Section 4.3), to be run against a
@@ -52,6 +57,10 @@ class CrashRecovery {
 
   Result<CrashRecoveryReport> Recover();
 
+  // Hooks recovery into the observability hub (`recovery.phase.*` counters
+  // and kPhaseBegin/kPhaseEnd trace events). Null detaches.
+  void AttachObs(obs::ObsHub* hub) { hub_ = hub; }
+
   // Robustness hook: make Recover() fail with kAborted after `actions`
   // mutating recovery steps (finalizations, undos, redo applications),
   // simulating a crash in the middle of recovery.
@@ -69,9 +78,13 @@ class CrashRecovery {
 
   Status RedoAfterImage(const LogRecord& record, CrashRecoveryReport* report);
 
+  // Array + log transfers so far (phase deltas are charged per phase).
+  uint64_t TransfersNow() const;
+
   TransactionManager* txn_manager_;
   TwinParityManager* parity_;
   LogManager* log_;
+  obs::ObsHub* hub_ = nullptr;
 };
 
 }  // namespace rda

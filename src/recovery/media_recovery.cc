@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/scoped.h"
+
 namespace rda {
 
 Result<MediaRecoveryReport> MediaRecovery::RebuildDisk(DiskId disk) {
@@ -16,8 +18,12 @@ Result<MediaRecoveryReport> MediaRecovery::RebuildDisk(DiskId disk) {
 
   MediaRecoveryReport report;
   report.disk = disk;
+  obs::ScopedPhase phase(
+      hub_, obs::RecoveryPhase::kMediaRebuild,
+      [array] { return array->counters().total(); }, &report.phases);
   RDA_RETURN_IF_ERROR(array->ReplaceDisk(disk));
 
+  obs::TraceBuffer* trace = obs::TraceOf(hub_);
   for (GroupId group = 0; group < array->num_groups(); ++group) {
     RDA_ASSIGN_OR_RETURN(TwinParityManager::GroupRebuildOutcome outcome,
                          parity_->RebuildGroupMember(group, disk));
@@ -26,6 +32,16 @@ Result<MediaRecoveryReport> MediaRecovery::RebuildDisk(DiskId disk) {
     report.obsolete_twins_reset += outcome.obsolete_reset;
     if (outcome.undo_lost) {
       report.undo_coverage_lost.push_back(outcome.lost_txn);
+    }
+    if (trace != nullptr &&
+        (outcome.data_rebuilt | outcome.parity_rebuilt) != 0) {
+      obs::TraceEvent event;
+      event.subsystem = obs::Subsystem::kRecovery;
+      event.kind = obs::EventKind::kRebuildProgress;
+      event.group = group;
+      event.detail = report.data_pages_rebuilt + report.parity_pages_rebuilt;
+      event.value = disk;
+      obs::Emit(trace, event);
     }
   }
   std::sort(report.undo_coverage_lost.begin(),

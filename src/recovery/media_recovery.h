@@ -5,6 +5,8 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "parity/twin_parity_manager.h"
 
 namespace rda {
@@ -22,6 +24,9 @@ struct MediaRecoveryReport {
   // disk failure. The caller must resolve them (force-commit or accept
   // kDataLoss on abort).
   std::vector<TxnId> undo_coverage_lost;
+  // Cost of the rebuild as a single kMediaRebuild phase (page transfers +
+  // wall clock). Always filled, whether or not observability is attached.
+  std::vector<obs::PhaseCost> phases;
 };
 
 // Media recovery (the classic redundant-array pay-off the paper builds on):
@@ -39,8 +44,13 @@ class MediaRecovery {
   // held. Requires that no other disk is failed (single-failure model).
   Result<MediaRecoveryReport> RebuildDisk(DiskId disk);
 
+  // Hooks rebuilds into the observability hub (kMediaRebuild phase cost
+  // and kRebuildProgress trace events). Null detaches.
+  void AttachObs(obs::ObsHub* hub) { hub_ = hub; }
+
  private:
   TwinParityManager* parity_;
+  obs::ObsHub* hub_ = nullptr;
 };
 
 }  // namespace rda

@@ -143,6 +143,24 @@ Result<SimResult> Simulator::Run() {
     result_.throughput_per_interval =
         result_.interval_t / result_.transfers_per_commit;
   }
+
+  // Publish the headline numbers as gauges so one metrics export carries
+  // the run outcome alongside the subsystem counters.
+  if (obs::ObsHub* hub = db_->obs(); hub != nullptr) {
+    auto set = [hub](std::string_view name, int64_t value) {
+      if (obs::Gauge* gauge = obs::GetGauge(hub, name)) {
+        gauge->Set(value);
+      }
+    };
+    set("sim.committed", static_cast<int64_t>(result_.committed));
+    set("sim.client_aborts", static_cast<int64_t>(result_.client_aborts));
+    set("sim.deadlock_aborts",
+        static_cast<int64_t>(result_.deadlock_aborts));
+    set("sim.total_transfers",
+        static_cast<int64_t>(result_.total_transfers));
+    set("sim.transfers_per_commit_x1000",
+        static_cast<int64_t>(result_.transfers_per_commit * 1000.0));
+  }
   return result_;
 }
 

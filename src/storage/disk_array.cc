@@ -72,27 +72,47 @@ Status DiskArray::CheckGroup(GroupId group, uint32_t twin) const {
 Status DiskArray::ReadData(PageId page, PageImage* out) const {
   RDA_RETURN_IF_ERROR(CheckPage(page));
   const PhysicalLocation loc = layout_->DataLocation(page);
-  return disks_[loc.disk].Read(loc.slot, out);
+  RDA_RETURN_IF_ERROR(disks_[loc.disk].Read(loc.slot, out));
+  obs::Inc(reads_counter_);
+  if (loc.disk < disk_read_counters_.size()) {
+    obs::Inc(disk_read_counters_[loc.disk]);
+  }
+  return Status::Ok();
 }
 
 Status DiskArray::WriteData(PageId page, const PageImage& image) {
   RDA_RETURN_IF_ERROR(CheckPage(page));
   const PhysicalLocation loc = layout_->DataLocation(page);
-  return disks_[loc.disk].Write(loc.slot, image);
+  RDA_RETURN_IF_ERROR(disks_[loc.disk].Write(loc.slot, image));
+  obs::Inc(writes_counter_);
+  if (loc.disk < disk_write_counters_.size()) {
+    obs::Inc(disk_write_counters_[loc.disk]);
+  }
+  return Status::Ok();
 }
 
 Status DiskArray::ReadParity(GroupId group, uint32_t twin,
                              PageImage* out) const {
   RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
   const PhysicalLocation loc = layout_->ParityLocation(group, twin);
-  return disks_[loc.disk].Read(loc.slot, out);
+  RDA_RETURN_IF_ERROR(disks_[loc.disk].Read(loc.slot, out));
+  obs::Inc(reads_counter_);
+  if (loc.disk < disk_read_counters_.size()) {
+    obs::Inc(disk_read_counters_[loc.disk]);
+  }
+  return Status::Ok();
 }
 
 Status DiskArray::WriteParity(GroupId group, uint32_t twin,
                               const PageImage& image) {
   RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
   const PhysicalLocation loc = layout_->ParityLocation(group, twin);
-  return disks_[loc.disk].Write(loc.slot, image);
+  RDA_RETURN_IF_ERROR(disks_[loc.disk].Write(loc.slot, image));
+  obs::Inc(writes_counter_);
+  if (loc.disk < disk_write_counters_.size()) {
+    obs::Inc(disk_write_counters_[loc.disk]);
+  }
+  return Status::Ok();
 }
 
 Status DiskArray::FailDisk(DiskId disk) {
@@ -100,6 +120,11 @@ Status DiskArray::FailDisk(DiskId disk) {
     return Status::InvalidArgument("no such disk");
   }
   disks_[disk].Fail();
+  obs::TraceEvent event;
+  event.subsystem = obs::Subsystem::kStorage;
+  event.kind = obs::EventKind::kDiskFailed;
+  event.value = static_cast<int64_t>(disk);
+  obs::Emit(trace_, event);
   return Status::Ok();
 }
 
@@ -108,6 +133,11 @@ Status DiskArray::ReplaceDisk(DiskId disk) {
     return Status::InvalidArgument("no such disk");
   }
   disks_[disk].Replace();
+  obs::TraceEvent event;
+  event.subsystem = obs::Subsystem::kStorage;
+  event.kind = obs::EventKind::kDiskReplaced;
+  event.value = static_cast<int64_t>(disk);
+  obs::Emit(trace_, event);
   return Status::Ok();
 }
 
@@ -130,12 +160,35 @@ IoCounters DiskArray::counters() const {
   for (const Disk& d : disks_) {
     total += d.counters();
   }
+  total.xor_computations = xor_computations_;
   return total;
 }
 
 void DiskArray::ResetCounters() {
   for (Disk& d : disks_) {
     d.ResetCounters();
+  }
+  xor_computations_ = 0;
+}
+
+void DiskArray::AccountXor(uint64_t pages) {
+  xor_computations_ += pages;
+  obs::Inc(xor_counter_, pages);
+}
+
+void DiskArray::AttachObs(obs::ObsHub* hub) {
+  trace_ = obs::TraceOf(hub);
+  reads_counter_ = obs::GetCounter(hub, "storage.reads");
+  writes_counter_ = obs::GetCounter(hub, "storage.writes");
+  xor_counter_ = obs::GetCounter(hub, "storage.xor_computations");
+  disk_read_counters_.assign(disks_.size(), nullptr);
+  disk_write_counters_.assign(disks_.size(), nullptr);
+  if (hub != nullptr) {
+    for (size_t d = 0; d < disks_.size(); ++d) {
+      const std::string prefix = "storage.disk" + std::to_string(d);
+      disk_read_counters_[d] = obs::GetCounter(hub, prefix + ".reads");
+      disk_write_counters_[d] = obs::GetCounter(hub, prefix + ".writes");
+    }
   }
 }
 

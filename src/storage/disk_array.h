@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/obs.h"
 #include "storage/disk.h"
 #include "storage/layout.h"
 #include "storage/page.h"
@@ -63,9 +64,19 @@ class DiskArray {
   uint32_t num_groups() const { return layout_->num_groups(); }
   uint32_t num_disks() const { return layout_->num_disks(); }
 
-  // Aggregate transfer counters over all disks.
+  // Aggregate transfer counters over all disks, plus the array-level XOR
+  // computation count.
   IoCounters counters() const;
   void ResetCounters();
+
+  // Accounts `pages` page-sized XOR computations (parity maintenance /
+  // reconstruction CPU work). Called by the parity layer.
+  void AccountXor(uint64_t pages);
+
+  // Hooks the array into the observability hub: per-disk and aggregate
+  // read/write counters under `storage.*`, disk fail/replace trace events.
+  // Null detaches; safe to call at any time.
+  void AttachObs(obs::ObsHub* hub);
 
   // Service-time aggregation (see ServiceTimeModel): sum of per-disk busy
   // time, and the busiest disk (the parallel critical path).
@@ -86,6 +97,16 @@ class DiskArray {
   std::unique_ptr<Layout> layout_;
   size_t page_size_;
   std::vector<Disk> disks_;
+  uint64_t xor_computations_ = 0;
+
+  // Observability (null = disabled). The counter pointers are resolved once
+  // in AttachObs so the I/O hot path pays only a null test.
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::Counter* reads_counter_ = nullptr;
+  obs::Counter* writes_counter_ = nullptr;
+  obs::Counter* xor_counter_ = nullptr;
+  std::vector<obs::Counter*> disk_read_counters_;
+  std::vector<obs::Counter*> disk_write_counters_;
 };
 
 }  // namespace rda

@@ -1,28 +1,45 @@
 #ifndef RDA_STORAGE_IO_STATS_H_
 #define RDA_STORAGE_IO_STATS_H_
 
+#include <cassert>
 #include <cstdint>
 
 namespace rda {
 
 // Page-transfer counters. The paper's evaluation measures every cost in
 // "units of page transfers" (Section 5); these counters are the simulator's
-// equivalent of that metric.
+// equivalent of that metric. `xor_computations` tracks page-sized XOR
+// operations separately — they are CPU work, not transfers, so total()
+// deliberately excludes them.
 struct IoCounters {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
+  uint64_t xor_computations = 0;
 
   uint64_t total() const { return page_reads + page_writes; }
 
   IoCounters& operator+=(const IoCounters& other) {
     page_reads += other.page_reads;
     page_writes += other.page_writes;
+    xor_computations += other.xor_computations;
     return *this;
   }
 
+  IoCounters operator+(const IoCounters& other) const {
+    IoCounters result = *this;
+    result += other;
+    return result;
+  }
+
+  // Deltas only make sense against an earlier snapshot of the same
+  // counters; subtracting a larger value would silently wrap.
   IoCounters operator-(const IoCounters& other) const {
+    assert(page_reads >= other.page_reads);
+    assert(page_writes >= other.page_writes);
+    assert(xor_computations >= other.xor_computations);
     return IoCounters{page_reads - other.page_reads,
-                      page_writes - other.page_writes};
+                      page_writes - other.page_writes,
+                      xor_computations - other.xor_computations};
   }
 
   bool operator==(const IoCounters&) const = default;

@@ -67,6 +67,10 @@ class Transaction {
   uint64_t page_updates = 0;
   uint64_t record_updates = 0;
   uint64_t reads = 0;
+  // Page transfers (array + log) attributed to this transaction's own
+  // operations, EOT processing included. Maintained only while the
+  // TransactionManager has an observability hub attached.
+  uint64_t transfers = 0;
 
   void NoteModifiedPage(PageId page);
   void NoteDirtiedGroup(GroupId group);

@@ -47,10 +47,35 @@ uint32_t TransactionManager::records_per_page() const {
                                       config_.record_size);
 }
 
+uint64_t TransactionManager::TransfersNow() const {
+  return parity_->array()->counters().total() + log_->counters().total();
+}
+
+void TransactionManager::AttachObs(obs::ObsHub* hub) {
+  pool_.AttachObs(hub);
+  trace_ = obs::TraceOf(hub);
+  begun_counter_ = obs::GetCounter(hub, "txn.begun");
+  committed_counter_ = obs::GetCounter(hub, "txn.committed");
+  aborted_counter_ = obs::GetCounter(hub, "txn.aborted");
+  before_logged_counter_ = obs::GetCounter(hub, "txn.before_images_logged");
+  before_avoided_counter_ = obs::GetCounter(hub, "txn.before_images_avoided");
+  transfers_per_commit_ = obs::GetHistogram(
+      hub, "txn.transfers_per_commit", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  obs_attached_ = hub != nullptr;
+}
+
 Result<TxnId> TransactionManager::Begin() {
   const TxnId id = next_txn_++;
   txns_.emplace(id, std::make_unique<Transaction>(id));
   ++stats_.begun;
+  obs::Inc(begun_counter_);
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.subsystem = obs::Subsystem::kTxn;
+    event.kind = obs::EventKind::kTxnBegin;
+    event.txn = id;
+    trace_->Record(event);
+  }
   return id;
 }
 
@@ -109,10 +134,12 @@ Status TransactionManager::ReadPage(TxnId txn_id, PageId page,
   }
   RDA_RETURN_IF_ERROR(locks_->Acquire(txn_id, LockKey::Page(page),
                                       LockMode::kShared));
+  const uint64_t transfers_start = TransfersStart();
   RDA_ASSIGN_OR_RETURN(Frame * frame, pool_.Fetch(page, nullptr));
   out->assign(frame->payload.begin() + kDataRegionOffset,
               frame->payload.end());
   ++txn->reads;
+  AttributeTransfers(txn, transfers_start);
   return Status::Ok();
 }
 
@@ -129,6 +156,7 @@ Status TransactionManager::WritePage(TxnId txn_id, PageId page,
   RDA_RETURN_IF_ERROR(locks_->Acquire(txn_id, LockKey::Page(page),
                                       LockMode::kExclusive));
   RDA_RETURN_IF_ERROR(EnsureBot(txn));
+  const uint64_t transfers_start = TransfersStart();
   RDA_ASSIGN_OR_RETURN(Frame * frame, pool_.Fetch(page, nullptr));
 
   if (!frame->has_pending_before) {
@@ -149,6 +177,7 @@ Status TransactionManager::WritePage(TxnId txn_id, PageId page,
   frame->AddModifier(txn_id);
   txn->NoteModifiedPage(page);
   ++txn->page_updates;
+  AttributeTransfers(txn, transfers_start);
   return Status::Ok();
 }
 
@@ -163,10 +192,12 @@ Status TransactionManager::ReadRecord(TxnId txn_id, PageId page,
   }
   RDA_RETURN_IF_ERROR(locks_->Acquire(txn_id, LockKey::Record(page, slot),
                                       LockMode::kShared));
+  const uint64_t transfers_start = TransfersStart();
   RDA_ASSIGN_OR_RETURN(Frame * frame, pool_.Fetch(page, nullptr));
   RecordPageView view(&frame->payload, config_.record_size);
   RDA_RETURN_IF_ERROR(view.Read(slot, out));
   ++txn->reads;
+  AttributeTransfers(txn, transfers_start);
   return Status::Ok();
 }
 
@@ -182,6 +213,7 @@ Status TransactionManager::WriteRecord(TxnId txn_id, PageId page,
   RDA_RETURN_IF_ERROR(locks_->Acquire(txn_id, LockKey::Record(page, slot),
                                       LockMode::kExclusive));
   RDA_RETURN_IF_ERROR(EnsureBot(txn));
+  const uint64_t transfers_start = TransfersStart();
   RDA_ASSIGN_OR_RETURN(Frame * frame, pool_.Fetch(page, nullptr));
 
   RecordPageView view(&frame->payload, config_.record_size);
@@ -229,6 +261,7 @@ Status TransactionManager::WriteRecord(TxnId txn_id, PageId page,
   frame->AddModifier(txn_id);
   txn->NoteModifiedPage(page);
   ++txn->record_updates;
+  AttributeTransfers(txn, transfers_start);
   return Status::Ok();
 }
 
@@ -256,6 +289,7 @@ Status TransactionManager::LogBeforeImagesForSteal(
       txn->logged_undos.push_back(
           LoggedUndo{frame->page, false, 0, before, lsn});
       ++stats_.before_images_logged;
+      obs::Inc(before_logged_counter_);
     } else {
       // One record-granular before-image per slot this transaction touched
       // since the last propagation, valued at the slot's logical
@@ -280,6 +314,7 @@ Status TransactionManager::LogBeforeImagesForSteal(
             LoggedUndo{frame->page, true, pending.slot, pending.before,
                        lsn});
         ++stats_.before_images_logged;
+        obs::Inc(before_logged_counter_);
       }
     }
   }
@@ -378,6 +413,7 @@ Status TransactionManager::PropagateFrame(Frame* frame) {
         txn->chain_head = frame->page;
       }
       ++stats_.before_images_avoided;
+      obs::Inc(before_avoided_counter_);
       return Status::Ok();
     }
   }
@@ -443,6 +479,7 @@ Status TransactionManager::LogAfterImages(Transaction* txn) {
 Status TransactionManager::Commit(TxnId txn_id) {
   Transaction* txn = Find(txn_id);
   RDA_RETURN_IF_ERROR(RequireActive(txn));
+  const uint64_t transfers_start = TransfersStart();
 
   if (config_.force) {
     // FORCE discipline: propagate every modified page before EOT. The
@@ -501,6 +538,17 @@ Status TransactionManager::Commit(TxnId txn_id) {
   locks_->ReleaseAll(txn_id);
   txn->state = TxnState::kCommitted;
   ++stats_.committed;
+  obs::Inc(committed_counter_);
+  AttributeTransfers(txn, transfers_start);
+  obs::Observe(transfers_per_commit_, static_cast<double>(txn->transfers));
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.subsystem = obs::Subsystem::kTxn;
+    event.kind = obs::EventKind::kTxnCommit;
+    event.txn = txn_id;
+    event.value = static_cast<int64_t>(txn->transfers);
+    trace_->Record(event);
+  }
   return Status::Ok();
 }
 
@@ -654,6 +702,7 @@ void TransactionManager::CleanBufferAfterAbort(
 Status TransactionManager::Abort(TxnId txn_id) {
   Transaction* txn = Find(txn_id);
   RDA_RETURN_IF_ERROR(RequireActive(txn));
+  const uint64_t transfers_start = TransfersStart();
 
   std::unordered_map<PageId, std::vector<uint8_t>> restored_disk;
   RDA_RETURN_IF_ERROR(UndoDiskState(txn, &restored_disk));
@@ -670,6 +719,16 @@ Status TransactionManager::Abort(TxnId txn_id) {
   locks_->ReleaseAll(txn_id);
   txn->state = TxnState::kAborted;
   ++stats_.aborted;
+  obs::Inc(aborted_counter_);
+  AttributeTransfers(txn, transfers_start);
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.subsystem = obs::Subsystem::kTxn;
+    event.kind = obs::EventKind::kTxnAbort;
+    event.txn = txn_id;
+    event.value = static_cast<int64_t>(txn->transfers);
+    trace_->Record(event);
+  }
   return Status::Ok();
 }
 

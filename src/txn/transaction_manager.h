@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "lock/lock_manager.h"
+#include "obs/obs.h"
 #include "parity/twin_parity_manager.h"
 #include "txn/transaction.h"
 #include "wal/log_manager.h"
@@ -104,6 +105,11 @@ class TransactionManager {
   // never reuse the id of a pre-crash one.
   void BumpNextTxnId(TxnId floor);
 
+  // Hooks the manager (and its buffer pool) into the observability hub:
+  // `txn.*` counters, per-transaction page-transfer attribution and the
+  // txn-lifecycle trace events. Null detaches.
+  void AttachObs(obs::ObsHub* hub);
+
  private:
   // Eviction/propagation callback registered with the buffer pool: applies
   // the Figure 3 decision and performs logging + parity-maintained writes.
@@ -137,6 +143,19 @@ class TransactionManager {
 
   Status LogAfterImages(Transaction* txn);
 
+  // Array + log page transfers so far; deltas around an operation are the
+  // transfers it caused (steals included — cost goes to the op that forced
+  // them). Only consulted while observability is attached.
+  uint64_t TransfersNow() const;
+  uint64_t TransfersStart() const {
+    return obs_attached_ ? TransfersNow() : 0;
+  }
+  void AttributeTransfers(Transaction* txn, uint64_t start) {
+    if (obs_attached_ && txn != nullptr) {
+      txn->transfers += TransfersNow() - start;
+    }
+  }
+
   TxnConfig config_;
   TwinParityManager* parity_;
   LogManager* log_;
@@ -145,6 +164,16 @@ class TransactionManager {
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> txns_;
   TxnId next_txn_ = 1;
   TxnStats stats_;
+
+  // Observability (null / false = disabled).
+  bool obs_attached_ = false;
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::Counter* begun_counter_ = nullptr;
+  obs::Counter* committed_counter_ = nullptr;
+  obs::Counter* aborted_counter_ = nullptr;
+  obs::Counter* before_logged_counter_ = nullptr;
+  obs::Counter* before_avoided_counter_ = nullptr;
+  obs::Histogram* transfers_per_commit_ = nullptr;
 };
 
 }  // namespace rda

@@ -29,6 +29,8 @@ Result<Lsn> LogManager::Append(LogRecord record) {
   std::memcpy(buffer_.data() + offset + kFrameHeaderSize, payload.data(),
               payload.size());
   next_lsn_ += kFrameHeaderSize + payload.size();
+  obs::Inc(records_counter_);
+  obs::Inc(bytes_counter_, kFrameHeaderSize + payload.size());
   return lsn;
 }
 
@@ -42,6 +44,8 @@ Status LogManager::Flush() {
   const uint64_t last_page = (new_total - 1) / options_.page_size;
   const uint64_t pages = last_page - first_page + 1;
   counters_.page_writes += pages * options_.copies;
+  obs::Inc(forces_counter_);
+  obs::Inc(pages_flushed_counter_, pages * options_.copies);
 
   for (auto& copy : stable_) {
     copy.insert(copy.end(), buffer_.begin(), buffer_.end());
@@ -122,6 +126,13 @@ Status LogManager::Truncate(Lsn up_to) {
   }
   base_lsn_ = up_to;
   return Status::Ok();
+}
+
+void LogManager::AttachObs(obs::ObsHub* hub) {
+  records_counter_ = obs::GetCounter(hub, "wal.records");
+  bytes_counter_ = obs::GetCounter(hub, "wal.bytes_appended");
+  forces_counter_ = obs::GetCounter(hub, "wal.forces");
+  pages_flushed_counter_ = obs::GetCounter(hub, "wal.pages_flushed");
 }
 
 void LogManager::LoseVolatileState() {

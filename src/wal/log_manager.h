@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/obs.h"
 #include "storage/io_stats.h"
 #include "wal/log_record.h"
 
@@ -70,6 +71,10 @@ class LogManager {
   void ResetCounters() { counters_ = IoCounters(); }
   uint64_t stable_bytes() const { return flushed_bytes_; }
 
+  // Hooks the log into the observability hub (`wal.*` counters). Null
+  // detaches.
+  void AttachObs(obs::ObsHub* hub);
+
  private:
   Options options_;
   std::vector<std::vector<uint8_t>> stable_;  // One byte stream per copy.
@@ -80,6 +85,12 @@ class LogManager {
   Lsn base_lsn_ = 0;
   // Scan() is logically const but accounts its reads.
   mutable IoCounters counters_;
+
+  // Observability (null = disabled).
+  obs::Counter* records_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
+  obs::Counter* forces_counter_ = nullptr;
+  obs::Counter* pages_flushed_counter_ = nullptr;
 };
 
 }  // namespace rda

@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "storage/page.h"
+
+namespace rda {
+namespace {
+
+using obs::EventKind;
+using obs::GroupFigState;
+using obs::Subsystem;
+using obs::TraceEvent;
+
+// --- registry ---
+
+TEST(MetricsRegistryTest, CountersAndGaugesAreStableAndSnapshotted) {
+  obs::MetricsRegistry registry;
+  obs::Counter* reads = registry.GetCounter("storage.reads");
+  obs::Counter* writes = registry.GetCounter("storage.writes");
+  EXPECT_EQ(reads, registry.GetCounter("storage.reads"));  // Stable pointer.
+  reads->Add(3);
+  writes->Add();
+  registry.GetGauge("sim.committed")->Set(-7);
+
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("storage.reads"), 3u);
+  EXPECT_EQ(snapshot.CounterValue("storage.writes"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("no.such.metric"), 0u);
+  EXPECT_EQ(snapshot.CounterSum("storage."), 4u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].first, "sim.committed");
+  EXPECT_EQ(snapshot.gauges[0].second, -7);
+
+  registry.ResetAll();
+  EXPECT_EQ(registry.Snapshot().CounterSum(""), 0u);
+  EXPECT_EQ(reads->value(), 0u);  // Reset in place; pointer still valid.
+}
+
+TEST(MetricsRegistryTest, NullSafeHelpersAreNoOps) {
+  obs::Inc(nullptr);
+  obs::Inc(nullptr, 42);
+  obs::Observe(nullptr, 1.0);
+  obs::Emit(nullptr, TraceEvent{});
+  EXPECT_EQ(obs::GetCounter(nullptr, "x"), nullptr);
+  EXPECT_EQ(obs::GetGauge(nullptr, "x"), nullptr);
+  EXPECT_EQ(obs::GetHistogram(nullptr, "x", {1.0}), nullptr);
+}
+
+TEST(HistogramTest, BucketingCountsAndOverflow) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("txn.transfers", {1, 2, 4});
+  ASSERT_EQ(h->buckets().size(), 4u);  // 3 bounds + overflow.
+  h->Observe(0.5);  // le_1
+  h->Observe(1.0);  // le_1 (inclusive upper bound)
+  h->Observe(1.5);  // le_2
+  h->Observe(4.0);  // le_4
+  h->Observe(9.0);  // overflow
+  EXPECT_EQ(h->buckets()[0], 2u);
+  EXPECT_EQ(h->buckets()[1], 1u);
+  EXPECT_EQ(h->buckets()[2], 1u);
+  EXPECT_EQ(h->buckets()[3], 1u);
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->sum(), 16.0);
+  EXPECT_DOUBLE_EQ(h->max(), 9.0);
+
+  // Later Get with different bounds returns the same histogram.
+  EXPECT_EQ(registry.GetHistogram("txn.transfers", {100}), h);
+  h->Reset();
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->buckets()[0], 0u);
+}
+
+// --- trace buffer ---
+
+TEST(TraceBufferTest, RingWrapsAndCountsDropped) {
+  obs::TraceBuffer trace(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent event;
+    event.detail = i;
+    trace.Record(event);
+  }
+  EXPECT_EQ(trace.capacity(), 4u);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  const std::vector<TraceEvent> events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].detail, static_cast<int64_t>(6 + i));  // Oldest kept.
+    if (i > 0) {
+      EXPECT_GT(events[i].tick, events[i - 1].tick);  // Chronological.
+    }
+  }
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+// --- exporters ---
+
+// Minimal scanner: the numeric value following `"key":` in `json`.
+int64_t JsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " not in " << json;
+  if (at == std::string::npos) {
+    return -1;
+  }
+  return std::stoll(json.substr(at + needle.size()));
+}
+
+TEST(ExportTest, MetricsJsonRoundTripsValues) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("wal.records")->Add(12);
+  registry.GetGauge("sim.committed")->Set(34);
+  obs::Histogram* h = registry.GetHistogram("txn.t", {2});
+  h->Observe(1);
+  h->Observe(5);
+
+  const std::string json = obs::MetricsToJson(registry.Snapshot());
+  EXPECT_EQ(JsonNumber(json, "wal.records"), 12);
+  EXPECT_EQ(JsonNumber(json, "sim.committed"), 34);
+  EXPECT_EQ(JsonNumber(json, "count"), 2);
+  EXPECT_NE(json.find("\"bounds\":[2]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buckets\":[1,1]"), std::string::npos) << json;
+
+  const std::string csv = obs::MetricsToCsv(registry.Snapshot());
+  EXPECT_NE(csv.find("counter,wal.records,12"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("gauge,sim.committed,34"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("histogram,txn.t.count,2"), std::string::npos) << csv;
+}
+
+TEST(ExportTest, TraceJsonNamesStatesAndCountsDrops) {
+  obs::TraceBuffer trace(2);
+  TraceEvent twin;
+  twin.subsystem = Subsystem::kParity;
+  twin.kind = EventKind::kTwinTransition;
+  twin.group = 3;
+  twin.detail = 1;
+  twin.from_state = static_cast<uint8_t>(ParityState::kObsolete);
+  twin.to_state = static_cast<uint8_t>(ParityState::kWorking);
+  trace.Record(twin);
+  TraceEvent group;
+  group.subsystem = Subsystem::kParity;
+  group.kind = EventKind::kGroupTransition;
+  group.from_state = static_cast<uint8_t>(GroupFigState::kClean);
+  group.to_state = static_cast<uint8_t>(GroupFigState::kDirty);
+  trace.Record(group);
+
+  const std::string json = obs::TraceToJson(trace);
+  EXPECT_EQ(JsonNumber(json, "total_recorded"), 2);
+  EXPECT_EQ(JsonNumber(json, "dropped"), 0);
+  EXPECT_NE(json.find("twin_transition"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"from\":\"obsolete\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"to\":\"working\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"from\":\"clean\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"to\":\"dirty\""), std::string::npos) << json;
+}
+
+// --- engine wiring ---
+
+DatabaseOptions SmallDb() {
+  DatabaseOptions options;
+  options.array.data_pages_per_group = 4;
+  options.array.parity_copies = 2;
+  options.array.min_data_pages = 32;
+  options.array.page_size = 256;
+  options.buffer.capacity = 16;
+  options.txn.force = true;
+  options.txn.rda_undo = true;
+  return options;
+}
+
+std::vector<TraceEvent> ParityEvents(Database* db, EventKind kind) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : db->obs()->trace()->Events()) {
+    if (event.subsystem == Subsystem::kParity && event.kind == kind) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+TEST(ObsWiringTest, Figure3GroupTransitionsTracedThroughCommit) {
+  auto db = Database::Open(SmallDb());
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  ASSERT_TRUE(txn.ok());
+  std::vector<uint8_t> bytes((*db)->user_page_size(), 0x11);
+  ASSERT_TRUE((*db)->WritePage(*txn, 0, bytes).ok());
+  ASSERT_TRUE((*db)->Commit(*txn).ok());
+
+  // FORCE commit: the steal dirties group 0 (CLEAN -> DIRTY), finalization
+  // cleans it (DIRTY -> CLEAN) — Figure 3 exactly.
+  const auto transitions = ParityEvents(db->get(),
+                                        EventKind::kGroupTransition);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].from_state,
+            static_cast<uint8_t>(GroupFigState::kClean));
+  EXPECT_EQ(transitions[0].to_state,
+            static_cast<uint8_t>(GroupFigState::kDirty));
+  EXPECT_EQ(transitions[0].group, 0u);
+  EXPECT_EQ(transitions[0].txn, *txn);
+  EXPECT_EQ(transitions[1].from_state,
+            static_cast<uint8_t>(GroupFigState::kDirty));
+  EXPECT_EQ(transitions[1].to_state,
+            static_cast<uint8_t>(GroupFigState::kClean));
+}
+
+TEST(ObsWiringTest, Figure8TwinTransitionsTracedThroughCommit) {
+  auto db = Database::Open(SmallDb());
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  ASSERT_TRUE(txn.ok());
+  std::vector<uint8_t> bytes((*db)->user_page_size(), 0x22);
+  ASSERT_TRUE((*db)->WritePage(*txn, 0, bytes).ok());
+  ASSERT_TRUE((*db)->Commit(*txn).ok());
+
+  // obsolete -> working (unlogged steal), working -> committed +
+  // committed -> obsolete (finalization).
+  const auto twins = ParityEvents(db->get(), EventKind::kTwinTransition);
+  ASSERT_EQ(twins.size(), 3u);
+  EXPECT_EQ(twins[0].from_state, static_cast<uint8_t>(ParityState::kObsolete));
+  EXPECT_EQ(twins[0].to_state, static_cast<uint8_t>(ParityState::kWorking));
+  EXPECT_EQ(twins[1].from_state, static_cast<uint8_t>(ParityState::kWorking));
+  EXPECT_EQ(twins[1].to_state, static_cast<uint8_t>(ParityState::kCommitted));
+  EXPECT_EQ(twins[2].from_state,
+            static_cast<uint8_t>(ParityState::kCommitted));
+  EXPECT_EQ(twins[2].to_state, static_cast<uint8_t>(ParityState::kObsolete));
+}
+
+TEST(ObsWiringTest, CountersFollowTheWorkload) {
+  auto db = Database::Open(SmallDb());
+  ASSERT_TRUE(db.ok());
+  std::vector<uint8_t> bytes((*db)->user_page_size(), 0x33);
+  for (int i = 0; i < 3; ++i) {
+    auto txn = (*db)->Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE((*db)->WritePage(*txn, static_cast<PageId>(i * 4), bytes).ok());
+    ASSERT_TRUE((*db)->Commit(*txn).ok());
+  }
+  const obs::MetricsSnapshot snapshot = (*db)->SnapshotMetrics();
+  EXPECT_EQ(snapshot.CounterValue("txn.begun"), 3u);
+  EXPECT_EQ(snapshot.CounterValue("txn.committed"), 3u);
+  EXPECT_EQ(snapshot.CounterValue("parity.unlogged_first"), 3u);
+  EXPECT_EQ(snapshot.CounterValue("parity.commits_finalized"), 3u);
+  // Obs counters mirror the engine's own I/O accounting.
+  EXPECT_EQ(snapshot.CounterValue("storage.reads") +
+                snapshot.CounterValue("storage.writes"),
+            (*db)->array()->counters().total());
+  EXPECT_EQ(snapshot.CounterValue("storage.xor_computations"),
+            (*db)->array()->counters().xor_computations);
+  // BOT + chain-head + after-image + commit per transaction.
+  EXPECT_EQ(snapshot.CounterValue("wal.records"), 3u * 4u);
+  // Per-disk counters partition the array totals.
+  EXPECT_EQ(snapshot.CounterSum("storage.disk"),
+            (*db)->array()->counters().total());
+  // Every commit observed into the transfer histogram.
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].name, "txn.transfers_per_commit");
+  EXPECT_EQ(snapshot.histograms[0].count, 3u);
+}
+
+TEST(ObsWiringTest, PerTxnTransferAttributionMatchesEngineTotals) {
+  auto db = Database::Open(SmallDb());
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  ASSERT_TRUE(txn.ok());
+  std::vector<uint8_t> bytes((*db)->user_page_size(), 0x44);
+  ASSERT_TRUE((*db)->WritePage(*txn, 0, bytes).ok());
+  ASSERT_TRUE((*db)->WritePage(*txn, 5, bytes).ok());
+  ASSERT_TRUE((*db)->Commit(*txn).ok());
+
+  // A single transaction drove all I/O, so its attributed transfers are the
+  // engine totals; the commit event carries the same number.
+  bool found = false;
+  for (const TraceEvent& event : (*db)->obs()->trace()->Events()) {
+    if (event.kind == EventKind::kTxnCommit && event.txn == *txn) {
+      EXPECT_EQ(static_cast<uint64_t>(event.value),
+                (*db)->TotalPageTransfers());
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsWiringTest, RecoveryPhaseBreakdownCoversAllPhases) {
+  auto db = Database::Open(SmallDb());
+  ASSERT_TRUE(db.ok());
+  std::vector<uint8_t> bytes((*db)->user_page_size(), 0x55);
+
+  // One winner, one loser with a stolen page.
+  auto winner = (*db)->Begin();
+  ASSERT_TRUE(winner.ok());
+  ASSERT_TRUE((*db)->WritePage(*winner, 0, bytes).ok());
+  ASSERT_TRUE((*db)->Commit(*winner).ok());
+  auto loser = (*db)->Begin();
+  ASSERT_TRUE(loser.ok());
+  ASSERT_TRUE((*db)->WritePage(*loser, 4, bytes).ok());
+  Frame* frame = (*db)->txn_manager()->pool()->Lookup(4);
+  ASSERT_NE(frame, nullptr);
+  ASSERT_TRUE((*db)->txn_manager()->pool()->PropagateFrame(frame).ok());
+
+  const uint64_t before = (*db)->TotalPageTransfers();
+  (*db)->Crash();
+  auto report = (*db)->Recover();
+  ASSERT_TRUE(report.ok());
+  const uint64_t spent = (*db)->TotalPageTransfers() - before;
+
+  const obs::RecoveryPhase expected[] = {
+      obs::RecoveryPhase::kDirectoryRebuild, obs::RecoveryPhase::kAnalysis,
+      obs::RecoveryPhase::kRollForward,      obs::RecoveryPhase::kChainAudit,
+      obs::RecoveryPhase::kLoggedUndo,       obs::RecoveryPhase::kParityUndo,
+      obs::RecoveryPhase::kRedo,             obs::RecoveryPhase::kLoserResolution,
+  };
+  ASSERT_EQ(report->phases.size(), 8u);
+  uint64_t phase_transfers = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(report->phases[i].phase, expected[i]) << "phase " << i;
+    phase_transfers += report->phases[i].page_transfers;
+  }
+  EXPECT_EQ(phase_transfers, spent);  // The phases account for all the I/O.
+  EXPECT_GT(report->phases[0].page_transfers, 0u);  // Directory scan (S/N).
+  EXPECT_GT((*db)->SnapshotMetrics().CounterValue(
+                "recovery.phase.parity_undo.runs"),
+            0u);
+}
+
+TEST(ObsWiringTest, DisabledObsIsNullAndEngineStillWorks) {
+  DatabaseOptions options = SmallDb();
+  options.obs.enable_metrics = false;
+  options.obs.enable_trace = false;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->obs(), nullptr);
+
+  auto txn = (*db)->Begin();
+  ASSERT_TRUE(txn.ok());
+  std::vector<uint8_t> bytes((*db)->user_page_size(), 0x66);
+  ASSERT_TRUE((*db)->WritePage(*txn, 0, bytes).ok());
+  ASSERT_TRUE((*db)->Commit(*txn).ok());
+
+  EXPECT_TRUE((*db)->SnapshotMetrics().counters.empty());
+  EXPECT_TRUE((*db)->DumpTrace("/tmp/never-written").IsFailedPrecondition());
+  EXPECT_TRUE((*db)->DumpMetrics("/tmp/never-written")
+                  .IsFailedPrecondition());
+
+  // The phase breakdown is engine state, not observability: still filled.
+  (*db)->Crash();
+  auto report = (*db)->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->phases.size(), 8u);
+}
+
+TEST(ObsWiringTest, TraceOnlyModeHasNoRegistry) {
+  DatabaseOptions options = SmallDb();
+  options.obs.enable_metrics = false;
+  options.obs.trace_capacity = 8;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  ASSERT_NE((*db)->obs(), nullptr);
+  EXPECT_EQ((*db)->obs()->metrics(), nullptr);
+  ASSERT_NE((*db)->obs()->trace(), nullptr);
+
+  auto txn = (*db)->Begin();
+  ASSERT_TRUE(txn.ok());
+  std::vector<uint8_t> bytes((*db)->user_page_size(), 0x77);
+  ASSERT_TRUE((*db)->WritePage(*txn, 0, bytes).ok());
+  ASSERT_TRUE((*db)->Commit(*txn).ok());
+  EXPECT_GT((*db)->obs()->trace()->total_recorded(), 0u);
+  EXPECT_TRUE((*db)->SnapshotMetrics().counters.empty());
+}
+
+}  // namespace
+}  // namespace rda

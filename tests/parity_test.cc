@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "obs/obs.h"
 #include "parity/twin_parity_manager.h"
 #include "storage/data_page_meta.h"
 
@@ -524,6 +525,67 @@ TEST_F(TwinParityTest, ReinitializeParityFromDataResetsEverything) {
   // Note: the uncommitted content of page 0 is now committed at the parity
   // level — ReinitializeParityFromData is a catastrophic-restore tool, not
   // part of normal operation.
+}
+
+// The Figure 8 parity-twin state machine, asserted transition by transition
+// over a commit -> steal -> abort -> re-steal script. A fresh group starts
+// with twin 0 committed and twin 1 obsolete.
+TEST_F(TwinParityTest, Figure8TwinStateMachineTracedExactly) {
+  obs::ObsHub hub(obs::ObsOptions{});
+  parity_->AttachObs(&hub);
+
+  // Commit: txn 5 steals page 0 unlogged, then finalizes.
+  ASSERT_TRUE(Propagate(0, 5, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x71, 5))
+                  .ok());
+  ASSERT_TRUE(parity_->FinalizeCommit(0, 5).ok());
+  // Steal + abort: txn 6 steals page 1, then parity-undoes.
+  ASSERT_TRUE(Propagate(1, 6, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x72, 6))
+                  .ok());
+  ASSERT_TRUE(parity_->UndoUnloggedUpdate(0, 6).ok());
+  // Re-steal: txn 7 revives the invalidated twin as the new working twin.
+  ASSERT_TRUE(Propagate(2, 7, PropagationKind::kUnloggedFirst,
+                        MakePayload(0x73, 7))
+                  .ok());
+
+  struct Expected {
+    uint32_t twin;
+    ParityState from;
+    ParityState to;
+    TxnId txn;
+  };
+  const Expected expected[] = {
+      // Commit path: the obsolete twin becomes the working twin, is
+      // committed at EOT, and the old committed twin goes obsolete.
+      {1, ParityState::kObsolete, ParityState::kWorking, 5},
+      {1, ParityState::kWorking, ParityState::kCommitted, 5},
+      {0, ParityState::kCommitted, ParityState::kObsolete, 5},
+      // Steal by txn 6 reuses the now-obsolete twin 0...
+      {0, ParityState::kObsolete, ParityState::kWorking, 6},
+      // ...and the abort invalidates it (undo info consumed).
+      {0, ParityState::kWorking, ParityState::kInvalid, 6},
+      // An invalid twin is still a legal steal target.
+      {0, ParityState::kInvalid, ParityState::kWorking, 7},
+  };
+
+  std::vector<obs::TraceEvent> twins;
+  for (const obs::TraceEvent& event : hub.trace()->Events()) {
+    if (event.kind == obs::EventKind::kTwinTransition) {
+      twins.push_back(event);
+    }
+  }
+  ASSERT_EQ(twins.size(), std::size(expected));
+  for (size_t i = 0; i < twins.size(); ++i) {
+    EXPECT_EQ(twins[i].group, 0u) << "event " << i;
+    EXPECT_EQ(twins[i].detail, static_cast<int64_t>(expected[i].twin))
+        << "event " << i;
+    EXPECT_EQ(twins[i].from_state, static_cast<uint8_t>(expected[i].from))
+        << "event " << i;
+    EXPECT_EQ(twins[i].to_state, static_cast<uint8_t>(expected[i].to))
+        << "event " << i;
+    EXPECT_EQ(twins[i].txn, expected[i].txn) << "event " << i;
+  }
 }
 
 }  // namespace
