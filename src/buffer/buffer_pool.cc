@@ -35,7 +35,7 @@ Result<Frame*> BufferPool::Fetch(PageId page, bool* cache_hit) {
     }
     ++stats_.hits;
     obs::Inc(hits_counter_);
-    it->second.lru_tick = ++tick_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
     return &it->second;
   }
   if (cache_hit != nullptr) {
@@ -53,9 +53,10 @@ Result<Frame*> BufferPool::Fetch(PageId page, bool* cache_hit) {
   frame.payload = image.payload;
   frame.last_propagated = std::move(image.payload);
   frame.header = image.header;
-  frame.lru_tick = ++tick_;
   auto [inserted, ok] = frames_.emplace(page, std::move(frame));
   (void)ok;
+  lru_.push_front(page);
+  inserted->second.lru_pos = lru_.begin();
   return &inserted->second;
 }
 
@@ -65,17 +66,19 @@ Frame* BufferPool::Lookup(PageId page) {
 }
 
 Status BufferPool::EvictOne() {
+  // Walk the recency list from the cold end: the first evictable frame is
+  // exactly the minimum-recency victim the old full scan would have picked.
   Frame* victim = nullptr;
-  for (auto& [page, frame] : frames_) {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    Frame& frame = frames_.find(*it)->second;
     if (frame.pins > 0) {
       continue;
     }
     if (frame.dirty && !frame.modifiers.empty() && !options_.allow_steal) {
       continue;  // no-STEAL: uncommitted modifications may not leave RAM.
     }
-    if (victim == nullptr || frame.lru_tick < victim->lru_tick) {
-      victim = &frame;
-    }
+    victim = &frame;
+    break;
   }
   if (victim == nullptr) {
     return Status::Busy("no evictable buffer frame");
@@ -98,6 +101,7 @@ Status BufferPool::EvictOne() {
   }
   ++stats_.evictions;
   obs::Inc(evictions_counter_);
+  lru_.erase(victim->lru_pos);
   frames_.erase(victim->page);
   return Status::Ok();
 }
@@ -136,9 +140,19 @@ void BufferPool::AttachObs(obs::ObsHub* hub) {
   steals_counter_ = obs::GetCounter(hub, "buffer.steals");
 }
 
-void BufferPool::Discard(PageId page) { frames_.erase(page); }
+void BufferPool::Discard(PageId page) {
+  auto it = frames_.find(page);
+  if (it == frames_.end()) {
+    return;
+  }
+  lru_.erase(it->second.lru_pos);
+  frames_.erase(it);
+}
 
-void BufferPool::LoseAll() { frames_.clear(); }
+void BufferPool::LoseAll() {
+  frames_.clear();
+  lru_.clear();
+}
 
 std::vector<PageId> BufferPool::DirtyPages() const {
   std::vector<PageId> out;

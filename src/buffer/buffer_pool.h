@@ -61,7 +61,9 @@ struct Frame {
   // logging mode). Reset on propagation and at the modifier's EOT.
   bool has_pending_before = false;
   std::vector<uint8_t> pending_before;
-  uint64_t lru_tick = 0;
+  // Position in the pool's recency list (front = most recent). Maintained
+  // exclusively by BufferPool; singular for frames outside a pool.
+  std::list<PageId>::iterator lru_pos;
 
   bool HasModifier(TxnId txn) const;
   void AddModifier(TxnId txn);
@@ -137,16 +139,21 @@ class BufferPool {
   void AttachObs(obs::ObsHub* hub);
 
  private:
-  // Picks and evicts an LRU victim; propagates it first if dirty (a steal
-  // when uncommitted modifiers exist). Fails with kBusy if every frame is
-  // pinned or unstealable.
+  // Picks and evicts the least-recently-used evictable frame; propagates it
+  // first if dirty (a steal when uncommitted modifiers exist). Fails with
+  // kBusy if every frame is pinned or unstealable. O(1) in the common case:
+  // the victim is found by walking the recency list from its cold end,
+  // skipping only pinned/unstealable frames.
   Status EvictOne();
 
   Options options_;
   FetchFn fetch_;
   PropagateFn propagate_;
   std::unordered_map<PageId, Frame> frames_;
-  uint64_t tick_ = 0;
+  // Recency list over resident pages: front = most recently used, back =
+  // eviction candidate. Each frame holds its own position (lru_pos), so a
+  // touch is an O(1) splice and eviction needs no full scan.
+  std::list<PageId> lru_;
   BufferStats stats_;
 
   // Observability (null = disabled).

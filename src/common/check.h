@@ -1,0 +1,20 @@
+#ifndef RDA_COMMON_CHECK_H_
+#define RDA_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Always-on invariant check, active in Release builds too. Used where a
+// violated precondition would silently corrupt parity or counters (sizes of
+// XORed buffers, counter deltas): failing loudly beats producing wrong
+// recovery results.
+#define RDA_CHECK(condition, message)                                       \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "RDA_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, message, #condition);                \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // RDA_COMMON_CHECK_H_

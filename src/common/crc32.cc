@@ -1,35 +1,178 @@
 #include "common/crc32.h"
 
 #include <array>
+#include <cstring>
+
+#if defined(__x86_64__)
+#include <nmmintrin.h>
+#define RDA_CRC32_HW_X86 1
+#elif defined(__aarch64__)
+#include <arm_acle.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+#define RDA_CRC32_HW_ARM 1
+#endif
 
 namespace rda {
 namespace {
 
 constexpr uint32_t kPolynomial = 0x82f63b78;  // CRC-32C, reflected.
 
-constexpr std::array<uint32_t, 256> MakeTable() {
-  std::array<uint32_t, 256> table{};
+// Slice-by-8 lookup tables: table k maps a byte that is k positions deep in
+// the current 8-byte window to its CRC contribution, so the inner loop folds
+// a whole word per iteration instead of one byte.
+struct SliceTables {
+  uint32_t t[8][256];
+};
+
+constexpr SliceTables MakeTables() {
+  SliceTables tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t crc = i;
     for (int bit = 0; bit < 8; ++bit) {
       crc = (crc >> 1) ^ ((crc & 1) ? kPolynomial : 0);
     }
-    table[i] = crc;
+    tables.t[0][i] = crc;
   }
-  return table;
+  for (int k = 1; k < 8; ++k) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tables.t[k][i] =
+          (tables.t[k - 1][i] >> 8) ^ tables.t[0][tables.t[k - 1][i] & 0xff];
+    }
+  }
+  return tables;
 }
 
-constexpr std::array<uint32_t, 256> kTable = MakeTable();
+constexpr SliceTables kTables = MakeTables();
+
+// All implementations share this signature and operate on the raw
+// (pre-inverted) CRC state.
+using CrcFn = uint32_t (*)(const uint8_t*, size_t, uint32_t);
+
+uint32_t SoftwareRaw(const uint8_t* bytes, size_t size, uint32_t crc) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes, 8);
+    word ^= crc;
+    crc = kTables.t[7][word & 0xff] ^ kTables.t[6][(word >> 8) & 0xff] ^
+          kTables.t[5][(word >> 16) & 0xff] ^
+          kTables.t[4][(word >> 24) & 0xff] ^
+          kTables.t[3][(word >> 32) & 0xff] ^
+          kTables.t[2][(word >> 40) & 0xff] ^
+          kTables.t[1][(word >> 48) & 0xff] ^ kTables.t[0][(word >> 56) & 0xff];
+    bytes += 8;
+    size -= 8;
+  }
+#endif
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ bytes[i]) & 0xff];
+  }
+  return crc;
+}
+
+#if defined(RDA_CRC32_HW_X86)
+
+__attribute__((target("sse4.2"))) uint32_t HardwareRaw(const uint8_t* bytes,
+                                                       size_t size,
+                                                       uint32_t crc) {
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes, 8);
+    crc = static_cast<uint32_t>(_mm_crc32_u64(crc, word));
+    bytes += 8;
+    size -= 8;
+  }
+  if (size >= 4) {
+    uint32_t word;
+    std::memcpy(&word, bytes, 4);
+    crc = _mm_crc32_u32(crc, word);
+    bytes += 4;
+    size -= 4;
+  }
+  while (size > 0) {
+    crc = _mm_crc32_u8(crc, *bytes++);
+    --size;
+  }
+  return crc;
+}
+
+bool DetectHardware() { return __builtin_cpu_supports("sse4.2") != 0; }
+constexpr const char* kHardwareName = "sse4.2";
+
+#elif defined(RDA_CRC32_HW_ARM)
+
+__attribute__((target("+crc"))) uint32_t HardwareRaw(const uint8_t* bytes,
+                                                     size_t size,
+                                                     uint32_t crc) {
+  while (size >= 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes, 8);
+    crc = __crc32cd(crc, word);
+    bytes += 8;
+    size -= 8;
+  }
+  if (size >= 4) {
+    uint32_t word;
+    std::memcpy(&word, bytes, 4);
+    crc = __crc32cw(crc, word);
+    bytes += 4;
+    size -= 4;
+  }
+  while (size > 0) {
+    crc = __crc32cb(crc, *bytes++);
+    --size;
+  }
+  return crc;
+}
+
+bool DetectHardware() {
+#if defined(__linux__) && defined(HWCAP_CRC32)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#else
+  return false;
+#endif
+}
+constexpr const char* kHardwareName = "armv8-crc";
+
+#else
+
+uint32_t HardwareRaw(const uint8_t* bytes, size_t size, uint32_t crc) {
+  return SoftwareRaw(bytes, size, crc);
+}
+bool DetectHardware() { return false; }
+constexpr const char* kHardwareName = "software";
+
+#endif
+
+// Resolved once; every Crc32c call afterwards is a plain indirect call.
+CrcFn DispatchedImpl() {
+  static const CrcFn impl = DetectHardware() ? &HardwareRaw : &SoftwareRaw;
+  return impl;
+}
 
 }  // namespace
 
 uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
-  const auto* bytes = static_cast<const uint8_t*>(data);
-  uint32_t crc = ~seed;
-  for (size_t i = 0; i < size; ++i) {
-    crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xff];
-  }
-  return ~crc;
+  return ~DispatchedImpl()(static_cast<const uint8_t*>(data), size, ~seed);
+}
+
+uint32_t Crc32cSoftware(const void* data, size_t size, uint32_t seed) {
+  return ~SoftwareRaw(static_cast<const uint8_t*>(data), size, ~seed);
+}
+
+bool Crc32cHardwareAvailable() {
+  static const bool available = DetectHardware();
+  return available;
+}
+
+uint32_t Crc32cHardware(const void* data, size_t size, uint32_t seed) {
+  return ~HardwareRaw(static_cast<const uint8_t*>(data), size, ~seed);
+}
+
+const char* Crc32cImplName() {
+  return Crc32cHardwareAvailable() ? kHardwareName : "software";
 }
 
 }  // namespace rda

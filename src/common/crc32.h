@@ -9,7 +9,26 @@ namespace rda {
 // CRC-32C (Castagnoli) over `size` bytes starting at `data`, continuing from
 // `seed` (pass 0 for a fresh checksum). Used to protect log records and page
 // images against torn writes and bit rot in the simulated disks.
+//
+// Dispatches at runtime to a hardware implementation (SSE4.2 crc32 on x86-64,
+// the ARMv8 CRC32 extension on aarch64) when the CPU supports it, falling
+// back to a slice-by-8 table implementation otherwise. All implementations
+// produce identical results for identical input.
 uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+// The slice-by-8 software implementation, callable directly so tests and
+// benchmarks can compare it against the hardware path on any machine.
+uint32_t Crc32cSoftware(const void* data, size_t size, uint32_t seed = 0);
+
+// True when this CPU has a usable hardware CRC32C instruction.
+bool Crc32cHardwareAvailable();
+
+// The hardware implementation. Precondition: Crc32cHardwareAvailable().
+uint32_t Crc32cHardware(const void* data, size_t size, uint32_t seed = 0);
+
+// Name of the implementation Crc32c dispatches to: "sse4.2", "armv8-crc" or
+// "software". For logs and the perf report.
+const char* Crc32cImplName();
 
 }  // namespace rda
 

@@ -1,7 +1,8 @@
 #include "common/xor_util.h"
 
-#include <cassert>
 #include <cstring>
+
+#include "common/check.h"
 
 namespace rda {
 
@@ -23,12 +24,21 @@ void XorInto(uint8_t* dst, const uint8_t* src, size_t size) {
 }
 
 void XorInto(std::vector<uint8_t>* dst, const std::vector<uint8_t>& src) {
-  assert(dst->size() == src.size());
+  RDA_CHECK(dst->size() == src.size(),
+            "XorInto operands must be equally sized");
   XorInto(dst->data(), src.data(), src.size());
 }
 
 bool AllZero(const uint8_t* data, size_t size) {
-  for (size_t i = 0; i < size; ++i) {
+  size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, data + i, 8);
+    if (word != 0) {
+      return false;
+    }
+  }
+  for (; i < size; ++i) {
     if (data[i] != 0) {
       return false;
     }

@@ -10,6 +10,7 @@ namespace rda {
 TwinParityManager::TwinParityManager(DiskArray* array)
     : array_(array),
       directory_(array->num_groups()),
+      scratch_(array->page_size()),
       twin_shadow_(array->num_groups(),
                    {static_cast<uint8_t>(ParityState::kCommitted),
                     static_cast<uint8_t>(ParityState::kObsolete)}) {}
@@ -189,28 +190,29 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
     kind = PropagationKind::kPlain;
   }
 
-  std::vector<uint8_t> old_bytes;
-  RDA_RETURN_IF_ERROR(ReadOldPayload(page, old_payload, &old_bytes));
-
-  // delta = D_old xor D_new; every affected parity payload absorbs it.
-  std::vector<uint8_t> delta = std::move(old_bytes);
-  XorInto(delta.data(), new_image.payload.data(), delta.size());
+  // delta = D_old xor D_new; every affected parity payload absorbs it. Both
+  // the delta and the parity read-modify-write below run on pooled scratch
+  // buffers, so a steady-state propagation performs no allocations.
+  ScratchPool::ScratchImage delta = scratch_.Acquire();
+  RDA_RETURN_IF_ERROR(ReadOldPayload(page, old_payload, &delta.payload()));
+  XorInto(delta.payload().data(), new_image.payload.data(),
+          delta.payload().size());
   array_->AccountXor(1);
 
   switch (kind) {
     case PropagationKind::kUnloggedFirst: {
       ++stats_.unlogged_first;
       obs::Inc(unlogged_first_counter_);
-      PageImage parity;
+      ScratchPool::ScratchImage parity = scratch_.Acquire();
       RDA_RETURN_IF_ERROR(array_->ReadParity(group, state.valid_twin,
-                                             &parity));
-      XorPage(&parity.payload, delta);
-      parity.header.parity_state = ParityState::kWorking;
-      parity.header.txn_id = txn;
-      parity.header.timestamp = NextTimestamp();
-      parity.header.dirty_page = page;
+                                             &*parity));
+      XorPage(&parity->payload, delta.payload());
+      parity->header.parity_state = ParityState::kWorking;
+      parity->header.txn_id = txn;
+      parity->header.timestamp = NextTimestamp();
+      parity->header.dirty_page = page;
       const uint32_t working = OtherTwin(state.valid_twin);
-      RDA_RETURN_IF_ERROR(array_->WriteParity(group, working, parity));
+      RDA_RETURN_IF_ERROR(array_->WriteParity(group, working, *parity));
       TraceTwinTransition(group, working,
                           static_cast<uint8_t>(ParityState::kWorking), page,
                           txn);
@@ -221,13 +223,13 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
     case PropagationKind::kUnloggedRepeat: {
       ++stats_.unlogged_repeat;
       obs::Inc(unlogged_repeat_counter_);
-      PageImage parity;
+      ScratchPool::ScratchImage parity = scratch_.Acquire();
       RDA_RETURN_IF_ERROR(
-          array_->ReadParity(group, state.working_twin, &parity));
-      XorPage(&parity.payload, delta);
-      parity.header.timestamp = NextTimestamp();
+          array_->ReadParity(group, state.working_twin, &*parity));
+      XorPage(&parity->payload, delta.payload());
+      parity->header.timestamp = NextTimestamp();
       RDA_RETURN_IF_ERROR(
-          array_->WriteParity(group, state.working_twin, parity));
+          array_->WriteParity(group, state.working_twin, *parity));
       // Figure 8 self-loop: the working twin absorbs another update.
       TraceTwinTransition(group, state.working_twin,
                           static_cast<uint8_t>(ParityState::kWorking), page,
@@ -246,10 +248,10 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
                 array_->layout().ParityLocation(group, twin))) {
           continue;
         }
-        PageImage parity;
-        RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &parity));
-        XorPage(&parity.payload, delta);
-        RDA_RETURN_IF_ERROR(array_->WriteParity(group, twin, parity));
+        ScratchPool::ScratchImage parity = scratch_.Acquire();
+        RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &*parity));
+        XorPage(&parity->payload, delta.payload());
+        RDA_RETURN_IF_ERROR(array_->WriteParity(group, twin, *parity));
       }
       break;
     }
@@ -258,12 +260,12 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
       obs::Inc(plain_counter_);
       if (LocationHealthy(
               array_->layout().ParityLocation(group, state.valid_twin))) {
-        PageImage parity;
+        ScratchPool::ScratchImage parity = scratch_.Acquire();
         RDA_RETURN_IF_ERROR(
-            array_->ReadParity(group, state.valid_twin, &parity));
-        XorPage(&parity.payload, delta);
+            array_->ReadParity(group, state.valid_twin, &*parity));
+        XorPage(&parity->payload, delta.payload());
         RDA_RETURN_IF_ERROR(
-            array_->WriteParity(group, state.valid_twin, parity));
+            array_->WriteParity(group, state.valid_twin, *parity));
       }
       break;
     }
@@ -317,11 +319,11 @@ Status TwinParityManager::FinalizeCommit(GroupId group, TxnId txn) {
     obs::Inc(commits_finalized_counter_);
     return Status::Ok();
   }
-  PageImage parity;
-  RDA_RETURN_IF_ERROR(array_->ReadParity(group, state.working_twin, &parity));
-  parity.header.parity_state = ParityState::kCommitted;
-  parity.header.timestamp = NextTimestamp();
-  RDA_RETURN_IF_ERROR(array_->WriteParity(group, state.working_twin, parity));
+  ScratchPool::ScratchImage parity = scratch_.Acquire();
+  RDA_RETURN_IF_ERROR(array_->ReadParity(group, state.working_twin, &*parity));
+  parity->header.parity_state = ParityState::kCommitted;
+  parity->header.timestamp = NextTimestamp();
+  RDA_RETURN_IF_ERROR(array_->WriteParity(group, state.working_twin, *parity));
   // The freshly committed twin supersedes the old valid twin, which becomes
   // logically obsolete without a write (timestamps disambiguate after a
   // crash).
@@ -371,14 +373,14 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
   result.overwritten_meta = LoadDataMeta(data.payload);
 
   if (data_disk_down) {
-    PageImage working;
+    ScratchPool::ScratchImage working = scratch_.Acquire();
     RDA_RETURN_IF_ERROR(
-        array_->ReadParity(group, state.working_twin, &working));
-    working.header.parity_state = ParityState::kInvalid;
-    working.header.txn_id = kInvalidTxnId;
-    working.header.dirty_page = kInvalidPageId;
+        array_->ReadParity(group, state.working_twin, &*working));
+    working->header.parity_state = ParityState::kInvalid;
+    working->header.txn_id = kInvalidTxnId;
+    working->header.dirty_page = kInvalidPageId;
     RDA_RETURN_IF_ERROR(
-        array_->WriteParity(group, state.working_twin, working));
+        array_->WriteParity(group, state.working_twin, *working));
     TraceTwinTransition(group, state.working_twin,
                         static_cast<uint8_t>(ParityState::kInvalid),
                         state.dirty_page, txn);
@@ -393,36 +395,36 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
   if (result.overwritten_meta.txn_id == txn) {
     // D_old = (P xor P') xor D_new (paper Figure 6). The embedded metadata
     // (pageLSN, chain link) of the old image comes back byte-exactly.
-    PageImage valid;
-    PageImage working;
-    RDA_RETURN_IF_ERROR(array_->ReadParity(group, state.valid_twin, &valid));
+    ScratchPool::ScratchImage restored = scratch_.Acquire();
+    ScratchPool::ScratchImage working = scratch_.Acquire();
     RDA_RETURN_IF_ERROR(
-        array_->ReadParity(group, state.working_twin, &working));
-    PageImage restored(array_->page_size());
-    restored.payload = valid.payload;
-    XorPage(&restored.payload, working.payload);
-    XorPage(&restored.payload, data.payload);
-    RDA_RETURN_IF_ERROR(array_->WriteData(state.dirty_page, restored));
+        array_->ReadParity(group, state.valid_twin, &*restored));
+    RDA_RETURN_IF_ERROR(
+        array_->ReadParity(group, state.working_twin, &*working));
+    restored->header = PageHeader();
+    XorPage(&restored->payload, working->payload);
+    XorPage(&restored->payload, data.payload);
+    RDA_RETURN_IF_ERROR(array_->WriteData(state.dirty_page, *restored));
     result.payload_restored = true;
-    result.restored_payload = std::move(restored.payload);
+    result.restored_payload = restored.TakePayload();
 
-    working.header.parity_state = ParityState::kInvalid;
-    working.header.txn_id = kInvalidTxnId;
-    working.header.dirty_page = kInvalidPageId;
+    working->header.parity_state = ParityState::kInvalid;
+    working->header.txn_id = kInvalidTxnId;
+    working->header.dirty_page = kInvalidPageId;
     RDA_RETURN_IF_ERROR(
-        array_->WriteParity(group, state.working_twin, working));
+        array_->WriteParity(group, state.working_twin, *working));
   } else {
     // The data page no longer carries the transaction's stamp: the restore
     // already happened (crash during a previous undo). Re-invalidate the
     // working twin only.
-    PageImage working;
+    ScratchPool::ScratchImage working = scratch_.Acquire();
     RDA_RETURN_IF_ERROR(
-        array_->ReadParity(group, state.working_twin, &working));
-    working.header.parity_state = ParityState::kInvalid;
-    working.header.txn_id = kInvalidTxnId;
-    working.header.dirty_page = kInvalidPageId;
+        array_->ReadParity(group, state.working_twin, &*working));
+    working->header.parity_state = ParityState::kInvalid;
+    working->header.txn_id = kInvalidTxnId;
+    working->header.dirty_page = kInvalidPageId;
     RDA_RETURN_IF_ERROR(
-        array_->WriteParity(group, state.working_twin, working));
+        array_->WriteParity(group, state.working_twin, *working));
   }
 
   TraceTwinTransition(group, state.working_twin,
@@ -463,14 +465,14 @@ Result<std::vector<uint8_t>> TwinParityManager::ReconstructDataPayload(
   PageImage parity;
   RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &parity));
   std::vector<uint8_t> payload = std::move(parity.payload);
+  ScratchPool::ScratchImage data = scratch_.Acquire();
   for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
     const PageId sibling = layout.PageAt(group, i);
     if (sibling == page) {
       continue;
     }
-    PageImage data;
-    RDA_RETURN_IF_ERROR(array_->ReadData(sibling, &data));
-    XorPage(&payload, data.payload);
+    RDA_RETURN_IF_ERROR(array_->ReadData(sibling, &*data));
+    XorPage(&payload, data->payload);
   }
   obs::Inc(degraded_reads_counter_);
   if (trace_ != nullptr) {
@@ -506,7 +508,7 @@ TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
                          ReconstructDataPayload(page));
     PageImage image(0);
     image.payload = std::move(payload);
-    RDA_RETURN_IF_ERROR(array_->WriteData(page, image));
+    RDA_RETURN_IF_ERROR(array_->WriteData(page, std::move(image)));
     ++outcome.data_rebuilt;
     return outcome;
   }
@@ -519,10 +521,10 @@ TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
     if (t == consistent_twin) {
       // Recompute the consistent parity from the (surviving) data pages.
       PageImage parity(array_->page_size());
+      ScratchPool::ScratchImage data = scratch_.Acquire();
       for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
-        PageImage data;
-        RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &data));
-        XorPage(&parity.payload, data.payload);
+        RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &*data));
+        XorPage(&parity.payload, data->payload);
       }
       if (state.dirty) {
         parity.header.parity_state = ParityState::kWorking;
@@ -606,7 +608,8 @@ Status TwinParityManager::WriteFullGroup(
   for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
     PageImage image(0);
     image.payload = payloads[i];
-    RDA_RETURN_IF_ERROR(array_->WriteData(layout.PageAt(group, i), image));
+    RDA_RETURN_IF_ERROR(
+        array_->WriteData(layout.PageAt(group, i), std::move(image)));
   }
   return Status::Ok();
 }
@@ -621,10 +624,10 @@ Status TwinParityManager::ScrubGroup(GroupId group) {
   }
   PageImage parity(array_->page_size());
   const Layout& layout = array_->layout();
+  ScratchPool::ScratchImage data = scratch_.Acquire();
   for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
-    PageImage data;
-    RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &data));
-    XorPage(&parity.payload, data.payload);
+    RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &*data));
+    XorPage(&parity.payload, data->payload);
   }
   parity.header.parity_state = ParityState::kCommitted;
   parity.header.timestamp = NextTimestamp();
@@ -650,10 +653,10 @@ Result<bool> TwinParityManager::VerifyGroupParity(GroupId group) {
   const uint32_t twin = state.dirty ? state.working_twin : state.valid_twin;
   PageImage expected(array_->page_size());
   const Layout& layout = array_->layout();
+  ScratchPool::ScratchImage data = scratch_.Acquire();
   for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
-    PageImage data;
-    RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &data));
-    XorPage(&expected.payload, data.payload);
+    RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &*data));
+    XorPage(&expected.payload, data->payload);
   }
   PageImage parity;
   RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &parity));
@@ -662,12 +665,12 @@ Result<bool> TwinParityManager::VerifyGroupParity(GroupId group) {
 
 Status TwinParityManager::ReinitializeParityFromData() {
   const Layout& layout = array_->layout();
+  ScratchPool::ScratchImage data = scratch_.Acquire();
   for (GroupId g = 0; g < array_->num_groups(); ++g) {
     PageImage parity(array_->page_size());
     for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
-      PageImage data;
-      RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(g, i), &data));
-      XorPage(&parity.payload, data.payload);
+      RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(g, i), &*data));
+      XorPage(&parity.payload, data->payload);
     }
     parity.header.parity_state = ParityState::kCommitted;
     parity.header.timestamp = NextTimestamp();

@@ -11,6 +11,7 @@
 #include "parity/dirty_set.h"
 #include "storage/data_page_meta.h"
 #include "storage/disk_array.h"
+#include "storage/scratch_pool.h"
 
 namespace rda {
 
@@ -234,6 +235,11 @@ class TwinParityManager {
   ParityTimestamp timestamp_ = 0;
   bool directory_valid_ = false;
   ParityStats stats_;
+
+  // Page-sized transient buffers for propagation, undo, reconstruction and
+  // rebuild — steady-state parity maintenance allocates nothing (see
+  // DESIGN.md section 9 for the ownership rules).
+  ScratchPool scratch_;
 
   // Volatile per-group twin-state shadow (ParityState numeric values),
   // maintained whether or not observability is attached.

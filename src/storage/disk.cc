@@ -1,6 +1,7 @@
 #include "storage/disk.h"
 
 #include <string>
+#include <utility>
 
 #include "common/crc32.h"
 
@@ -62,6 +63,22 @@ Status Disk::Read(SlotId slot, PageImage* out) const {
 }
 
 Status Disk::Write(SlotId slot, const PageImage& image) {
+  RDA_RETURN_IF_ERROR(CheckWrite(slot, image));
+  // Copy-assignment reuses the stored page's existing buffer; steady-state
+  // writes allocate nothing.
+  pages_[slot] = image;
+  checksums_[slot] = ChecksumOf(pages_[slot]);
+  return Status::Ok();
+}
+
+Status Disk::Write(SlotId slot, PageImage&& image) {
+  RDA_RETURN_IF_ERROR(CheckWrite(slot, image));
+  pages_[slot] = std::move(image);
+  checksums_[slot] = ChecksumOf(pages_[slot]);
+  return Status::Ok();
+}
+
+Status Disk::CheckWrite(SlotId slot, const PageImage& image) {
   if (failed_) {
     return Status::IoError("disk " + std::to_string(id_) + " failed");
   }
@@ -76,8 +93,6 @@ Status Disk::Write(SlotId slot, const PageImage& image) {
   }
   ++counters_.page_writes;
   AccountAccess(slot);
-  pages_[slot] = image;
-  checksums_[slot] = ChecksumOf(image);
   return Status::Ok();
 }
 

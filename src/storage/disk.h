@@ -48,8 +48,10 @@ class Disk {
   Status Read(SlotId slot, PageImage* out) const;
 
   // Writes `image` to `slot`. Counts one page transfer. The payload size
-  // must equal the disk's page size.
+  // must equal the disk's page size. The rvalue overload adopts the image's
+  // buffer instead of copying it — for callers whose image is expiring.
   Status Write(SlotId slot, const PageImage& image);
+  Status Write(SlotId slot, PageImage&& image);
 
   // Injects a media failure: all content is lost, I/O fails until Replace().
   void Fail();
@@ -76,6 +78,8 @@ class Disk {
  private:
   uint32_t ChecksumOf(const PageImage& image) const;
   void AccountAccess(SlotId slot) const;
+  // Shared validation + accounting of both Write overloads.
+  Status CheckWrite(SlotId slot, const PageImage& image);
 
   DiskId id_;
   size_t page_size_;

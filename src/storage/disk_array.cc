@@ -91,6 +91,17 @@ Status DiskArray::WriteData(PageId page, const PageImage& image) {
   return Status::Ok();
 }
 
+Status DiskArray::WriteData(PageId page, PageImage&& image) {
+  RDA_RETURN_IF_ERROR(CheckPage(page));
+  const PhysicalLocation loc = layout_->DataLocation(page);
+  RDA_RETURN_IF_ERROR(disks_[loc.disk].Write(loc.slot, std::move(image)));
+  obs::Inc(writes_counter_);
+  if (loc.disk < disk_write_counters_.size()) {
+    obs::Inc(disk_write_counters_[loc.disk]);
+  }
+  return Status::Ok();
+}
+
 Status DiskArray::ReadParity(GroupId group, uint32_t twin,
                              PageImage* out) const {
   RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
@@ -108,6 +119,18 @@ Status DiskArray::WriteParity(GroupId group, uint32_t twin,
   RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
   const PhysicalLocation loc = layout_->ParityLocation(group, twin);
   RDA_RETURN_IF_ERROR(disks_[loc.disk].Write(loc.slot, image));
+  obs::Inc(writes_counter_);
+  if (loc.disk < disk_write_counters_.size()) {
+    obs::Inc(disk_write_counters_[loc.disk]);
+  }
+  return Status::Ok();
+}
+
+Status DiskArray::WriteParity(GroupId group, uint32_t twin,
+                              PageImage&& image) {
+  RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
+  const PhysicalLocation loc = layout_->ParityLocation(group, twin);
+  RDA_RETURN_IF_ERROR(disks_[loc.disk].Write(loc.slot, std::move(image)));
   obs::Inc(writes_counter_);
   if (loc.disk < disk_write_counters_.size()) {
     obs::Inc(disk_write_counters_[loc.disk]);

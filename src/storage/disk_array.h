@@ -43,13 +43,16 @@ class DiskArray {
   DiskArray& operator=(const DiskArray&) = delete;
 
   // Raw data-page I/O. Fails with kIoError if the owning disk has failed
-  // (degraded-mode reconstruction is the recovery layer's job).
+  // (degraded-mode reconstruction is the recovery layer's job). The rvalue
+  // write overloads hand the image's buffer to the disk instead of copying.
   Status ReadData(PageId page, PageImage* out) const;
   Status WriteData(PageId page, const PageImage& image);
+  Status WriteData(PageId page, PageImage&& image);
 
   // Raw parity-page I/O. `twin` in [0, parity_copies).
   Status ReadParity(GroupId group, uint32_t twin, PageImage* out) const;
   Status WriteParity(GroupId group, uint32_t twin, const PageImage& image);
+  Status WriteParity(GroupId group, uint32_t twin, PageImage&& image);
 
   // Media-failure injection and repair plumbing.
   Status FailDisk(DiskId disk);

@@ -1,8 +1,9 @@
 #ifndef RDA_STORAGE_IO_STATS_H_
 #define RDA_STORAGE_IO_STATS_H_
 
-#include <cassert>
 #include <cstdint>
+
+#include "common/check.h"
 
 namespace rda {
 
@@ -34,9 +35,12 @@ struct IoCounters {
   // Deltas only make sense against an earlier snapshot of the same
   // counters; subtracting a larger value would silently wrap.
   IoCounters operator-(const IoCounters& other) const {
-    assert(page_reads >= other.page_reads);
-    assert(page_writes >= other.page_writes);
-    assert(xor_computations >= other.xor_computations);
+    RDA_CHECK(page_reads >= other.page_reads,
+              "IoCounters delta would underflow page_reads");
+    RDA_CHECK(page_writes >= other.page_writes,
+              "IoCounters delta would underflow page_writes");
+    RDA_CHECK(xor_computations >= other.xor_computations,
+              "IoCounters delta would underflow xor_computations");
     return IoCounters{page_reads - other.page_reads,
                       page_writes - other.page_writes,
                       xor_computations - other.xor_computations};

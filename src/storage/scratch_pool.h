@@ -1,0 +1,104 @@
+#ifndef RDA_STORAGE_SCRATCH_POOL_H_
+#define RDA_STORAGE_SCRATCH_POOL_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace rda {
+
+// A free list of page-sized PageImages for transient use on the I/O hot
+// path. The parity layer performs 2-4 page-sized reads and XOR accumulations
+// per propagation; without a pool each of those allocates (and frees) a
+// page-sized vector. Acquire() hands out an image whose payload keeps its
+// heap buffer across uses, so steady-state propagation performs no
+// allocations at all.
+//
+// Ownership rules (see DESIGN.md section 9):
+//  - A ScratchImage returns its buffer to the pool on destruction (RAII).
+//  - Acquire() always returns a zeroed payload and a default header, so a
+//    scratch image is usable both as an XOR accumulator and as a Read target.
+//  - A payload that must outlive the scratch scope (e.g. a restored image
+//    returned to the caller) is moved OUT of the image with TakePayload();
+//    the pool then replaces the buffer lazily on the next Acquire().
+//  - The pool is not thread-safe; it is per-owner state like the directory.
+class ScratchPool {
+ public:
+  class ScratchImage;
+
+  explicit ScratchPool(size_t page_size) : page_size_(page_size) {}
+
+  ScratchPool(const ScratchPool&) = delete;
+  ScratchPool& operator=(const ScratchPool&) = delete;
+
+  // Returns a scratch image with a zeroed, page-sized payload.
+  ScratchImage Acquire();
+
+  size_t page_size() const { return page_size_; }
+  // Buffers currently parked in the free list (observability for tests).
+  size_t free_count() const { return free_.size(); }
+
+  // RAII handle around a pooled PageImage.
+  class ScratchImage {
+   public:
+    ScratchImage(ScratchImage&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          image_(std::move(other.image_)) {}
+    ScratchImage& operator=(ScratchImage&&) = delete;
+    ScratchImage(const ScratchImage&) = delete;
+    ScratchImage& operator=(const ScratchImage&) = delete;
+
+    ~ScratchImage() {
+      if (pool_ != nullptr) {
+        pool_->Release(std::move(image_));
+      }
+    }
+
+    PageImage& image() { return image_; }
+    PageImage* operator->() { return &image_; }
+    PageImage& operator*() { return image_; }
+    std::vector<uint8_t>& payload() { return image_.payload; }
+
+    // Moves the payload out for callers that need to keep it; the scratch
+    // buffer behind this image is gone and the pool reallocates lazily.
+    std::vector<uint8_t> TakePayload() { return std::move(image_.payload); }
+
+   private:
+    friend class ScratchPool;
+    ScratchImage(ScratchPool* pool, PageImage image)
+        : pool_(pool), image_(std::move(image)) {}
+
+    ScratchPool* pool_;
+    PageImage image_;
+  };
+
+ private:
+  void Release(PageImage image) {
+    // Keep only buffers that still own page-sized storage (a TakePayload
+    // leaves an empty vector behind; re-pooling it would just defer the
+    // allocation to a hotter moment).
+    if (image.payload.capacity() >= page_size_) {
+      free_.push_back(std::move(image));
+    }
+  }
+
+  size_t page_size_;
+  std::vector<PageImage> free_;
+};
+
+inline ScratchPool::ScratchImage ScratchPool::Acquire() {
+  if (free_.empty()) {
+    return ScratchImage(this, PageImage(page_size_));
+  }
+  PageImage image = std::move(free_.back());
+  free_.pop_back();
+  image.payload.assign(page_size_, 0);  // Reuses the retained capacity.
+  image.header = PageHeader();
+  return ScratchImage(this, std::move(image));
+}
+
+}  // namespace rda
+
+#endif  // RDA_STORAGE_SCRATCH_POOL_H_

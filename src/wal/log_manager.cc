@@ -1,5 +1,6 @@
 #include "wal/log_manager.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/crc32.h"
@@ -18,19 +19,21 @@ LogManager::LogManager(const Options& options)
 Result<Lsn> LogManager::Append(LogRecord record) {
   const Lsn lsn = next_lsn_;
   record.lsn = lsn;
-  const std::vector<uint8_t> payload = EncodeLogRecord(record);
-  const uint32_t length = static_cast<uint32_t>(payload.size());
-  const uint32_t crc = Crc32c(payload.data(), payload.size());
-
+  // Encode straight into the append buffer (no per-record payload vector),
+  // then backfill the frame header once the length is known.
   const size_t offset = buffer_.size();
-  buffer_.resize(offset + kFrameHeaderSize + payload.size());
+  buffer_.resize(offset + kFrameHeaderSize);
+  EncodeLogRecordTo(record, &buffer_);
+  const uint32_t length =
+      static_cast<uint32_t>(buffer_.size() - offset - kFrameHeaderSize);
+  const uint32_t crc =
+      Crc32c(buffer_.data() + offset + kFrameHeaderSize, length);
   std::memcpy(buffer_.data() + offset, &length, sizeof(length));
   std::memcpy(buffer_.data() + offset + 4, &crc, sizeof(crc));
-  std::memcpy(buffer_.data() + offset + kFrameHeaderSize, payload.data(),
-              payload.size());
-  next_lsn_ += kFrameHeaderSize + payload.size();
+  pending_index_.push_back(lsn);
+  next_lsn_ += kFrameHeaderSize + length;
   obs::Inc(records_counter_);
-  obs::Inc(bytes_counter_, kFrameHeaderSize + payload.size());
+  obs::Inc(bytes_counter_, kFrameHeaderSize + length);
   return lsn;
 }
 
@@ -50,6 +53,9 @@ Status LogManager::Flush() {
   for (auto& copy : stable_) {
     copy.insert(copy.end(), buffer_.begin(), buffer_.end());
   }
+  stable_index_.insert(stable_index_.end(), pending_index_.begin(),
+                       pending_index_.end());
+  pending_index_.clear();
   flushed_bytes_ = new_total;
   buffer_.clear();
   return Status::Ok();
@@ -57,25 +63,38 @@ Status LogManager::Flush() {
 
 Status LogManager::Scan(Lsn from, std::vector<LogRecord>* out) const {
   out->clear();
-  Lsn pos = base_lsn_;
-  while (pos + kFrameHeaderSize <= flushed_bytes_) {
+  // Seek: the boundary index hands us the first record with lsn >= from
+  // directly — the skipped prefix is neither read nor re-deserialized.
+  const auto begin = std::lower_bound(stable_index_.begin(),
+                                      stable_index_.end(), from);
+  const Lsn start_pos =
+      begin == stable_index_.end() ? flushed_bytes_ : *begin;
+  out->reserve(stable_index_.end() - begin);
+  for (auto it = begin; it != stable_index_.end(); ++it) {
+    const Lsn pos = *it;
+    const Lsn next =
+        (it + 1) == stable_index_.end() ? flushed_bytes_ : *(it + 1);
     const size_t offset = pos - base_lsn_;
-    uint32_t length = 0;
+    const uint32_t frame_length =
+        static_cast<uint32_t>(next - pos - kFrameHeaderSize);
     LogRecord record;
     bool decoded = false;
     for (uint32_t copy = 0; copy < options_.copies && !decoded; ++copy) {
       const std::vector<uint8_t>& data = stable_[copy];
-      std::memcpy(&length, data.data() + offset, sizeof(length));
-      if (pos + kFrameHeaderSize + length > flushed_bytes_) {
-        continue;  // Frame header itself damaged on this copy.
+      uint32_t stored_length = 0;
+      std::memcpy(&stored_length, data.data() + offset,
+                  sizeof(stored_length));
+      if (stored_length != frame_length) {
+        continue;  // Frame header damaged on this copy; the index knows
+                   // the true framing.
       }
       uint32_t stored_crc = 0;
       std::memcpy(&stored_crc, data.data() + offset + 4, sizeof(stored_crc));
       const uint8_t* payload = data.data() + offset + kFrameHeaderSize;
-      if (Crc32c(payload, length) != stored_crc) {
+      if (Crc32c(payload, frame_length) != stored_crc) {
         continue;  // Corrupted on this copy; try the next one.
       }
-      Result<LogRecord> result = DecodeLogRecord(payload, length);
+      Result<LogRecord> result = DecodeLogRecord(payload, frame_length);
       if (!result.ok()) {
         continue;
       }
@@ -88,15 +107,12 @@ Status LogManager::Scan(Lsn from, std::vector<LogRecord>* out) const {
     }
     // LSNs are positional, not serialized: stamp from the frame offset.
     record.lsn = pos;
-    if (pos >= from) {
-      out->push_back(std::move(record));
-    }
-    pos += kFrameHeaderSize + length;
+    out->push_back(std::move(record));
   }
   // Account the sequential read of the scanned portion, once (a recovery
   // scan reads one copy unless it hits corruption; close enough for the
-  // simulator's accounting).
-  counters_.page_reads += (flushed_bytes_ - base_lsn_ + options_.page_size -
+  // simulator's accounting). Seeking past a prefix means not paying for it.
+  counters_.page_reads += (flushed_bytes_ - start_pos + options_.page_size -
                            1) /
                           options_.page_size;
   return Status::Ok();
@@ -106,24 +122,20 @@ Status LogManager::Truncate(Lsn up_to) {
   if (up_to < base_lsn_ || up_to > flushed_bytes_) {
     return Status::InvalidArgument("truncation point outside stable log");
   }
-  // Validate that up_to is a frame boundary by walking frames from base.
-  Lsn pos = base_lsn_;
-  while (pos < up_to) {
-    if (pos + kFrameHeaderSize > flushed_bytes_) {
-      return Status::InvalidArgument("truncation point not a boundary");
-    }
-    uint32_t length = 0;
-    std::memcpy(&length, stable_[0].data() + (pos - base_lsn_),
-                sizeof(length));
-    pos += kFrameHeaderSize + length;
-  }
-  if (pos != up_to) {
+  // `up_to` must be a record boundary: the start of a stable record (index
+  // lookup) or the end of the stable log.
+  const auto it = std::lower_bound(stable_index_.begin(), stable_index_.end(),
+                                   up_to);
+  const bool is_boundary =
+      up_to == flushed_bytes_ || (it != stable_index_.end() && *it == up_to);
+  if (!is_boundary) {
     return Status::InvalidArgument("truncation point not a record boundary");
   }
   const size_t drop = up_to - base_lsn_;
   for (auto& copy : stable_) {
     copy.erase(copy.begin(), copy.begin() + drop);
   }
+  stable_index_.erase(stable_index_.begin(), it);
   base_lsn_ = up_to;
   return Status::Ok();
 }
@@ -137,6 +149,7 @@ void LogManager::AttachObs(obs::ObsHub* hub) {
 
 void LogManager::LoseVolatileState() {
   buffer_.clear();
+  pending_index_.clear();
   next_lsn_ = flushed_bytes_;
 }
 

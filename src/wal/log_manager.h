@@ -48,7 +48,9 @@ class LogManager {
   // All records with lsn < flushed_lsn() survive a crash.
   Lsn flushed_lsn() const { return flushed_bytes_; }
 
-  // Decodes all *stable* records with lsn >= from, in LSN order. Each
+  // Decodes all *stable* records with lsn >= from, in LSN order. The
+  // LSN->offset boundary index positions the scan directly at the first
+  // matching record — no re-deserialization of the skipped prefix. Each
   // record's frame is CRC-checked against copy 0 and falls back to the next
   // copy on corruption (the duplexing pay-off).
   Status Scan(Lsn from, std::vector<LogRecord>* out) const;
@@ -83,6 +85,15 @@ class LogManager {
   uint64_t flushed_bytes_ = 0;
   // Absolute LSN of the first byte still stored in stable_ (see Truncate).
   Lsn base_lsn_ = 0;
+  // LSN -> byte-offset index: the absolute LSN of every STABLE record
+  // frame, sorted (appends are monotone). Scan binary-searches it to seek;
+  // Truncate uses it to validate boundaries without walking frames. The
+  // index is volatile but exactly reconstructible from the records it
+  // describes, which all passed through Append/Flush in-process.
+  std::vector<Lsn> stable_index_;
+  // LSNs of records sitting in the volatile buffer; moved to stable_index_
+  // by Flush, dropped by LoseVolatileState.
+  std::vector<Lsn> pending_index_;
   // Scan() is logically const but accounts its reads.
   mutable IoCounters counters_;
 

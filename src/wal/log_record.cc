@@ -75,20 +75,24 @@ bool GetHeader(Reader* r, PageHeader* h) {
 
 std::vector<uint8_t> EncodeLogRecord(const LogRecord& record) {
   std::vector<uint8_t> out;
-  PutFixed(&out, static_cast<uint8_t>(record.type));
-  PutFixed(&out, record.txn);
-  PutFixed(&out, record.page);
-  PutFixed(&out, record.slot);
-  PutFixed(&out, static_cast<uint8_t>(record.record_granular ? 1 : 0));
-  PutHeader(&out, record.page_header);
-  PutBytes(&out, record.before);
-  PutBytes(&out, record.after);
-  PutFixed(&out, static_cast<uint32_t>(record.active_txns.size()));
-  for (const TxnId txn : record.active_txns) {
-    PutFixed(&out, txn);
-  }
-  PutFixed(&out, record.chain_head);
+  EncodeLogRecordTo(record, &out);
   return out;
+}
+
+void EncodeLogRecordTo(const LogRecord& record, std::vector<uint8_t>* out) {
+  PutFixed(out, static_cast<uint8_t>(record.type));
+  PutFixed(out, record.txn);
+  PutFixed(out, record.page);
+  PutFixed(out, record.slot);
+  PutFixed(out, static_cast<uint8_t>(record.record_granular ? 1 : 0));
+  PutHeader(out, record.page_header);
+  PutBytes(out, record.before);
+  PutBytes(out, record.after);
+  PutFixed(out, static_cast<uint32_t>(record.active_txns.size()));
+  for (const TxnId txn : record.active_txns) {
+    PutFixed(out, txn);
+  }
+  PutFixed(out, record.chain_head);
 }
 
 Result<LogRecord> DecodeLogRecord(const uint8_t* data, size_t size) {

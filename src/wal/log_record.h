@@ -61,6 +61,11 @@ struct LogRecord {
 // Serializes `record` (without framing; the LogManager adds length + CRC).
 std::vector<uint8_t> EncodeLogRecord(const LogRecord& record);
 
+// Appends the serialized record to `*out` without clearing it — the
+// LogManager encodes straight into its append buffer, so a log append
+// allocates nothing once the buffer has warmed up.
+void EncodeLogRecordTo(const LogRecord& record, std::vector<uint8_t>* out);
+
 // Parses a serialized record. Returns kCorruption on malformed input.
 Result<LogRecord> DecodeLogRecord(const uint8_t* data, size_t size);
 

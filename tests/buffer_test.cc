@@ -124,6 +124,50 @@ TEST_F(BufferPoolTest, PinnedFramesNotEvicted) {
   EXPECT_TRUE(pool->Fetch(2, nullptr).ok());
 }
 
+// Regression pin for the eviction order: a mixed workload of misses, hits,
+// re-reads of evicted pages, pins, and steals must evict in exactly
+// least-recently-Fetched order, with pinned/unstealable frames skipped in
+// favor of the next-coldest victim.
+TEST_F(BufferPoolTest, ExactLruEvictionOrder) {
+  auto pool = MakePool(3);
+  // Fill: recency (MRU..LRU) = 3, 2, 1.
+  ASSERT_TRUE(pool->Fetch(1, nullptr).ok());
+  ASSERT_TRUE(pool->Fetch(2, nullptr).ok());
+  ASSERT_TRUE(pool->Fetch(3, nullptr).ok());
+  // Hit on 1: recency = 1, 3, 2.
+  bool hit = false;
+  ASSERT_TRUE(pool->Fetch(1, &hit).ok());
+  EXPECT_TRUE(hit);
+  // Miss on 4 evicts 2 (the coldest). Recency = 4, 1, 3.
+  ASSERT_TRUE(pool->Fetch(4, nullptr).ok());
+  EXPECT_EQ(pool->Lookup(2), nullptr);
+  // Re-read of evicted 2 is a miss and evicts 3. Recency = 2, 4, 1.
+  ASSERT_TRUE(pool->Fetch(2, &hit).ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(pool->Lookup(3), nullptr);
+  // Pin the coldest frame (1); the next miss must skip it and evict 4.
+  Frame* frame1 = pool->Lookup(1);
+  ASSERT_NE(frame1, nullptr);
+  frame1->pins = 1;
+  ASSERT_TRUE(pool->Fetch(5, nullptr).ok());  // Recency = 5, 2, 1(pinned).
+  EXPECT_NE(pool->Lookup(1), nullptr);
+  EXPECT_EQ(pool->Lookup(4), nullptr);
+  frame1->pins = 0;
+  // Dirty + uncommitted modifier on the coldest frame (1): with STEAL
+  // allowed it is still the victim, and the eviction counts as a steal.
+  frame1->dirty = true;
+  frame1->AddModifier(42);
+  ASSERT_TRUE(pool->Fetch(6, nullptr).ok());  // Evicts 1 (a steal).
+  EXPECT_EQ(pool->Lookup(1), nullptr);
+  EXPECT_EQ(steals_, 1);
+  EXPECT_EQ(pool->stats().steals, 1u);
+  // Remaining recency = 6, 5, 2: one more miss evicts 2.
+  ASSERT_TRUE(pool->Fetch(7, nullptr).ok());
+  EXPECT_EQ(pool->Lookup(2), nullptr);
+  EXPECT_NE(pool->Lookup(5), nullptr);
+  EXPECT_NE(pool->Lookup(6), nullptr);
+}
+
 TEST_F(BufferPoolTest, PropagateFrameRefreshesSnapshot) {
   auto pool = MakePool(2);
   auto frame = pool->Fetch(1, nullptr);
