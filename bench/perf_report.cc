@@ -73,6 +73,8 @@ struct EndToEndResult {
   bool rda = false;
   double txns_per_sec = 0;
   double transfers_per_txn = 0;
+  uint64_t total_transfers = 0;
+  double secs = 0;
 };
 
 rda::DatabaseOptions MakeOptions(bool page_logging, bool force, bool rda_on) {
@@ -94,10 +96,16 @@ rda::DatabaseOptions MakeOptions(bool page_logging, bool force, bool rda_on) {
 }
 
 // Commits `txns` transactions of 4 updates each and reports throughput
-// plus the paper's metric, page transfers per transaction.
+// plus the paper's metric, page transfers per transaction. `arm_faults`
+// attaches per-disk fault injectors with ALL probabilities at zero — the
+// configuration the fault_overhead section asserts is free.
 int RunEndToEnd(bool page_logging, bool force, bool rda_on, int txns,
-                EndToEndResult* out) {
-  auto db_or = rda::Database::Open(MakeOptions(page_logging, force, rda_on));
+                EndToEndResult* out, bool arm_faults = false) {
+  rda::DatabaseOptions options = MakeOptions(page_logging, force, rda_on);
+  if (arm_faults) {
+    options.fault.enabled = true;  // Probabilities stay zero.
+  }
+  auto db_or = rda::Database::Open(options);
   if (!db_or.ok()) {
     return 1;
   }
@@ -137,8 +145,9 @@ int RunEndToEnd(bool page_logging, bool force, bool rda_on, int txns,
                 (force ? "force" : "noforce");
   out->rda = rda_on;
   out->txns_per_sec = txns / secs;
-  out->transfers_per_txn =
-      static_cast<double>(db->TotalPageTransfers() - transfers_before) / txns;
+  out->total_transfers = db->TotalPageTransfers() - transfers_before;
+  out->secs = secs;
+  out->transfers_per_txn = static_cast<double>(out->total_transfers) / txns;
   return 0;
 }
 
@@ -251,6 +260,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- fault hooks: zero-cost when disabled ---
+  // The same deterministic workload with (a) no injectors and (b) armed
+  // injectors at zero probability. The I/O must be EXACTLY identical — any
+  // drift means the fault plumbing leaked into clean-path behaviour — and
+  // the wall-clock ratio is reported (armed-zero pays one pointer test plus
+  // two Bernoulli draws per access).
+  EndToEndResult fault_off;
+  EndToEndResult fault_zero;
+  if (RunEndToEnd(true, true, true, 2000, &fault_off,
+                  /*arm_faults=*/false) != 0 ||
+      RunEndToEnd(true, true, true, 2000, &fault_zero,
+                  /*arm_faults=*/true) != 0) {
+    std::fprintf(stderr, "fault overhead run failed\n");
+    return 1;
+  }
+  if (fault_off.total_transfers != fault_zero.total_transfers) {
+    std::fprintf(stderr,
+                 "FAIL: fault hooks changed the I/O pattern: %llu transfers "
+                 "disabled vs %llu armed-at-zero\n",
+                 static_cast<unsigned long long>(fault_off.total_transfers),
+                 static_cast<unsigned long long>(fault_zero.total_transfers));
+    return 1;
+  }
+  const double fault_wallclock_ratio = fault_zero.secs / fault_off.secs;
+
   // --- report ---
   const double crc_speedup = crc_dispatched / crc_bytewise;
   std::printf("crc32c impl: %s\n", rda::Crc32cImplName());
@@ -260,6 +294,10 @@ int main(int argc, char** argv) {
   std::printf("xor page 4096B: %.2f GB/s\n", xor_page);
   std::printf("buffer fetch (hit): %.2f Mops/s\n", fetch_mops);
   std::printf("log append+flush 512B: %.2f Kops/s\n", log_kops);
+  std::printf("fault hooks: %llu transfers (identical disabled vs armed-at-"
+              "zero), wall-clock ratio %.3f\n",
+              static_cast<unsigned long long>(fault_off.total_transfers),
+              fault_wallclock_ratio);
   std::printf("\n%-16s %6s %14s %16s\n", "config", "rda", "txns/sec",
               "transfers/txn");
   for (const EndToEndResult& r : results) {
@@ -296,7 +334,15 @@ int main(int argc, char** argv) {
                  r.config.c_str(), r.rda ? "true" : "false", r.txns_per_sec,
                  r.transfers_per_txn, i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"fault_overhead\": {\n");
+  std::fprintf(out, "    \"transfers_disabled\": %llu,\n",
+               static_cast<unsigned long long>(fault_off.total_transfers));
+  std::fprintf(out, "    \"transfers_armed_zero\": %llu,\n",
+               static_cast<unsigned long long>(fault_zero.total_transfers));
+  std::fprintf(out, "    \"wallclock_ratio_armed_zero\": %.3f\n",
+               fault_wallclock_ratio);
+  std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path);

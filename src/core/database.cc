@@ -30,9 +30,14 @@ Result<std::unique_ptr<Database>> Database::Open(
     return array.status();
   }
   db->array_ = std::move(array).value();
+  db->array_->SetIoPolicy(opts.io);
   db->parity_ = std::make_unique<TwinParityManager>(db->array_.get());
   RDA_RETURN_IF_ERROR(db->parity_->FormatArray());
   db->array_->ResetCounters();  // Formatting is not workload I/O.
+  if (opts.fault.enabled) {
+    // Armed after formatting so the clean initial image is fault-free.
+    db->array_->ArmFaultInjection(opts.fault);
+  }
   db->log_ = std::make_unique<LogManager>(opts.log);
   db->locks_ = std::make_unique<LockManager>();
   db->txn_manager_ = std::make_unique<TransactionManager>(
@@ -171,6 +176,15 @@ Result<MediaRecoveryReport> Database::RebuildDisk(DiskId disk) {
   return report;
 }
 
+Result<uint32_t> Database::RepairEscalations() {
+  uint32_t repaired = 0;
+  for (const DiskId disk : array_->EscalatedDisks()) {
+    RDA_RETURN_IF_ERROR(RebuildDisk(disk).status());
+    ++repaired;
+  }
+  return repaired;
+}
+
 Result<bool> Database::VerifyAllParity() {
   for (GroupId group = 0; group < array_->num_groups(); ++group) {
     auto consistent = parity_->VerifyGroupParity(group);
@@ -186,7 +200,7 @@ Result<bool> Database::VerifyAllParity() {
 
 Result<std::vector<uint8_t>> Database::RawReadPage(PageId page) {
   PageImage image;
-  Status status = array_->ReadData(page, &image);
+  Status status = parity_->ReadDataHealed(page, &image);
   if (status.IsIoError()) {
     return parity_->ReconstructDataPayload(page);
   }

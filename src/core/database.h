@@ -39,6 +39,13 @@ struct DatabaseOptions {
   // Engine-wide metrics + trace. Disabling both makes the hub null and
   // instrumentation collapses to a pointer test per site.
   obs::ObsOptions obs;
+  // Sector-level fault injection (DESIGN.md section 10). With
+  // fault.enabled false (the default) no injectors are created and every
+  // disk access pays exactly one extra pointer test.
+  FaultConfig fault;
+  // Retry / escalation reaction to I/O errors. The defaults retry
+  // transients but never escalate, matching pre-policy behaviour.
+  IoPolicy io;
 };
 
 // The public facade of the library: a single-node database engine whose
@@ -119,6 +126,10 @@ class Database {
   Result<CrashRecoveryReport> RecoverWithInjectedFault(uint64_t actions);
   Status FailDisk(DiskId disk) { return array_->FailDisk(disk); }
   Result<MediaRecoveryReport> RebuildDisk(DiskId disk);
+  // Rebuilds every disk the I/O policy escalated (error budget exhausted):
+  // replace + full media rebuild, one disk at a time. Returns the number
+  // of disks repaired. Safe to call periodically; a no-op when none.
+  Result<uint32_t> RepairEscalations();
 
   // --- inspection ---
   // True iff every parity group's consistent twin equals XOR(data pages).

@@ -110,6 +110,14 @@ const char* EventKindName(EventKind kind) {
       return "phase_begin";
     case EventKind::kPhaseEnd:
       return "phase_end";
+    case EventKind::kIoFault:
+      return "io_fault";
+    case EventKind::kIoRetry:
+      return "io_retry";
+    case EventKind::kSectorRepair:
+      return "sector_repair";
+    case EventKind::kEscalation:
+      return "escalation";
   }
   return "unknown";
 }

@@ -42,6 +42,15 @@ enum class EventKind : uint8_t {
   kCheckpoint = 10,
   kPhaseBegin = 11,  // detail = RecoveryPhase.
   kPhaseEnd = 12,    // detail = RecoveryPhase; value = page transfers spent.
+  // A persistent sector-level fault (exhausted retries or checksum
+  // mismatch): value = disk id.
+  kIoFault = 13,
+  kIoRetry = 14,  // One re-attempt after a transient error: value = disk id.
+  // A faulty sector healed in place (reconstruct + write back): page/group
+  // set when known; detail = 1 for a latent repair, 2 for corruption.
+  kSectorRepair = 15,
+  // A disk force-failed after exhausting its error budget: value = disk id.
+  kEscalation = 16,
 };
 
 // Figure 3 group states (from_state/to_state of kGroupTransition).

@@ -80,6 +80,131 @@ void TwinParityManager::AttachObs(obs::ObsHub* hub) {
   commits_finalized_counter_ =
       obs::GetCounter(hub, "parity.commits_finalized");
   degraded_reads_counter_ = obs::GetCounter(hub, "parity.degraded_reads");
+  latent_repairs_counter_ = obs::GetCounter(hub, "parity.latent_repairs");
+  corruption_repairs_counter_ =
+      obs::GetCounter(hub, "parity.corruption_repairs");
+}
+
+bool TwinParityManager::HealableFault(const Status& status,
+                                      DiskId disk) const {
+  return (status.IsIoError() || status.IsCorruption()) &&
+         !array_->DiskFailed(disk);
+}
+
+void TwinParityManager::NoteSectorRepair(const Status& cause, PageId page,
+                                         GroupId group) {
+  const bool corruption = cause.IsCorruption();
+  if (corruption) {
+    ++stats_.corruption_repairs;
+    obs::Inc(corruption_repairs_counter_);
+  } else {
+    ++stats_.latent_repairs;
+    obs::Inc(latent_repairs_counter_);
+  }
+  if (trace_ == nullptr) {
+    return;
+  }
+  obs::TraceEvent event;
+  event.subsystem = obs::Subsystem::kParity;
+  event.kind = obs::EventKind::kSectorRepair;
+  event.page = page;
+  event.group = group;
+  event.detail = corruption ? 2 : 1;
+  trace_->Record(event);
+}
+
+Status TwinParityManager::ReadDataHealed(PageId page, PageImage* out) {
+  Status status = array_->ReadData(page, out);
+  if (status.ok() || !directory_valid_) {
+    return status;
+  }
+  const DiskId disk = array_->layout().DataLocation(page).disk;
+  if (!HealableFault(status, disk)) {
+    return status;
+  }
+  array_->RecordSectorError(disk);  // May escalate the disk to Fail().
+  Result<std::vector<uint8_t>> rebuilt = ReconstructDataPayload(page);
+  if (!rebuilt.ok()) {
+    // Second fault in the group: nothing left to XOR from. Report the
+    // original read error, not the reconstruction's.
+    return status;
+  }
+  if (crash_before_writeback_) {
+    crash_before_writeback_ = false;
+    return Status::Aborted("injected crash before repair write-back");
+  }
+  out->header = PageHeader();
+  out->payload = std::move(rebuilt).value();
+  if (!array_->DiskFailed(disk)) {
+    // Repair on read: write the page straight back — no parity propagation,
+    // because parity already encodes exactly this content. The rewrite
+    // clears a latent sector error. If the write-back itself fails, the
+    // slot simply stays faulty and the next read heals it again.
+    PageImage repaired(0);
+    repaired.payload = out->payload;
+    if (array_->WriteData(page, std::move(repaired)).ok()) {
+      NoteSectorRepair(status, page, array_->layout().GroupOf(page));
+    }
+  }
+  return Status::Ok();
+}
+
+Status TwinParityManager::ReadParityHealed(GroupId group, uint32_t twin,
+                                           PageImage* out) {
+  Status status = array_->ReadParity(group, twin, out);
+  if (status.ok() || !directory_valid_) {
+    return status;
+  }
+  const DiskId disk = array_->layout().ParityLocation(group, twin).disk;
+  if (!HealableFault(status, disk)) {
+    return status;
+  }
+  array_->RecordSectorError(disk);
+  const GroupState state = directory_.Get(group);
+  if (state.dirty && twin == state.valid_twin) {
+    // The valid twin of a dirty group is BEFORE-image parity: the data it
+    // summarizes has already moved on, so no reconstruction can bring it
+    // back. The in-flight unlogged update of dirty_txn is no longer
+    // undoable — say so instead of fabricating parity.
+    return Status::DataLoss("valid parity twin of dirty group " +
+                            std::to_string(group) +
+                            " unreadable: parity undo coverage lost");
+  }
+  PageImage repaired(array_->page_size());
+  if (state.dirty || twin == state.valid_twin) {
+    // The consistent twin (working twin of a dirty group, valid twin of a
+    // clean one) equals XOR of the current data pages — the running
+    // invariant of parity-first propagation.
+    const Layout& layout = array_->layout();
+    ScratchPool::ScratchImage data = scratch_.Acquire();
+    for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
+      RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &*data));
+      XorPage(&repaired.payload, data->payload);
+    }
+    if (state.dirty) {
+      repaired.header.parity_state = ParityState::kWorking;
+      repaired.header.txn_id = state.dirty_txn;
+      repaired.header.dirty_page = state.dirty_page;
+    } else {
+      repaired.header.parity_state = ParityState::kCommitted;
+    }
+    repaired.header.timestamp = NextTimestamp();
+  } else {
+    // Obsolete twin: its content is dead weight; a reset is a full repair.
+    repaired.header.parity_state = ParityState::kObsolete;
+    repaired.header.timestamp = 0;
+  }
+  if (crash_before_writeback_) {
+    crash_before_writeback_ = false;
+    return Status::Aborted("injected crash before repair write-back");
+  }
+  *out = repaired;
+  if (!array_->DiskFailed(disk)) {
+    if (array_->WriteParity(group, twin, std::move(repaired)).ok()) {
+      NoteSectorRepair(status, kInvalidPageId, group);
+    }
+  }
+  return Status::Ok();
 }
 
 Status TwinParityManager::FormatArray() {
@@ -147,7 +272,7 @@ Status TwinParityManager::ReadOldPayload(PageId page,
     return Status::Ok();
   }
   PageImage old_image;
-  Status status = array_->ReadData(page, &old_image);  // a=4 case.
+  Status status = ReadDataHealed(page, &old_image);  // a=4 case.
   if (status.IsIoError()) {
     // Degraded mode: the page's disk is down; its content is implicit in
     // the rest of the group.
@@ -204,8 +329,8 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
       ++stats_.unlogged_first;
       obs::Inc(unlogged_first_counter_);
       ScratchPool::ScratchImage parity = scratch_.Acquire();
-      RDA_RETURN_IF_ERROR(array_->ReadParity(group, state.valid_twin,
-                                             &*parity));
+      RDA_RETURN_IF_ERROR(
+          ReadParityHealed(group, state.valid_twin, &*parity));
       XorPage(&parity->payload, delta.payload());
       parity->header.parity_state = ParityState::kWorking;
       parity->header.txn_id = txn;
@@ -225,7 +350,7 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
       obs::Inc(unlogged_repeat_counter_);
       ScratchPool::ScratchImage parity = scratch_.Acquire();
       RDA_RETURN_IF_ERROR(
-          array_->ReadParity(group, state.working_twin, &*parity));
+          ReadParityHealed(group, state.working_twin, &*parity));
       XorPage(&parity->payload, delta.payload());
       parity->header.timestamp = NextTimestamp();
       RDA_RETURN_IF_ERROR(
@@ -249,7 +374,7 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
           continue;
         }
         ScratchPool::ScratchImage parity = scratch_.Acquire();
-        RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &*parity));
+        RDA_RETURN_IF_ERROR(ReadParityHealed(group, twin, &*parity));
         XorPage(&parity->payload, delta.payload());
         RDA_RETURN_IF_ERROR(array_->WriteParity(group, twin, *parity));
       }
@@ -262,7 +387,7 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
               array_->layout().ParityLocation(group, state.valid_twin))) {
         ScratchPool::ScratchImage parity = scratch_.Acquire();
         RDA_RETURN_IF_ERROR(
-            array_->ReadParity(group, state.valid_twin, &*parity));
+            ReadParityHealed(group, state.valid_twin, &*parity));
         XorPage(&parity->payload, delta.payload());
         RDA_RETURN_IF_ERROR(
             array_->WriteParity(group, state.valid_twin, *parity));
@@ -320,7 +445,8 @@ Status TwinParityManager::FinalizeCommit(GroupId group, TxnId txn) {
     return Status::Ok();
   }
   ScratchPool::ScratchImage parity = scratch_.Acquire();
-  RDA_RETURN_IF_ERROR(array_->ReadParity(group, state.working_twin, &*parity));
+  RDA_RETURN_IF_ERROR(
+      ReadParityHealed(group, state.working_twin, &*parity));
   parity->header.parity_state = ParityState::kCommitted;
   parity->header.timestamp = NextTimestamp();
   RDA_RETURN_IF_ERROR(array_->WriteParity(group, state.working_twin, *parity));
@@ -355,8 +481,11 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
   obs::Inc(parity_undos_counter_);
 
   PageImage data;
-  Status data_status = array_->ReadData(state.dirty_page, &data);
-  const bool data_disk_down = data_status.IsIoError();
+  // Decide degraded mode from the disk's health, NOT from the read status:
+  // a sector fault on a live disk is healed in place and must take the
+  // normal (data-restoring) path, or the stale on-disk page would survive.
+  const bool data_disk_down =
+      array_->DiskFailed(array_->layout().DataLocation(state.dirty_page).disk);
   if (data_disk_down) {
     // Degraded undo: the covered page's disk is down. Its current content
     // is implicit in the WORKING twin; after invalidating that twin the
@@ -365,7 +494,7 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
     RDA_ASSIGN_OR_RETURN(data.payload,
                          ReconstructDataPayload(state.dirty_page));
   } else {
-    RDA_RETURN_IF_ERROR(data_status);
+    RDA_RETURN_IF_ERROR(ReadDataHealed(state.dirty_page, &data));
   }
 
   ParityUndoResult result;
@@ -375,7 +504,7 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
   if (data_disk_down) {
     ScratchPool::ScratchImage working = scratch_.Acquire();
     RDA_RETURN_IF_ERROR(
-        array_->ReadParity(group, state.working_twin, &*working));
+        ReadParityHealed(group, state.working_twin, &*working));
     working->header.parity_state = ParityState::kInvalid;
     working->header.txn_id = kInvalidTxnId;
     working->header.dirty_page = kInvalidPageId;
@@ -398,9 +527,9 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
     ScratchPool::ScratchImage restored = scratch_.Acquire();
     ScratchPool::ScratchImage working = scratch_.Acquire();
     RDA_RETURN_IF_ERROR(
-        array_->ReadParity(group, state.valid_twin, &*restored));
+        ReadParityHealed(group, state.valid_twin, &*restored));
     RDA_RETURN_IF_ERROR(
-        array_->ReadParity(group, state.working_twin, &*working));
+        ReadParityHealed(group, state.working_twin, &*working));
     restored->header = PageHeader();
     XorPage(&restored->payload, working->payload);
     XorPage(&restored->payload, data.payload);
@@ -419,7 +548,7 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
     // working twin only.
     ScratchPool::ScratchImage working = scratch_.Acquire();
     RDA_RETURN_IF_ERROR(
-        array_->ReadParity(group, state.working_twin, &*working));
+        ReadParityHealed(group, state.working_twin, &*working));
     working->header.parity_state = ParityState::kInvalid;
     working->header.txn_id = kInvalidTxnId;
     working->header.dirty_page = kInvalidPageId;
@@ -462,6 +591,10 @@ Result<std::vector<uint8_t>> TwinParityManager::ReconstructDataPayload(
   const GroupId group = layout.GroupOf(page);
   const GroupState& state = directory_.Get(group);
   const uint32_t twin = state.dirty ? state.working_twin : state.valid_twin;
+  // Raw (unhealed) reads on purpose: reconstruction is what the healed
+  // reads fall back ON. A faulted sibling or parity page here is a second
+  // fault in the group — genuinely unrecoverable under single parity, so
+  // the typed error must surface instead of recursing.
   PageImage parity;
   RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &parity));
   std::vector<uint8_t> payload = std::move(parity.payload);
@@ -523,7 +656,8 @@ TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
       PageImage parity(array_->page_size());
       ScratchPool::ScratchImage data = scratch_.Acquire();
       for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
-        RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &*data));
+        RDA_RETURN_IF_ERROR(
+            ReadDataHealed(layout.PageAt(group, i), &*data));
         XorPage(&parity.payload, data->payload);
       }
       if (state.dirty) {
@@ -557,7 +691,7 @@ TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
     outcome.lost_txn = state.dirty_txn;
     PageImage working;
     RDA_RETURN_IF_ERROR(
-        array_->ReadParity(group, state.working_twin, &working));
+        ReadParityHealed(group, state.working_twin, &working));
     working.header.parity_state = ParityState::kCommitted;
     working.header.timestamp = NextTimestamp();
     RDA_RETURN_IF_ERROR(
@@ -626,7 +760,10 @@ Status TwinParityManager::ScrubGroup(GroupId group) {
   const Layout& layout = array_->layout();
   ScratchPool::ScratchImage data = scratch_.Acquire();
   for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
-    RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &*data));
+    // Healed reads make the scrub a read-verify pass over the data pages
+    // too: a latent or corrupt data sector found here is repaired in place
+    // before its content goes into the fresh parity.
+    RDA_RETURN_IF_ERROR(ReadDataHealed(layout.PageAt(group, i), &*data));
     XorPage(&parity.payload, data->payload);
   }
   parity.header.parity_state = ParityState::kCommitted;
@@ -655,11 +792,11 @@ Result<bool> TwinParityManager::VerifyGroupParity(GroupId group) {
   const Layout& layout = array_->layout();
   ScratchPool::ScratchImage data = scratch_.Acquire();
   for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
-    RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &*data));
+    RDA_RETURN_IF_ERROR(ReadDataHealed(layout.PageAt(group, i), &*data));
     XorPage(&expected.payload, data->payload);
   }
   PageImage parity;
-  RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &parity));
+  RDA_RETURN_IF_ERROR(ReadParityHealed(group, twin, &parity));
   return expected.payload == parity.payload;
 }
 
@@ -693,8 +830,22 @@ Status TwinParityManager::RebuildDirectory() {
   for (GroupId g = 0; g < array_->num_groups(); ++g) {
     PageImage twins[2];
     const uint32_t copies = array_->layout().parity_copies();
+    // The directory is not valid yet, so the healed-read machinery (which
+    // consults it) cannot run; sector faults are handled inline instead.
+    bool faulted[2] = {false, false};
+    Status fault_cause[2];
     for (uint32_t t = 0; t < copies; ++t) {
-      RDA_RETURN_IF_ERROR(array_->ReadParity(g, t, &twins[t]));
+      Status read = array_->ReadParity(g, t, &twins[t]);
+      if (!read.ok()) {
+        const DiskId disk = array_->layout().ParityLocation(g, t).disk;
+        if (copies == 2 && HealableFault(read, disk)) {
+          faulted[t] = true;
+          fault_cause[t] = read;
+          array_->RecordSectorError(disk);
+          continue;
+        }
+        return read;
+      }
       max_seen = std::max(max_seen, twins[t].header.timestamp);
       SyncTwinShadow(g, t,
                      static_cast<uint8_t>(twins[t].header.parity_state));
@@ -702,6 +853,31 @@ Status TwinParityManager::RebuildDirectory() {
     if (copies == 1) {
       directory_.MarkClean(g, 0);
       continue;
+    }
+    if (faulted[0] && faulted[1]) {
+      return Status::Corruption("both parity twins of group " +
+                                std::to_string(g) + " unreadable");
+    }
+    if (faulted[0] || faulted[1]) {
+      const uint32_t bad = faulted[0] ? 0 : 1;
+      const uint32_t good = 1 - bad;
+      if (twins[good].header.parity_state != ParityState::kCommitted) {
+        // The survivor is not committed parity, so the unreadable twin held
+        // the group's only committed copy. Nothing to select from.
+        return Status::DataLoss("committed parity twin of group " +
+                                std::to_string(g) + " unreadable");
+      }
+      // The survivor is committed: treat the unreadable twin as obsolete
+      // and reset it. If it was in fact a working twin, the in-flight
+      // unlogged update it covered can no longer be undone in parity space
+      // — log-based undo and the post-recovery scrub restore consistency.
+      PageImage obsolete(array_->page_size());
+      obsolete.header.parity_state = ParityState::kObsolete;
+      if (array_->WriteParity(g, bad, obsolete).ok()) {
+        NoteSectorRepair(fault_cause[bad], kInvalidPageId, g);
+      }
+      twins[bad] = std::move(obsolete);
+      SyncTwinShadow(g, bad, static_cast<uint8_t>(ParityState::kObsolete));
     }
     // Current_Parity (paper Figure 7): the committed twin with the highest
     // timestamp is valid. A WORKING twin marks the group dirty; its header

@@ -63,6 +63,10 @@ struct ParityStats {
   uint64_t parity_undos = 0;
   uint64_t logged_undos = 0;
   uint64_t commits_finalized = 0;  // Groups finalized at EOT.
+  // Repair-on-read outcomes (DESIGN.md section 10): sticky kIoError sectors
+  // healed by reconstruct + rewrite, and checksum-mismatch pages rebuilt.
+  uint64_t latent_repairs = 0;
+  uint64_t corruption_repairs = 0;
 };
 
 // The twin-page parity manager: owns the parity semantics of the array —
@@ -163,6 +167,32 @@ class TwinParityManager {
   // (the working twin of a dirty group, else the valid twin).
   Result<std::vector<uint8_t>> ReconstructDataPayload(PageId page);
 
+  // Self-healing data read: like array()->ReadData, but a persistent
+  // sector-level fault (kIoError surviving the retry policy, or a checksum
+  // kCorruption) on a LIVE disk is served by group reconstruction and
+  // repaired in place — the rebuilt page is written straight back (no
+  // parity propagation: parity already encodes this content), which clears
+  // a latent sector error. The fault is charged to the disk's error
+  // budget. A failed disk still returns kIoError (use
+  // ReconstructDataPayload); an unreconstructable page (second fault in
+  // the group) returns the original error.
+  Status ReadDataHealed(PageId page, PageImage* out);
+
+  // Self-healing parity read. What "healing" means depends on the twin's
+  // role: the consistent twin (working twin of a dirty group, valid twin
+  // of a clean one) is recomputed from the group's data pages; an obsolete
+  // twin is reset. The valid twin of a DIRTY group is before-image parity
+  // that exists nowhere else — losing it loses the undo coverage of the
+  // in-flight unlogged update, reported honestly as kDataLoss.
+  Status ReadParityHealed(GroupId group, uint32_t twin, PageImage* out);
+
+  // Test hook: the next sector repair aborts between reconstruction and
+  // write-back (returns kAborted) — the crash window crash_point_test
+  // probes. One-shot; self-disarms when it fires.
+  void InjectCrashBeforeNextRepairWriteBack() {
+    crash_before_writeback_ = true;
+  }
+
   // Recomputes the parity of `group` from its data pages and installs it as
   // the committed parity in the current valid twin slot (other twin becomes
   // obsolete). Used by tests, media recovery and post-crash scrubbing.
@@ -211,6 +241,13 @@ class TwinParityManager {
   Status ReadOldPayload(PageId page, const std::vector<uint8_t>* hint,
                         std::vector<uint8_t>* out);
 
+  // True when `status` is the class of error repair-on-read can heal: a
+  // persistent sector fault on a disk that is still alive.
+  bool HealableFault(const Status& status, DiskId disk) const;
+  // Accounting + kSectorRepair trace event for one completed repair;
+  // `cause` picks latent (kIoError) vs corruption (checksum) counters.
+  void NoteSectorRepair(const Status& cause, PageId page, GroupId group);
+
   // XOR of one page-sized payload into another, accounted as one XOR
   // computation on the array.
   void XorPage(std::vector<uint8_t>* dst, const std::vector<uint8_t>& src);
@@ -234,6 +271,7 @@ class TwinParityManager {
   DirtySet directory_;
   ParityTimestamp timestamp_ = 0;
   bool directory_valid_ = false;
+  bool crash_before_writeback_ = false;
   ParityStats stats_;
 
   // Page-sized transient buffers for propagation, undo, reconstruction and
@@ -255,6 +293,8 @@ class TwinParityManager {
   obs::Counter* logged_undos_counter_ = nullptr;
   obs::Counter* commits_finalized_counter_ = nullptr;
   obs::Counter* degraded_reads_counter_ = nullptr;
+  obs::Counter* latent_repairs_counter_ = nullptr;
+  obs::Counter* corruption_repairs_counter_ = nullptr;
 };
 
 }  // namespace rda

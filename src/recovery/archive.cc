@@ -26,7 +26,9 @@ Status ArchiveManager::TakeArchive(bool truncate_log) {
   snapshot.reserve(array->num_data_pages());
   for (PageId page = 0; page < array->num_data_pages(); ++page) {
     PageImage image;
-    RDA_RETURN_IF_ERROR(array->ReadData(page, &image));
+    // Healed read: a faulty sector must not poison the snapshot — the
+    // archive is the last line of defence.
+    RDA_RETURN_IF_ERROR(parity_->ReadDataHealed(page, &image));
     snapshot.push_back(std::move(image.payload));
   }
   snapshot_ = std::move(snapshot);

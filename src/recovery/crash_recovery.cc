@@ -26,7 +26,7 @@ Status CrashRecovery::ConsumeFaultBudget() {
 Status CrashRecovery::RedoAfterImage(const LogRecord& record,
                                      CrashRecoveryReport* report) {
   PageImage current;
-  RDA_RETURN_IF_ERROR(parity_->array()->ReadData(record.page, &current));
+  RDA_RETURN_IF_ERROR(parity_->ReadDataHealed(record.page, &current));
   const DataPageMeta disk_meta = LoadDataMeta(current.payload);
 
   PageImage restored(0);
@@ -163,7 +163,7 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
       PageId cursor = state.dirty_page;
       while (cursor != kInvalidPageId && visited.insert(cursor).second) {
         PageImage data;
-        RDA_RETURN_IF_ERROR(parity_->array()->ReadData(cursor, &data));
+        RDA_RETURN_IF_ERROR(parity_->ReadDataHealed(cursor, &data));
         const DataPageMeta meta = LoadDataMeta(data.payload);
         if (meta.txn_id != state.dirty_txn) {
           break;  // Chain tail (or a page already undone).
@@ -194,7 +194,7 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
       } else {
         PageImage current;
         RDA_RETURN_IF_ERROR(
-            parity_->array()->ReadData(record.page, &current));
+            parity_->ReadDataHealed(record.page, &current));
         std::vector<uint8_t> payload = std::move(current.payload);
         RecordPageView view(&payload, txn_manager_->config().record_size);
         RDA_RETURN_IF_ERROR(view.Write(record.slot, record.before));

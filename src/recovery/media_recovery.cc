@@ -25,8 +25,23 @@ Result<MediaRecoveryReport> MediaRecovery::RebuildDisk(DiskId disk) {
 
   obs::TraceBuffer* trace = obs::TraceOf(hub_);
   for (GroupId group = 0; group < array->num_groups(); ++group) {
-    RDA_ASSIGN_OR_RETURN(TwinParityManager::GroupRebuildOutcome outcome,
-                         parity_->RebuildGroupMember(group, disk));
+    auto outcome_or = parity_->RebuildGroupMember(group, disk);
+    if (!outcome_or.ok()) {
+      // A second disk failing while this one is mid-rebuild exceeds the
+      // single-parity redundancy: the remaining groups cannot be
+      // reconstructed. Report that as the typed data loss it is, rather
+      // than a generic I/O error (the caller decides whether an archive
+      // restore can still save the day).
+      if (!outcome_or.status().IsDataLoss() && array->NumFailedDisks() > 0) {
+        return Status::DataLoss(
+            "second disk failure during rebuild of disk " +
+            std::to_string(disk) + " at group " + std::to_string(group) +
+            ": " + outcome_or.status().message());
+      }
+      return outcome_or.status();
+    }
+    TwinParityManager::GroupRebuildOutcome outcome =
+        std::move(outcome_or).value();
     report.data_pages_rebuilt += outcome.data_rebuilt;
     report.parity_pages_rebuilt += outcome.parity_rebuilt;
     report.obsolete_twins_reset += outcome.obsolete_reset;

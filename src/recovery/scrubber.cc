@@ -5,6 +5,10 @@ namespace rda {
 Result<ScrubReport> ParityScrubber::ScrubAll() {
   ScrubReport report;
   DiskArray* array = parity_->array();
+  // The verify pass reads every page through the healed path, so sector
+  // faults it trips over are repaired as a side effect; the counter delta
+  // is this pass's contribution.
+  const ParityStats before = parity_->stats();
   for (GroupId group = 0; group < array->num_groups(); ++group) {
     ++report.groups_checked;
     const GroupState& state = parity_->directory().Get(group);
@@ -19,6 +23,10 @@ Result<ScrubReport> ParityScrubber::ScrubAll() {
       report.repaired.push_back(group);
     }
   }
+  const ParityStats after = parity_->stats();
+  report.sectors_repaired = (after.latent_repairs - before.latent_repairs) +
+                            (after.corruption_repairs -
+                             before.corruption_repairs);
   return report;
 }
 

@@ -14,6 +14,9 @@ struct ScrubReport {
   uint32_t groups_checked = 0;
   uint32_t groups_skipped_dirty = 0;  // Left alone: covered by a live txn.
   std::vector<GroupId> repaired;      // Parity recomputed after a mismatch.
+  // Faulty sectors (latent errors, checksum mismatches — data and parity
+  // pages alike) healed in place by the verify pass's repair-on-read.
+  uint64_t sectors_repaired = 0;
 };
 
 // Background parity scrubber — the paper's "background process ... that

@@ -144,6 +144,16 @@ Result<SimResult> Simulator::Run() {
         result_.interval_t / result_.transfers_per_commit;
   }
 
+  if (options_.db.fault.enabled) {
+    result_.faults = db_->array()->fault_stats();
+    result_.io = db_->array()->policy_stats();
+    // End-of-run maintenance, AFTER the workload counters were captured
+    // (rebuild I/O is not workload I/O): any disk the error budget
+    // escalated is rebuilt so the run hands back a healthy array.
+    RDA_ASSIGN_OR_RETURN(result_.escalations_repaired,
+                         db_->RepairEscalations());
+  }
+
   // Publish the headline numbers as gauges so one metrics export carries
   // the run outcome alongside the subsystem counters.
   if (obs::ObsHub* hub = db_->obs(); hub != nullptr) {
@@ -160,6 +170,15 @@ Result<SimResult> Simulator::Run() {
         static_cast<int64_t>(result_.total_transfers));
     set("sim.transfers_per_commit_x1000",
         static_cast<int64_t>(result_.transfers_per_commit * 1000.0));
+    if (options_.db.fault.enabled) {
+      set("sim.faults_injected", static_cast<int64_t>(result_.faults.total()));
+      set("sim.io_retries", static_cast<int64_t>(result_.io.io_retries));
+      set("sim.sectors_repaired",
+          static_cast<int64_t>(result_.parity.latent_repairs +
+                               result_.parity.corruption_repairs));
+      set("sim.escalations_repaired",
+          static_cast<int64_t>(result_.escalations_repaired));
+    }
   }
   return result_;
 }

@@ -40,6 +40,12 @@ struct SimResult {
   BufferStats buffer;
   ParityStats parity;
   TxnStats txn;
+  // Fault-schedule outcome (all zero when options.db.fault is disabled):
+  // what the injectors did, what the retry policy absorbed, and how many
+  // budget-escalated disks the end-of-run maintenance pass rebuilt.
+  FaultStats faults;
+  IoPolicyStats io;
+  uint32_t escalations_repaired = 0;
 };
 
 // Drives a real Database with the Reuter-parameterized workload,

@@ -1,5 +1,6 @@
 #include "storage/disk.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -53,6 +54,7 @@ Status Disk::Read(SlotId slot, PageImage* out) const {
   }
   ++counters_.page_reads;
   AccountAccess(slot);
+  RDA_RETURN_IF_ERROR(ApplyReadFaults(slot));
   if (ChecksumOf(pages_[slot]) != checksums_[slot]) {
     return Status::Corruption("checksum mismatch at disk " +
                               std::to_string(id_) + " slot " +
@@ -64,17 +66,33 @@ Status Disk::Read(SlotId slot, PageImage* out) const {
 
 Status Disk::Write(SlotId slot, const PageImage& image) {
   RDA_RETURN_IF_ERROR(CheckWrite(slot, image));
+  bool handled = false;
+  RDA_RETURN_IF_ERROR(ApplyWriteFaults(slot, image, &handled));
+  if (handled) {
+    return Status::Ok();
+  }
   // Copy-assignment reuses the stored page's existing buffer; steady-state
   // writes allocate nothing.
   pages_[slot] = image;
   checksums_[slot] = ChecksumOf(pages_[slot]);
+  if (injector_ != nullptr) {
+    injector_->ClearLatent(slot);  // Rewriting remaps a latent sector.
+  }
   return Status::Ok();
 }
 
 Status Disk::Write(SlotId slot, PageImage&& image) {
   RDA_RETURN_IF_ERROR(CheckWrite(slot, image));
+  bool handled = false;
+  RDA_RETURN_IF_ERROR(ApplyWriteFaults(slot, image, &handled));
+  if (handled) {
+    return Status::Ok();
+  }
   pages_[slot] = std::move(image);
   checksums_[slot] = ChecksumOf(pages_[slot]);
+  if (injector_ != nullptr) {
+    injector_->ClearLatent(slot);
+  }
   return Status::Ok();
 }
 
@@ -107,6 +125,80 @@ void Disk::Fail() {
   }
 }
 
-void Disk::Replace() { failed_ = false; }
+Status Disk::ApplyReadFaults(SlotId slot) const {
+  if (injector_ == nullptr) {
+    return Status::Ok();
+  }
+  const FaultDecision d = injector_->OnRead(slot, page_size_);
+  switch (d.kind) {
+    case FaultKind::kNone:
+      return Status::Ok();
+    case FaultKind::kTransientRead:
+      return Status::IoError("transient read fault at disk " +
+                             std::to_string(id_) + " slot " +
+                             std::to_string(slot));
+    case FaultKind::kLatentSector:
+      return Status::IoError("latent sector error at disk " +
+                             std::to_string(id_) + " slot " +
+                             std::to_string(slot));
+    case FaultKind::kBitFlip: {
+      // Bit rot physically mutates the medium even during a read; the page
+      // store is device state, const only in the caller's view. The flip is
+      // silent here — the checksum verify right after this call reports it.
+      PageImage& page = const_cast<Disk*>(this)->pages_[slot];
+      if (d.offset < page.payload.size()) {
+        page.payload[d.offset] ^= d.mask;
+      } else {
+        page.header.timestamp ^= d.mask;  // Out-of-band header corruption.
+      }
+      return Status::Ok();
+    }
+    default:
+      return Status::Ok();
+  }
+}
+
+Status Disk::ApplyWriteFaults(SlotId slot, const PageImage& image,
+                              bool* handled) {
+  *handled = false;
+  if (injector_ == nullptr) {
+    return Status::Ok();
+  }
+  const FaultDecision d = injector_->OnWrite(slot, page_size_);
+  switch (d.kind) {
+    case FaultKind::kTransientWrite:
+      // Nothing reached the medium; the slot — including any latent error
+      // on it — is untouched.
+      return Status::IoError("transient write fault at disk " +
+                             std::to_string(id_) + " slot " +
+                             std::to_string(slot));
+    case FaultKind::kTornWrite: {
+      // The head tore the sector: the first `offset` payload bytes keep the
+      // OLD image, the rest and the header carry the new one. ECC was
+      // computed for the intended image, so the next read of this slot
+      // reports kCorruption — the write itself "succeeds".
+      PageImage& stored = pages_[slot];
+      const size_t split = std::min(d.offset, image.payload.size());
+      std::copy(image.payload.begin() + static_cast<ptrdiff_t>(split),
+                image.payload.end(),
+                stored.payload.begin() + static_cast<ptrdiff_t>(split));
+      stored.header = image.header;
+      checksums_[slot] = ChecksumOf(image);
+      injector_->ClearLatent(slot);  // The slot WAS physically rewritten.
+      *handled = true;
+      return Status::Ok();
+    }
+    default:
+      return Status::Ok();
+  }
+}
+
+void Disk::Replace() {
+  failed_ = false;
+  head_slot_ = 0;  // A fresh drive parks its head at the outer track.
+  if (injector_ != nullptr) {
+    injector_->OnReplace();  // New platters carry no latent errors.
+  }
+}
 
 }  // namespace rda

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "storage/fault_injector.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 
@@ -33,8 +34,11 @@ struct ServiceTimeModel {
 // designed to survive (Section 1). Content present before Fail() is lost.
 //
 // A per-page checksum is maintained on write and verified on read, modelling
-// sector ECC: it turns silent corruption of the in-memory store (e.g. a test
-// poking bytes) into a kCorruption error.
+// sector ECC: it turns silent corruption of the medium into a kCorruption
+// error. Partial (sector-level) faults — transient errors, sticky latent
+// sector errors, bit flips, torn writes — come from an attached
+// FaultInjector; a detached disk (the default) pays one pointer test per
+// access and behaves exactly like the fault-free model.
 class Disk {
  public:
   Disk(DiskId id, SlotId num_slots, size_t page_size);
@@ -56,13 +60,26 @@ class Disk {
   // Injects a media failure: all content is lost, I/O fails until Replace().
   void Fail();
 
-  // Installs a fresh zeroed medium; the disk becomes usable again.
+  // Installs a fresh medium; the disk becomes usable again. ALL per-medium
+  // mutable state is reset: the head parks at slot 0 and any sticky
+  // sector-fault state in the attached injector is cleared (new platters
+  // have no latent errors). The service clock (busy_ms) and transfer
+  // counters deliberately survive — they are accounting aggregates of the
+  // drive BAY across media generations, not medium state, and resetting
+  // them would silently drop the rebuild's own cost from reports.
   void Replace();
+
+  // Attaches a sector-fault source (null detaches). Non-owning; the caller
+  // (usually DiskArray) keeps the injector alive while attached.
+  void AttachFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() { return injector_; }
 
   // Accumulated service time under the positional model.
   double busy_ms() const { return busy_ms_; }
   void ResetServiceClock() { busy_ms_ = 0; }
   void set_service_model(const ServiceTimeModel& model) { model_ = model; }
+  // Charges extra service time (retry backoff) to this disk.
+  void AddServiceDelay(double ms) const { busy_ms_ += ms; }
 
   bool failed() const { return failed_; }
   DiskId id() const { return id_; }
@@ -71,21 +88,25 @@ class Disk {
   const IoCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = IoCounters(); }
 
-  // Test-only: direct mutable access to a stored page, bypassing accounting
-  // and checksum maintenance (used to simulate silent corruption).
-  PageImage* MutablePageForTest(SlotId slot) { return &pages_[slot]; }
-
  private:
   uint32_t ChecksumOf(const PageImage& image) const;
   void AccountAccess(SlotId slot) const;
   // Shared validation + accounting of both Write overloads.
   Status CheckWrite(SlotId slot, const PageImage& image);
+  // Consults the injector about this read; applies bit flips to the stored
+  // page. Returns non-Ok for transient / latent faults.
+  Status ApplyReadFaults(SlotId slot) const;
+  // Consults the injector about this write. `handled` is set when the
+  // fault consumed the write (transient: nothing stored; torn: a mixed
+  // image was stored and success must be reported).
+  Status ApplyWriteFaults(SlotId slot, const PageImage& image, bool* handled);
 
   DiskId id_;
   size_t page_size_;
   bool failed_ = false;
   std::vector<PageImage> pages_;
   std::vector<uint32_t> checksums_;
+  FaultInjector* injector_ = nullptr;
   mutable IoCounters counters_;
   ServiceTimeModel model_;
   mutable double busy_ms_ = 0;

@@ -47,6 +47,8 @@ DiskArray::DiskArray(std::unique_ptr<Layout> layout, size_t page_size)
   for (DiskId d = 0; d < layout_->num_disks(); ++d) {
     disks_.emplace_back(d, layout_->slots_per_disk(), page_size_);
   }
+  sector_error_counts_.assign(disks_.size(), 0);
+  escalated_.assign(disks_.size(), false);
 }
 
 Status DiskArray::CheckPage(PageId page) const {
@@ -69,10 +71,88 @@ Status DiskArray::CheckGroup(GroupId group, uint32_t twin) const {
   return Status::Ok();
 }
 
+void DiskArray::EmitDiskEvent(obs::EventKind kind, DiskId disk) const {
+  if (trace_ == nullptr) {
+    return;
+  }
+  obs::TraceEvent event;
+  event.subsystem = obs::Subsystem::kStorage;
+  event.kind = kind;
+  event.value = static_cast<int64_t>(disk);
+  obs::Emit(trace_, event);
+}
+
+bool DiskArray::ShouldRetry(const Status& status, DiskId disk,
+                            uint32_t attempt, uint32_t max_retries) const {
+  if (status.ok() || attempt >= max_retries ||
+      !RetryableIoError(status, disks_[disk].failed())) {
+    return false;
+  }
+  ++policy_stats_.io_retries;
+  obs::Inc(retries_counter_);
+  disks_[disk].AddServiceDelay(RetryBackoffMs(policy_, attempt + 1));
+  EmitDiskEvent(obs::EventKind::kIoRetry, disk);
+  return true;
+}
+
+void DiskArray::NoteAttemptOutcome(const Status& status, DiskId disk,
+                                   uint32_t attempts_used) const {
+  if (status.ok()) {
+    if (attempts_used > 0) {
+      // A retry absorbed the fault, so it was transient by definition.
+      ++policy_stats_.transient_faults;
+      obs::Inc(transients_counter_);
+    }
+  } else if (!disks_[disk].failed()) {
+    // Exhausted retries on a live disk, or corruption: a persistent
+    // sector-level error. Degraded healing (and the error budget) is the
+    // caller's move — this layer only reports honestly.
+    ++policy_stats_.sector_errors;
+    EmitDiskEvent(obs::EventKind::kIoFault, disk);
+  }
+}
+
+Status DiskArray::ReadWithRetry(DiskId disk, SlotId slot,
+                                PageImage* out) const {
+  Status status = disks_[disk].Read(slot, out);
+  uint32_t attempt = 0;
+  while (ShouldRetry(status, disk, attempt, policy_.max_read_retries)) {
+    ++attempt;
+    status = disks_[disk].Read(slot, out);
+  }
+  NoteAttemptOutcome(status, disk, attempt);
+  return status;
+}
+
+Status DiskArray::WriteWithRetry(DiskId disk, SlotId slot,
+                                 const PageImage& image) {
+  Status status = disks_[disk].Write(slot, image);
+  uint32_t attempt = 0;
+  while (ShouldRetry(status, disk, attempt, policy_.max_write_retries)) {
+    ++attempt;
+    status = disks_[disk].Write(slot, image);
+  }
+  NoteAttemptOutcome(status, disk, attempt);
+  return status;
+}
+
+Status DiskArray::WriteWithRetry(DiskId disk, SlotId slot, PageImage&& image) {
+  // The image is only consumed on success, so retrying after a transient
+  // failure still has the intact buffer to hand over.
+  Status status = disks_[disk].Write(slot, std::move(image));
+  uint32_t attempt = 0;
+  while (ShouldRetry(status, disk, attempt, policy_.max_write_retries)) {
+    ++attempt;
+    status = disks_[disk].Write(slot, std::move(image));
+  }
+  NoteAttemptOutcome(status, disk, attempt);
+  return status;
+}
+
 Status DiskArray::ReadData(PageId page, PageImage* out) const {
   RDA_RETURN_IF_ERROR(CheckPage(page));
   const PhysicalLocation loc = layout_->DataLocation(page);
-  RDA_RETURN_IF_ERROR(disks_[loc.disk].Read(loc.slot, out));
+  RDA_RETURN_IF_ERROR(ReadWithRetry(loc.disk, loc.slot, out));
   obs::Inc(reads_counter_);
   if (loc.disk < disk_read_counters_.size()) {
     obs::Inc(disk_read_counters_[loc.disk]);
@@ -83,7 +163,7 @@ Status DiskArray::ReadData(PageId page, PageImage* out) const {
 Status DiskArray::WriteData(PageId page, const PageImage& image) {
   RDA_RETURN_IF_ERROR(CheckPage(page));
   const PhysicalLocation loc = layout_->DataLocation(page);
-  RDA_RETURN_IF_ERROR(disks_[loc.disk].Write(loc.slot, image));
+  RDA_RETURN_IF_ERROR(WriteWithRetry(loc.disk, loc.slot, image));
   obs::Inc(writes_counter_);
   if (loc.disk < disk_write_counters_.size()) {
     obs::Inc(disk_write_counters_[loc.disk]);
@@ -94,7 +174,7 @@ Status DiskArray::WriteData(PageId page, const PageImage& image) {
 Status DiskArray::WriteData(PageId page, PageImage&& image) {
   RDA_RETURN_IF_ERROR(CheckPage(page));
   const PhysicalLocation loc = layout_->DataLocation(page);
-  RDA_RETURN_IF_ERROR(disks_[loc.disk].Write(loc.slot, std::move(image)));
+  RDA_RETURN_IF_ERROR(WriteWithRetry(loc.disk, loc.slot, std::move(image)));
   obs::Inc(writes_counter_);
   if (loc.disk < disk_write_counters_.size()) {
     obs::Inc(disk_write_counters_[loc.disk]);
@@ -106,7 +186,7 @@ Status DiskArray::ReadParity(GroupId group, uint32_t twin,
                              PageImage* out) const {
   RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
   const PhysicalLocation loc = layout_->ParityLocation(group, twin);
-  RDA_RETURN_IF_ERROR(disks_[loc.disk].Read(loc.slot, out));
+  RDA_RETURN_IF_ERROR(ReadWithRetry(loc.disk, loc.slot, out));
   obs::Inc(reads_counter_);
   if (loc.disk < disk_read_counters_.size()) {
     obs::Inc(disk_read_counters_[loc.disk]);
@@ -118,7 +198,7 @@ Status DiskArray::WriteParity(GroupId group, uint32_t twin,
                               const PageImage& image) {
   RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
   const PhysicalLocation loc = layout_->ParityLocation(group, twin);
-  RDA_RETURN_IF_ERROR(disks_[loc.disk].Write(loc.slot, image));
+  RDA_RETURN_IF_ERROR(WriteWithRetry(loc.disk, loc.slot, image));
   obs::Inc(writes_counter_);
   if (loc.disk < disk_write_counters_.size()) {
     obs::Inc(disk_write_counters_[loc.disk]);
@@ -130,7 +210,7 @@ Status DiskArray::WriteParity(GroupId group, uint32_t twin,
                               PageImage&& image) {
   RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
   const PhysicalLocation loc = layout_->ParityLocation(group, twin);
-  RDA_RETURN_IF_ERROR(disks_[loc.disk].Write(loc.slot, std::move(image)));
+  RDA_RETURN_IF_ERROR(WriteWithRetry(loc.disk, loc.slot, std::move(image)));
   obs::Inc(writes_counter_);
   if (loc.disk < disk_write_counters_.size()) {
     obs::Inc(disk_write_counters_[loc.disk]);
@@ -156,6 +236,8 @@ Status DiskArray::ReplaceDisk(DiskId disk) {
     return Status::InvalidArgument("no such disk");
   }
   disks_[disk].Replace();
+  sector_error_counts_[disk] = 0;  // The new medium starts with a full budget.
+  escalated_[disk] = false;
   obs::TraceEvent event;
   event.subsystem = obs::Subsystem::kStorage;
   event.kind = obs::EventKind::kDiskReplaced;
@@ -166,6 +248,65 @@ Status DiskArray::ReplaceDisk(DiskId disk) {
 
 bool DiskArray::DiskFailed(DiskId disk) const {
   return disk < disks_.size() && disks_[disk].failed();
+}
+
+void DiskArray::ArmFaultInjection(const FaultConfig& config) {
+  DisarmFaultInjection();
+  injectors_.reserve(disks_.size());
+  for (DiskId d = 0; d < disks_.size(); ++d) {
+    FaultConfig per_disk = config;
+    // Golden-ratio stride decorrelates the per-disk streams while keeping
+    // the whole array a pure function of config.seed.
+    per_disk.seed = config.seed + 0x9e3779b97f4a7c15ULL * (d + 1);
+    injectors_.push_back(std::make_unique<FaultInjector>(per_disk));
+    disks_[d].AttachFaultInjector(injectors_.back().get());
+  }
+}
+
+void DiskArray::DisarmFaultInjection() {
+  for (Disk& d : disks_) {
+    d.AttachFaultInjector(nullptr);
+  }
+  injectors_.clear();
+}
+
+FaultInjector* DiskArray::injector(DiskId disk) {
+  return disk < injectors_.size() ? injectors_[disk].get() : nullptr;
+}
+
+FaultStats DiskArray::fault_stats() const {
+  FaultStats total;
+  for (const auto& injector : injectors_) {
+    total += injector->stats();
+  }
+  return total;
+}
+
+void DiskArray::RecordSectorError(DiskId disk) {
+  if (disk >= disks_.size() || policy_.disk_error_budget == 0 ||
+      disks_[disk].failed()) {
+    return;
+  }
+  if (++sector_error_counts_[disk] < policy_.disk_error_budget) {
+    return;
+  }
+  // Budget exhausted: the drive is lying about its health often enough that
+  // slot-by-slot healing is a losing game. Take it out and rebuild whole.
+  escalated_[disk] = true;
+  ++policy_stats_.escalations;
+  obs::Inc(escalations_counter_);
+  EmitDiskEvent(obs::EventKind::kEscalation, disk);
+  (void)FailDisk(disk);
+}
+
+std::vector<DiskId> DiskArray::EscalatedDisks() const {
+  std::vector<DiskId> out;
+  for (DiskId d = 0; d < escalated_.size(); ++d) {
+    if (escalated_[d]) {
+      out.push_back(d);
+    }
+  }
+  return out;
 }
 
 uint32_t DiskArray::NumFailedDisks() const {
@@ -204,6 +345,9 @@ void DiskArray::AttachObs(obs::ObsHub* hub) {
   reads_counter_ = obs::GetCounter(hub, "storage.reads");
   writes_counter_ = obs::GetCounter(hub, "storage.writes");
   xor_counter_ = obs::GetCounter(hub, "storage.xor_computations");
+  retries_counter_ = obs::GetCounter(hub, "storage.io_retries");
+  transients_counter_ = obs::GetCounter(hub, "storage.transient_faults");
+  escalations_counter_ = obs::GetCounter(hub, "storage.escalations");
   disk_read_counters_.assign(disks_.size(), nullptr);
   disk_write_counters_.assign(disks_.size(), nullptr);
   if (hub != nullptr) {

@@ -8,6 +8,8 @@
 #include "common/types.h"
 #include "obs/obs.h"
 #include "storage/disk.h"
+#include "storage/fault_injector.h"
+#include "storage/io_policy.h"
 #include "storage/layout.h"
 #include "storage/page.h"
 
@@ -43,8 +45,10 @@ class DiskArray {
   DiskArray& operator=(const DiskArray&) = delete;
 
   // Raw data-page I/O. Fails with kIoError if the owning disk has failed
-  // (degraded-mode reconstruction is the recovery layer's job). The rvalue
-  // write overloads hand the image's buffer to the disk instead of copying.
+  // (degraded-mode reconstruction is the recovery layer's job). Transient
+  // I/O errors on a live disk are retried under the IoPolicy before the
+  // error is surfaced; kCorruption is never retried. The rvalue write
+  // overloads hand the image's buffer to the disk instead of copying.
   Status ReadData(PageId page, PageImage* out) const;
   Status WriteData(PageId page, const PageImage& image);
   Status WriteData(PageId page, PageImage&& image);
@@ -54,12 +58,38 @@ class DiskArray {
   Status WriteParity(GroupId group, uint32_t twin, const PageImage& image);
   Status WriteParity(GroupId group, uint32_t twin, PageImage&& image);
 
-  // Media-failure injection and repair plumbing.
+  // Media-failure injection and repair plumbing. ReplaceDisk also resets
+  // the disk's escalation state and error-budget count.
   Status FailDisk(DiskId disk);
   Status ReplaceDisk(DiskId disk);
   bool DiskFailed(DiskId disk) const;
   // Number of currently failed disks.
   uint32_t NumFailedDisks() const;
+
+  // --- sector-fault plumbing (DESIGN.md section 10) ---
+
+  // Retry/escalation behaviour of the raw I/O above.
+  void SetIoPolicy(const IoPolicy& policy) { policy_ = policy; }
+  const IoPolicy& io_policy() const { return policy_; }
+  const IoPolicyStats& policy_stats() const { return policy_stats_; }
+
+  // Creates one FaultInjector per disk (seeded from config.seed and the
+  // disk id so streams are independent) and attaches them. Replaces any
+  // previous set; DisarmFaultInjection detaches and destroys them.
+  void ArmFaultInjection(const FaultConfig& config);
+  void DisarmFaultInjection();
+  // The injector attached to `disk`, or null when disarmed / out of range.
+  FaultInjector* injector(DiskId disk);
+  // Sum of per-disk injector stats (all zero when disarmed).
+  FaultStats fault_stats() const;
+
+  // Charges one persistent sector error against `disk`'s error budget;
+  // when the budget (policy.disk_error_budget, 0 = unlimited) is exhausted
+  // the disk is escalated: force-failed and flagged until ReplaceDisk.
+  // Called by the healing layer after a read needed reconstruction.
+  void RecordSectorError(DiskId disk);
+  // Disks force-failed by budget exhaustion and not yet replaced.
+  std::vector<DiskId> EscalatedDisks() const;
 
   const Layout& layout() const { return *layout_; }
   size_t page_size() const { return page_size_; }
@@ -96,11 +126,28 @@ class DiskArray {
 
   Status CheckPage(PageId page) const;
   Status CheckGroup(GroupId group, uint32_t twin) const;
+  // Retry loops around one disk access. Stats are mutable so the const
+  // read path can account; the actual disk state never changes on retry.
+  Status ReadWithRetry(DiskId disk, SlotId slot, PageImage* out) const;
+  Status WriteWithRetry(DiskId disk, SlotId slot, const PageImage& image);
+  Status WriteWithRetry(DiskId disk, SlotId slot, PageImage&& image);
+  // Bookkeeping shared by both write overloads' retry loops.
+  bool ShouldRetry(const Status& status, DiskId disk, uint32_t attempt,
+                   uint32_t max_retries) const;
+  void NoteAttemptOutcome(const Status& status, DiskId disk,
+                          uint32_t attempts_used) const;
+  void EmitDiskEvent(obs::EventKind kind, DiskId disk) const;
 
   std::unique_ptr<Layout> layout_;
   size_t page_size_;
   std::vector<Disk> disks_;
   uint64_t xor_computations_ = 0;
+
+  IoPolicy policy_;
+  mutable IoPolicyStats policy_stats_;
+  std::vector<std::unique_ptr<FaultInjector>> injectors_;
+  std::vector<uint32_t> sector_error_counts_;
+  std::vector<bool> escalated_;
 
   // Observability (null = disabled). The counter pointers are resolved once
   // in AttachObs so the I/O hot path pays only a null test.
@@ -108,6 +155,9 @@ class DiskArray {
   obs::Counter* reads_counter_ = nullptr;
   obs::Counter* writes_counter_ = nullptr;
   obs::Counter* xor_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* transients_counter_ = nullptr;
+  obs::Counter* escalations_counter_ = nullptr;
   std::vector<obs::Counter*> disk_read_counters_;
   std::vector<obs::Counter*> disk_write_counters_;
 };

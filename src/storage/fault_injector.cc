@@ -1,0 +1,129 @@
+#include "storage/fault_injector.h"
+
+namespace rda {
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+void FaultInjector::InjectLatentSector(SlotId slot) {
+  if (latent_.insert(slot).second) {
+    ++stats_.latent_sectors;
+  }
+}
+
+void FaultInjector::ScheduleTransientRead(SlotId slot, uint32_t count) {
+  for (uint32_t i = 0; i < count; ++i) {
+    scripted_reads_[slot].push_back({FaultKind::kTransientRead, 0, 0});
+  }
+}
+
+void FaultInjector::ScheduleTransientWrite(SlotId slot, uint32_t count) {
+  for (uint32_t i = 0; i < count; ++i) {
+    scripted_writes_[slot].push_back({FaultKind::kTransientWrite, 0, 0});
+  }
+}
+
+void FaultInjector::ScheduleBitFlip(SlotId slot, size_t offset, uint8_t mask) {
+  scripted_reads_[slot].push_back(
+      {FaultKind::kBitFlip, offset, mask == 0 ? uint8_t{0x01} : mask});
+}
+
+void FaultInjector::ScheduleTornWrite(SlotId slot) {
+  scripted_writes_[slot].push_back({FaultKind::kTornWrite, 0, 0});
+}
+
+FaultDecision FaultInjector::OnRead(SlotId slot, size_t page_size) {
+  // Sticky latent errors dominate everything: the slot is unreadable until
+  // rewritten, no matter what else the dice would say.
+  if (latent_.contains(slot)) {
+    return {FaultKind::kLatentSector, 0, 0};
+  }
+  if (auto it = scripted_reads_.find(slot); it != scripted_reads_.end()) {
+    const Scripted next = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) {
+      scripted_reads_.erase(it);
+    }
+    switch (next.kind) {
+      case FaultKind::kTransientRead:
+        ++stats_.transient_reads;
+        break;
+      case FaultKind::kLatentSector:
+        InjectLatentSector(slot);
+        break;
+      case FaultKind::kBitFlip:
+        ++stats_.bit_flips;
+        break;
+      default:
+        break;
+    }
+    return {next.kind, next.offset, next.mask};
+  }
+  if (!RandomBudgetLeft()) {
+    return {};
+  }
+  if (config_.transient_read_p > 0 && rng_.Bernoulli(config_.transient_read_p)) {
+    ++stats_.transient_reads;
+    ++random_faults_;
+    return {FaultKind::kTransientRead, 0, 0};
+  }
+  if (config_.latent_sector_p > 0 && rng_.Bernoulli(config_.latent_sector_p)) {
+    ++random_faults_;
+    InjectLatentSector(slot);
+    return {FaultKind::kLatentSector, 0, 0};
+  }
+  if (config_.bit_flip_p > 0 && rng_.Bernoulli(config_.bit_flip_p)) {
+    ++stats_.bit_flips;
+    ++random_faults_;
+    const size_t offset = page_size == 0 ? 0 : rng_.Uniform(page_size);
+    const uint8_t mask = static_cast<uint8_t>(1u << rng_.Uniform(8));
+    return {FaultKind::kBitFlip, offset, mask};
+  }
+  return {};
+}
+
+FaultDecision FaultInjector::OnWrite(SlotId slot, size_t page_size) {
+  if (auto it = scripted_writes_.find(slot); it != scripted_writes_.end()) {
+    const Scripted next = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) {
+      scripted_writes_.erase(it);
+    }
+    switch (next.kind) {
+      case FaultKind::kTransientWrite:
+        ++stats_.transient_writes;
+        break;
+      case FaultKind::kTornWrite:
+        ++stats_.torn_writes;
+        break;
+      default:
+        break;
+    }
+    return {next.kind, next.offset != 0 ? next.offset : page_size / 2, 0};
+  }
+  if (!RandomBudgetLeft()) {
+    return {};
+  }
+  if (config_.transient_write_p > 0 &&
+      rng_.Bernoulli(config_.transient_write_p)) {
+    ++stats_.transient_writes;
+    ++random_faults_;
+    return {FaultKind::kTransientWrite, 0, 0};
+  }
+  if (config_.torn_write_p > 0 && rng_.Bernoulli(config_.torn_write_p)) {
+    ++stats_.torn_writes;
+    ++random_faults_;
+    return {FaultKind::kTornWrite, page_size / 2, 0};
+  }
+  return {};
+}
+
+void FaultInjector::ClearLatent(SlotId slot) { latent_.erase(slot); }
+
+void FaultInjector::OnReplace() {
+  latent_.clear();
+  scripted_reads_.clear();
+  scripted_writes_.clear();
+}
+
+}  // namespace rda

@@ -1,0 +1,149 @@
+#ifndef RDA_STORAGE_FAULT_INJECTOR_H_
+#define RDA_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace rda {
+
+// The sector-level fault taxonomy (DESIGN.md section 10). Total media
+// failure stays a separate mechanism (Disk::Fail); everything here is a
+// *partial* fault of one slot — the failure class parity redundancy should
+// absorb without declaring the whole drive dead.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  // This read fails with kIoError; the device recovers by itself, so an
+  // immediate retry succeeds (unless a new fault is drawn).
+  kTransientRead,
+  // This write fails with kIoError and stores nothing; a retry succeeds.
+  kTransientWrite,
+  // The slot develops a persistent (sticky) kIoError: every read fails
+  // until the slot is rewritten, which remaps/clears it.
+  kLatentSector,
+  // One stored bit flips silently. The medium accepts reads, but the
+  // per-page checksum no longer matches: kCorruption until rewritten.
+  kBitFlip,
+  // The write is torn: the first half of the slot keeps the OLD image, the
+  // second half receives the new one. The write reports success; the next
+  // read fails the checksum (computed over the intended image).
+  kTornWrite,
+};
+
+// Per-access fault probabilities plus the seed. All probabilities default
+// to zero, so an armed-but-default injector is a no-op — the zero-cost
+// baseline the perf report asserts.
+struct FaultConfig {
+  // Master switch: Database::Open only attaches injectors when true.
+  bool enabled = false;
+  uint64_t seed = 1;
+  double transient_read_p = 0;
+  double transient_write_p = 0;
+  double latent_sector_p = 0;  // Drawn per read access.
+  double bit_flip_p = 0;       // Drawn per read access.
+  double torn_write_p = 0;     // Drawn per write access.
+  // Hard cap on probabilistically drawn faults (scripted injections are
+  // not counted). Keeps long soaks from accumulating unbounded damage.
+  uint64_t max_random_faults = UINT64_MAX;
+};
+
+// Everything this injector has done, by kind. `latent_sectors` counts
+// distinct latent-error injections, not the (repeated) read hits they
+// cause.
+struct FaultStats {
+  uint64_t transient_reads = 0;
+  uint64_t transient_writes = 0;
+  uint64_t latent_sectors = 0;
+  uint64_t bit_flips = 0;
+  uint64_t torn_writes = 0;
+
+  uint64_t total() const {
+    return transient_reads + transient_writes + latent_sectors + bit_flips +
+           torn_writes;
+  }
+  FaultStats& operator+=(const FaultStats& other) {
+    transient_reads += other.transient_reads;
+    transient_writes += other.transient_writes;
+    latent_sectors += other.latent_sectors;
+    bit_flips += other.bit_flips;
+    torn_writes += other.torn_writes;
+    return *this;
+  }
+};
+
+// What the Disk should do to the current access. For kBitFlip, `offset`
+// and `mask` locate the flipped bits; offset == page_size addresses the
+// out-of-band header timestamp (scripted header corruption). For
+// kTornWrite, `offset` is the split point between old and new content.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  size_t offset = 0;
+  uint8_t mask = 0;
+};
+
+// A seeded, scriptable fault source for ONE Disk. The Disk consults it on
+// every access (a null-pointer test when detached); the injector decides,
+// the Disk applies. Two modes compose:
+//  - scripted: Inject*/Schedule* queue deterministic faults per slot,
+//    consumed in FIFO order before any dice are rolled;
+//  - probabilistic: per-access Bernoulli draws from FaultConfig.
+// Latent-error stickiness lives here (per-slot set), so Disk::Replace can
+// reset it wholesale with the rest of the medium state.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- scripted injection (deterministic tests) ---
+  void InjectLatentSector(SlotId slot);
+  void ScheduleTransientRead(SlotId slot, uint32_t count = 1);
+  void ScheduleTransientWrite(SlotId slot, uint32_t count = 1);
+  // offset defaults to mid-payload; pass page_size for the header flip.
+  void ScheduleBitFlip(SlotId slot, size_t offset, uint8_t mask = 0x01);
+  void ScheduleTornWrite(SlotId slot);
+
+  // --- decision hooks (called by Disk) ---
+  FaultDecision OnRead(SlotId slot, size_t page_size);
+  FaultDecision OnWrite(SlotId slot, size_t page_size);
+
+  // A successful (or torn) write remaps the slot: the latent error, if
+  // any, is cleared.
+  void ClearLatent(SlotId slot);
+  bool HasLatent(SlotId slot) const { return latent_.contains(slot); }
+  size_t latent_count() const { return latent_.size(); }
+
+  // Replace() installed a fresh medium: all per-slot fault state (latent
+  // errors, scripted queues) is gone. Stats and the RNG stream survive —
+  // they describe the injector, not the medium.
+  void OnReplace();
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  struct Scripted {
+    FaultKind kind = FaultKind::kNone;
+    size_t offset = 0;
+    uint8_t mask = 0;
+  };
+
+  bool RandomBudgetLeft() const { return random_faults_ < config_.max_random_faults; }
+
+  FaultConfig config_;
+  Random rng_;
+  FaultStats stats_;
+  uint64_t random_faults_ = 0;
+  std::unordered_set<SlotId> latent_;
+  std::unordered_map<SlotId, std::deque<Scripted>> scripted_reads_;
+  std::unordered_map<SlotId, std::deque<Scripted>> scripted_writes_;
+};
+
+}  // namespace rda
+
+#endif  // RDA_STORAGE_FAULT_INJECTOR_H_

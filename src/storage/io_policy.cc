@@ -1,0 +1,15 @@
+#include "storage/io_policy.h"
+
+#include "common/status.h"
+
+namespace rda {
+
+bool RetryableIoError(const Status& status, bool disk_failed) {
+  return status.IsIoError() && !disk_failed;
+}
+
+double RetryBackoffMs(const IoPolicy& policy, uint32_t attempt) {
+  return policy.retry_backoff_ms * static_cast<double>(attempt);
+}
+
+}  // namespace rda

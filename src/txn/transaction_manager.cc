@@ -21,7 +21,9 @@ TransactionManager::TransactionManager(const TxnConfig& config,
       pool_(
           pool_options,
           [this](PageId page, PageImage* out) {
-            Status status = parity_->array()->ReadData(page, out);
+            // Healed read: sector faults on live disks are repaired in
+            // place; only a genuinely failed disk reaches the fallback.
+            Status status = parity_->ReadDataHealed(page, out);
             if (status.IsIoError()) {
               // Degraded mode: reconstruct the page from its parity group
               // while the disk awaits rebuild.
@@ -456,7 +458,7 @@ Status TransactionManager::LogAfterImages(Transaction* txn) {
       } else {
         // Stolen and evicted: the latest content is on disk.
         PageImage image;
-        RDA_RETURN_IF_ERROR(parity_->array()->ReadData(page, &image));
+        RDA_RETURN_IF_ERROR(parity_->ReadDataHealed(page, &image));
         ai.after = std::move(image.payload);
       }
       RDA_RETURN_IF_ERROR(log_->Append(std::move(ai)).status());
@@ -576,7 +578,7 @@ Status TransactionManager::UndoDiskState(
       payload = cached->second;
     } else {
       PageImage image;
-      RDA_RETURN_IF_ERROR(parity_->array()->ReadData(undo.page, &image));
+      RDA_RETURN_IF_ERROR(parity_->ReadDataHealed(undo.page, &image));
       payload = std::move(image.payload);
     }
     RecordPageView view(&payload, config_.record_size);

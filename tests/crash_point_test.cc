@@ -275,5 +275,95 @@ TEST_P(CrashPointTest, DoubleCrashConverges) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Crash in the repair-on-read window: between reconstructing a faulty
+// sector's content and writing it back (DESIGN.md section 10). The repair
+// must be restartable — after recovery the fault is still there and the
+// next read heals it for good.
+// ---------------------------------------------------------------------------
+
+class RepairCrashTest : public ::testing::Test {
+ protected:
+  void Open() {
+    DatabaseOptions options;
+    options.array.data_pages_per_group = 4;
+    options.array.parity_copies = 2;
+    options.array.min_data_pages = 32;
+    options.array.page_size = 128;
+    options.buffer.capacity = 16;
+    options.txn.force = true;
+    options.txn.rda_undo = true;
+    options.fault.enabled = true;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  Status WriteTxn(PageId page, uint8_t fill) {
+    auto txn = db_->Begin();
+    RDA_RETURN_IF_ERROR(txn.status());
+    RDA_RETURN_IF_ERROR(db_->WritePage(
+        *txn, page, std::vector<uint8_t>(db_->user_page_size(), fill)));
+    return db_->Commit(*txn);
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(RepairCrashTest, CrashBetweenReconstructAndWriteBackOnDataRead) {
+  Open();
+  ASSERT_TRUE(WriteTxn(3, 0x3e).ok());
+  const PhysicalLocation loc = db_->array()->layout().DataLocation(3);
+  db_->array()->injector(loc.disk)->InjectLatentSector(loc.slot);
+
+  // The repair reconstructs, then "crashes" before the write-back.
+  db_->parity()->InjectCrashBeforeNextRepairWriteBack();
+  auto payload = db_->RawReadPage(3);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_TRUE(payload.status().IsAborted()) << payload.status().ToString();
+  // Nothing was written: the latent error is still on the medium.
+  EXPECT_TRUE(db_->array()->injector(loc.disk)->HasLatent(loc.slot));
+
+  db_->Crash();
+  ASSERT_TRUE(db_->Recover().ok());
+  // The retried read completes the repair end to end.
+  payload = db_->RawReadPage(3);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ((*payload)[kDataRegionOffset], 0x3e);
+  EXPECT_FALSE(db_->array()->injector(loc.disk)->HasLatent(loc.slot));
+  EXPECT_EQ(db_->parity()->stats().latent_repairs, 1u);
+  auto parity_ok = db_->VerifyAllParity();
+  ASSERT_TRUE(parity_ok.ok());
+  EXPECT_TRUE(*parity_ok);
+}
+
+TEST_F(RepairCrashTest, CrashBetweenReconstructAndWriteBackDuringScrub) {
+  Open();
+  ASSERT_TRUE(WriteTxn(5, 0x5f).ok());
+  const PhysicalLocation loc = db_->array()->layout().DataLocation(5);
+  db_->array()->injector(loc.disk)->InjectLatentSector(loc.slot);
+
+  db_->parity()->InjectCrashBeforeNextRepairWriteBack();
+  auto report = db_->Scrub();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsAborted()) << report.status().ToString();
+  EXPECT_TRUE(db_->array()->injector(loc.disk)->HasLatent(loc.slot));
+
+  // The restarted scrub pass heals the sector and then verifies clean.
+  // (No recovery needed: the aborted repair wrote nothing back.)
+  report = db_->Scrub();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->sectors_repaired, 1u);
+  EXPECT_TRUE(report->repaired.empty());
+  EXPECT_FALSE(db_->array()->injector(loc.disk)->HasLatent(loc.slot));
+  auto payload = db_->RawReadPage(5);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ((*payload)[kDataRegionOffset], 0x5f);
+
+  auto again = db_->Scrub();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->sectors_repaired, 0u);  // Nothing left to heal.
+}
+
 }  // namespace
 }  // namespace rda

@@ -233,6 +233,174 @@ TEST_F(DegradedTest, FullGroupWriteRefusedForDirtyGroup) {
 }
 
 // ---------------------------------------------------------------------------
+// Sector faults: self-healing reads, escalation, data-loss honesty
+// (DESIGN.md section 10).
+// ---------------------------------------------------------------------------
+
+TEST_F(DegradedTest, HealedReadRepairsLatentSector) {
+  DatabaseOptions options = BaseOptions();
+  options.fault.enabled = true;
+  Open(options);
+  ASSERT_TRUE(WriteTxn(5, 0x5a).ok());
+
+  const PhysicalLocation loc = db_->array()->layout().DataLocation(5);
+  FaultInjector* injector = db_->array()->injector(loc.disk);
+  ASSERT_NE(injector, nullptr);
+  injector->InjectLatentSector(loc.slot);
+  PageImage raw;
+  EXPECT_TRUE(db_->array()->ReadData(5, &raw).IsIoError());
+
+  // The healed read reconstructs from the group and repairs in place.
+  EXPECT_EQ(DiskByte(5), 0x5a);
+  EXPECT_EQ(db_->parity()->stats().latent_repairs, 1u);
+  EXPECT_FALSE(injector->HasLatent(loc.slot));
+  // The slot is genuinely healed: the raw path works again.
+  ASSERT_TRUE(db_->array()->ReadData(5, &raw).ok());
+  auto ok = db_->VerifyAllParity();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DegradedTest, HealedReadRepairsChecksumCorruption) {
+  DatabaseOptions options = BaseOptions();
+  options.fault.enabled = true;
+  Open(options);
+  ASSERT_TRUE(WriteTxn(7, 0x7c).ok());
+
+  const PhysicalLocation loc = db_->array()->layout().DataLocation(7);
+  db_->array()->injector(loc.disk)->ScheduleBitFlip(loc.slot, /*offset=*/20,
+                                                    /*mask=*/0x40);
+  // The flip is silent; the checksum turns it into kCorruption, and the
+  // healed read rebuilds the page from parity.
+  EXPECT_EQ(DiskByte(7), 0x7c);
+  EXPECT_EQ(db_->parity()->stats().corruption_repairs, 1u);
+  EXPECT_EQ(db_->parity()->stats().latent_repairs, 0u);
+  PageImage raw;
+  ASSERT_TRUE(db_->array()->ReadData(7, &raw).ok());
+}
+
+TEST_F(DegradedTest, FaultedParityTwinHealedInsidePropagation) {
+  DatabaseOptions options = BaseOptions();
+  options.fault.enabled = true;
+  Open(options);
+  // Poison the clean group's valid twin, then write through it: the
+  // propagation's parity read heals the twin (recomputed from data)
+  // transparently and the transaction never notices.
+  const GroupState& state = db_->parity()->directory().Get(0);
+  const PhysicalLocation loc =
+      db_->array()->layout().ParityLocation(0, state.valid_twin);
+  db_->array()->injector(loc.disk)->InjectLatentSector(loc.slot);
+
+  ASSERT_TRUE(WriteTxn(0, 0x66).ok());
+  EXPECT_EQ(DiskByte(0), 0x66);
+  EXPECT_EQ(db_->parity()->stats().latent_repairs, 1u);
+  auto ok = db_->VerifyAllParity();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DegradedTest, DirtyGroupValidTwinFaultIsDataLoss) {
+  DatabaseOptions options = BaseOptions();
+  options.fault.enabled = true;
+  Open(options);
+  ASSERT_TRUE(WriteTxn(2, 0x11).ok());
+  // Dirty group 0 via an unlogged steal, then lose the valid twin: that
+  // sector holds the only copy of the before-image parity.
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->WritePage(*txn, 2,
+                             std::vector<uint8_t>(db_->user_page_size(),
+                                                  0x99))
+                  .ok());
+  Frame* frame = db_->txn_manager()->pool()->Lookup(2);
+  ASSERT_TRUE(db_->txn_manager()->pool()->PropagateFrame(frame).ok());
+  const GroupState state = db_->parity()->directory().Get(0);
+  ASSERT_TRUE(state.dirty);
+
+  const PhysicalLocation loc =
+      db_->array()->layout().ParityLocation(0, state.valid_twin);
+  db_->array()->injector(loc.disk)->InjectLatentSector(loc.slot);
+  PageImage image;
+  const Status status =
+      db_->parity()->ReadParityHealed(0, state.valid_twin, &image);
+  EXPECT_TRUE(status.IsDataLoss()) << status.ToString();
+  // No repair was fabricated.
+  EXPECT_EQ(db_->parity()->stats().latent_repairs, 0u);
+  EXPECT_EQ(db_->parity()->stats().corruption_repairs, 0u);
+}
+
+TEST_F(DegradedTest, ErrorBudgetEscalationHealedByRepairEscalations) {
+  DatabaseOptions options = BaseOptions();
+  options.fault.enabled = true;
+  options.io.disk_error_budget = 2;
+  Open(options);
+  // Two pages on the same disk, each with a latent sector: the second
+  // repair-on-read exhausts the budget and escalates the disk.
+  ASSERT_TRUE(WriteTxn(0, 0xd0).ok());
+  const DiskId suspect = DataDiskOf(0);
+  PageId second_page = 0;
+  for (PageId page = 1; page < db_->num_pages(); ++page) {
+    if (DataDiskOf(page) == suspect) {
+      second_page = page;
+      break;
+    }
+  }
+  ASSERT_NE(second_page, 0u);
+  ASSERT_TRUE(WriteTxn(second_page, 0xd1).ok());
+
+  FaultInjector* injector = db_->array()->injector(suspect);
+  injector->InjectLatentSector(db_->array()->layout().DataLocation(0).slot);
+  injector->InjectLatentSector(
+      db_->array()->layout().DataLocation(second_page).slot);
+
+  EXPECT_EQ(DiskByte(0), 0xd0);  // First strike: healed, budget 1 left.
+  EXPECT_FALSE(db_->array()->DiskFailed(suspect));
+  // Second strike: the read still serves (degraded reconstruction), but the
+  // disk is declared dying and force-failed.
+  EXPECT_EQ(DiskByte(second_page), 0xd1);
+  EXPECT_TRUE(db_->array()->DiskFailed(suspect));
+  ASSERT_EQ(db_->array()->EscalatedDisks().size(), 1u);
+  EXPECT_EQ(db_->array()->EscalatedDisks()[0], suspect);
+  EXPECT_EQ(db_->array()->policy_stats().escalations, 1u);
+
+  auto repaired = db_->RepairEscalations();
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_EQ(*repaired, 1u);
+  EXPECT_FALSE(db_->array()->DiskFailed(suspect));
+  EXPECT_TRUE(db_->array()->EscalatedDisks().empty());
+  EXPECT_EQ(DiskByte(0), 0xd0);
+  EXPECT_EQ(DiskByte(second_page), 0xd1);
+  auto ok = db_->VerifyAllParity();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
+TEST_F(DegradedTest, SecondDiskFailureMidRebuildIsDataLoss) {
+  DatabaseOptions options = BaseOptions();
+  options.fault.enabled = true;
+  options.io.disk_error_budget = 1;
+  Open(options);
+  for (PageId page = 0; page < 8; ++page) {
+    ASSERT_TRUE(WriteTxn(page, static_cast<uint8_t>(0x50 + page)).ok());
+  }
+  // Fail the disk under group 0's valid twin; its rebuild recomputes parity
+  // from healed data reads. A latent sector on page 0's disk then escalates
+  // (budget 1) DURING the rebuild — a genuine second disk failure while the
+  // first is still being reconstructed, which single parity cannot survive.
+  const GroupState& state = db_->parity()->directory().Get(0);
+  const DiskId victim =
+      db_->array()->layout().ParityLocation(0, state.valid_twin).disk;
+  const PhysicalLocation data_loc = db_->array()->layout().DataLocation(0);
+  ASSERT_NE(victim, data_loc.disk);
+  db_->array()->injector(data_loc.disk)->InjectLatentSector(data_loc.slot);
+
+  ASSERT_TRUE(db_->FailDisk(victim).ok());
+  auto report = db_->RebuildDisk(victim);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsDataLoss()) << report.status().ToString();
+  EXPECT_TRUE(db_->array()->DiskFailed(data_loc.disk));
+}
+
+// ---------------------------------------------------------------------------
 // Crash during recovery.
 // ---------------------------------------------------------------------------
 

@@ -124,6 +124,33 @@ TEST(SimulatorTest, RunsToCompletion) {
   EXPECT_GT(result->transfers_per_commit, 0.0);
 }
 
+TEST(SimulatorTest, RunsToCompletionUnderFaultSchedule) {
+  SimOptions options = SmallSim(true);
+  options.db.fault.enabled = true;
+  options.db.fault.seed = 17;
+  options.db.fault.transient_read_p = 0.01;
+  options.db.fault.transient_write_p = 0.01;
+  options.db.fault.latent_sector_p = 0.002;
+  options.db.fault.bit_flip_p = 0.002;
+  options.db.fault.torn_write_p = 0.002;
+  options.db.fault.max_random_faults = 20;  // Per disk.
+  Simulator sim(options);
+  auto result = sim.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->committed, 50u);
+  EXPECT_GT(result->faults.total(), 0u);  // The schedule actually fired.
+  // Retries and repairs absorbed the schedule; the run ends healthy.
+  EXPECT_GE(result->io.io_retries,
+            result->faults.transient_reads + result->faults.transient_writes);
+  EXPECT_EQ(sim.db()->array()->NumFailedDisks(), 0u);
+  ASSERT_TRUE(sim.db()->Checkpoint().ok());
+  auto scrub = sim.db()->Scrub();  // Heal whatever the workload never read.
+  ASSERT_TRUE(scrub.ok()) << scrub.status().ToString();
+  auto ok = sim.db()->VerifyAllParity();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+}
+
 TEST(SimulatorTest, ParityConsistentAfterRun) {
   Simulator sim(SmallSim(true));
   ASSERT_TRUE(sim.Run().ok());

@@ -148,5 +148,144 @@ INSTANTIATE_TEST_SUITE_P(Sweep, SoakTest,
                                            SoakCase{5, false, true}),
                          CaseName);
 
+// ---------------------------------------------------------------------------
+// Fault soak: the same seeded workload run twice — once fault-free, once
+// under a randomized schedule of transient, latent, bit-flip and torn-write
+// faults on every disk. Retry + repair-on-read must absorb all of it: same
+// final bytes, a clean final scrub, and counters that account for the
+// injected faults (DESIGN.md section 10).
+// ---------------------------------------------------------------------------
+
+struct FaultSoakOutcome {
+  std::vector<std::vector<uint8_t>> pages;
+  FaultStats injected;
+  IoPolicyStats policy;
+  ParityStats parity;
+};
+
+class FaultSoakTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kPages = 64;
+  static constexpr uint64_t kWorkloadSeed = 4242;
+
+  void RunWorkload(bool with_faults, FaultSoakOutcome* out) {
+    DatabaseOptions options;
+    options.array.data_pages_per_group = 4;
+    options.array.parity_copies = 2;
+    options.array.min_data_pages = kPages;
+    options.array.page_size = 128;
+    options.buffer.capacity = 14;
+    options.txn.force = true;
+    options.txn.rda_undo = true;
+    if (with_faults) {
+      options.fault.enabled = true;
+      options.fault.seed = 99;
+      options.fault.transient_read_p = 0.01;
+      options.fault.transient_write_p = 0.01;
+      options.fault.latent_sector_p = 0.002;
+      options.fault.bit_flip_p = 0.002;
+      options.fault.torn_write_p = 0.002;
+      options.fault.max_random_faults = 25;  // Per disk.
+    }
+    auto db_or = Database::Open(options);
+    ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+    std::unique_ptr<Database> db = std::move(db_or).value();
+
+    // The workload stream is seeded independently of the injectors, and no
+    // decision in it depends on fault outcomes — both runs execute the
+    // exact same transaction history.
+    Random rng(kWorkloadSeed);
+    for (int epoch = 0; epoch < 8; ++epoch) {
+      for (int t = 0; t < 25; ++t) {
+        auto txn = db->Begin();
+        ASSERT_TRUE(txn.ok());
+        const int ops = 1 + static_cast<int>(rng.Uniform(4));
+        for (int op = 0; op < ops; ++op) {
+          const PageId page = static_cast<PageId>(rng.Uniform(kPages));
+          const uint8_t fill =
+              static_cast<uint8_t>(rng.UniformRange(1, 250));
+          ASSERT_TRUE(
+              db->WritePage(*txn, page,
+                            std::vector<uint8_t>(db->user_page_size(), fill))
+                  .ok())
+              << "epoch " << epoch << " txn " << t;
+        }
+        if (rng.Bernoulli(0.2)) {
+          ASSERT_TRUE(db->Abort(*txn).ok());
+        } else {
+          ASSERT_TRUE(db->Commit(*txn).ok());
+        }
+      }
+      ASSERT_TRUE(db->Checkpoint().ok());
+    }
+
+    // Heal everything the workload left behind. Scrub passes can draw NEW
+    // faults from the schedule (their own I/O rolls the dice too), but the
+    // per-disk fault budget is finite, so the scrub converges to a clean
+    // pass.
+    uint64_t healed = 0;
+    bool clean = false;
+    for (int pass = 0; pass < 6 && !clean; ++pass) {
+      auto scrub = db->Scrub();
+      ASSERT_TRUE(scrub.ok()) << scrub.status().ToString();
+      healed += scrub->sectors_repaired;
+      clean = scrub->sectors_repaired == 0 && scrub->repaired.empty();
+    }
+    EXPECT_TRUE(clean) << "scrub did not converge to a clean pass";
+
+    out->pages.clear();
+    for (PageId page = 0; page < kPages; ++page) {
+      auto payload = db->RawReadPage(page);
+      ASSERT_TRUE(payload.ok()) << "page " << page;
+      out->pages.push_back(std::move(payload).value());
+    }
+    auto parity_ok = db->VerifyAllParity();
+    ASSERT_TRUE(parity_ok.ok());
+    EXPECT_TRUE(*parity_ok);
+    out->injected = db->array()->fault_stats();
+    out->policy = db->array()->policy_stats();
+    out->parity = db->parity()->stats();
+  }
+};
+
+TEST_F(FaultSoakTest, FaultScheduleConvergesToFaultFreeState) {
+  FaultSoakOutcome clean;
+  RunWorkload(/*with_faults=*/false, &clean);
+  EXPECT_EQ(clean.injected.total(), 0u);
+  EXPECT_EQ(clean.policy.io_retries, 0u);
+
+  FaultSoakOutcome faulted;
+  RunWorkload(/*with_faults=*/true, &faulted);
+
+  // The schedule actually exercised every fault kind.
+  EXPECT_GT(faulted.injected.transient_reads + faulted.injected.transient_writes,
+            0u);
+  EXPECT_GT(faulted.injected.latent_sectors, 0u);
+  EXPECT_GT(faulted.injected.bit_flips + faulted.injected.torn_writes, 0u);
+
+  // End-state equivalence: every page byte-identical to the fault-free run
+  // (embedded metadata included — repairs restore exact images).
+  ASSERT_EQ(clean.pages.size(), faulted.pages.size());
+  for (PageId page = 0; page < kPages; ++page) {
+    EXPECT_EQ(clean.pages[page], faulted.pages[page]) << "page " << page;
+  }
+
+  // Counter accounting. Every transient consumed (at least) one retry;
+  // every repair traces back to an injected persistent fault; ordinary
+  // rewrites may clear a latent sector before any read trips over it, so
+  // repairs are bounded by injections, not equal to them. The default
+  // error budget (0 = unlimited) never escalates a disk.
+  EXPECT_GE(faulted.policy.io_retries,
+            faulted.injected.transient_reads +
+                faulted.injected.transient_writes);
+  EXPECT_GT(faulted.policy.transient_faults, 0u);
+  EXPECT_GT(faulted.parity.latent_repairs + faulted.parity.corruption_repairs,
+            0u);
+  EXPECT_LE(faulted.parity.latent_repairs, faulted.injected.latent_sectors);
+  EXPECT_LE(faulted.parity.corruption_repairs,
+            faulted.injected.bit_flips + faulted.injected.torn_writes);
+  EXPECT_EQ(faulted.policy.escalations, 0u);
+}
+
 }  // namespace
 }  // namespace rda

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <tuple>
@@ -10,6 +11,8 @@
 #include "storage/data_page_meta.h"
 #include "storage/data_striping_layout.h"
 #include "storage/disk_array.h"
+#include "storage/fault_injector.h"
+#include "storage/io_policy.h"
 #include "storage/parity_striping_layout.h"
 #include "storage/scratch_pool.h"
 
@@ -69,12 +72,20 @@ TEST(DiskTest, FailureLosesContentAndBlocksIo) {
 
 TEST(DiskTest, SilentCorruptionDetected) {
   Disk disk(0, 4, 64);
+  FaultInjector injector((FaultConfig()));
+  disk.AttachFaultInjector(&injector);
   PageImage image(64);
   image.payload[10] = 0x77;
   ASSERT_TRUE(disk.Write(2, image).ok());
-  disk.MutablePageForTest(2)->payload[10] ^= 0xff;
+  injector.ScheduleBitFlip(2, /*offset=*/10, /*mask=*/0xff);
   PageImage read;
   EXPECT_TRUE(disk.Read(2, &read).IsCorruption());
+  // The flip damaged the medium, not just one read: it stays corrupt...
+  EXPECT_TRUE(disk.Read(2, &read).IsCorruption());
+  // ...until the slot is rewritten.
+  ASSERT_TRUE(disk.Write(2, image).ok());
+  ASSERT_TRUE(disk.Read(2, &read).ok());
+  EXPECT_EQ(read.payload[10], 0x77);
 }
 
 TEST(DiskTest, MoveWriteStoresSameContent) {
@@ -387,12 +398,198 @@ TEST(DiskTest, ReplaceWithoutFailureIsHarmless) {
 
 TEST(DiskTest, HeaderCorruptionDetected) {
   Disk disk(0, 4, 64);
+  FaultInjector injector((FaultConfig()));
+  disk.AttachFaultInjector(&injector);
   PageImage image(64);
   image.header.timestamp = 7;
   ASSERT_TRUE(disk.Write(1, image).ok());
-  disk.MutablePageForTest(1)->header.timestamp = 8;
+  // offset == page_size addresses the out-of-band header timestamp.
+  injector.ScheduleBitFlip(1, /*offset=*/64, /*mask=*/0x01);
   PageImage read;
   EXPECT_TRUE(disk.Read(1, &read).IsCorruption());
+}
+
+TEST(FaultInjectorTest, TransientReadFailsOnceThenRecovers) {
+  Disk disk(0, 4, 64);
+  FaultInjector injector((FaultConfig()));
+  disk.AttachFaultInjector(&injector);
+  PageImage image(64);
+  image.payload[0] = 0x1d;
+  ASSERT_TRUE(disk.Write(0, image).ok());
+  injector.ScheduleTransientRead(0, /*count=*/2);
+  PageImage read;
+  EXPECT_TRUE(disk.Read(0, &read).IsIoError());
+  EXPECT_TRUE(disk.Read(0, &read).IsIoError());
+  ASSERT_TRUE(disk.Read(0, &read).ok());  // Device recovered by itself.
+  EXPECT_EQ(read.payload[0], 0x1d);
+  EXPECT_EQ(injector.stats().transient_reads, 2u);
+}
+
+TEST(FaultInjectorTest, TransientWriteStoresNothing) {
+  Disk disk(0, 4, 64);
+  FaultInjector injector((FaultConfig()));
+  disk.AttachFaultInjector(&injector);
+  PageImage first(64);
+  first.payload[0] = 0x01;
+  ASSERT_TRUE(disk.Write(3, first).ok());
+  PageImage second(64);
+  second.payload[0] = 0x02;
+  injector.ScheduleTransientWrite(3);
+  EXPECT_TRUE(disk.Write(3, second).IsIoError());
+  PageImage read;
+  ASSERT_TRUE(disk.Read(3, &read).ok());
+  EXPECT_EQ(read.payload[0], 0x01);  // The failed write left no trace.
+  ASSERT_TRUE(disk.Write(3, second).ok());  // Retry succeeds.
+  ASSERT_TRUE(disk.Read(3, &read).ok());
+  EXPECT_EQ(read.payload[0], 0x02);
+}
+
+TEST(FaultInjectorTest, LatentSectorStickyUntilRewrite) {
+  Disk disk(0, 4, 64);
+  FaultInjector injector((FaultConfig()));
+  disk.AttachFaultInjector(&injector);
+  PageImage image(64);
+  image.payload[5] = 0x3c;
+  ASSERT_TRUE(disk.Write(1, image).ok());
+  injector.InjectLatentSector(1);
+  PageImage read;
+  EXPECT_TRUE(disk.Read(1, &read).IsIoError());
+  EXPECT_TRUE(disk.Read(1, &read).IsIoError());  // Sticky, not transient.
+  EXPECT_TRUE(injector.HasLatent(1));
+  ASSERT_TRUE(disk.Read(0, &read).ok());  // Other slots unaffected.
+  ASSERT_TRUE(disk.Write(1, image).ok());  // Rewriting remaps the sector.
+  EXPECT_FALSE(injector.HasLatent(1));
+  ASSERT_TRUE(disk.Read(1, &read).ok());
+  EXPECT_EQ(read.payload[5], 0x3c);
+}
+
+TEST(FaultInjectorTest, TornWriteReportsSuccessThenCorruption) {
+  Disk disk(0, 4, 64);
+  FaultInjector injector((FaultConfig()));
+  disk.AttachFaultInjector(&injector);
+  PageImage old_image(64);
+  std::fill(old_image.payload.begin(), old_image.payload.end(), 0xaa);
+  ASSERT_TRUE(disk.Write(2, old_image).ok());
+  PageImage new_image(64);
+  std::fill(new_image.payload.begin(), new_image.payload.end(), 0xbb);
+  injector.ScheduleTornWrite(2);
+  ASSERT_TRUE(disk.Write(2, new_image).ok());  // The tear is silent.
+  PageImage read;
+  EXPECT_TRUE(disk.Read(2, &read).IsCorruption());
+  EXPECT_EQ(injector.stats().torn_writes, 1u);
+  // A clean rewrite repairs the slot.
+  ASSERT_TRUE(disk.Write(2, new_image).ok());
+  ASSERT_TRUE(disk.Read(2, &read).ok());
+  EXPECT_EQ(read.payload, new_image.payload);
+}
+
+TEST(FaultInjectorTest, ReplaceClearsLatentState) {
+  Disk disk(0, 4, 64);
+  FaultInjector injector((FaultConfig()));
+  disk.AttachFaultInjector(&injector);
+  injector.InjectLatentSector(0);
+  injector.InjectLatentSector(2);
+  EXPECT_EQ(injector.latent_count(), 2u);
+  disk.Fail();
+  disk.Replace();
+  EXPECT_EQ(injector.latent_count(), 0u);  // New platters, no latent errors.
+  PageImage read;
+  ASSERT_TRUE(disk.Read(0, &read).ok());
+  // Stats survive Replace: they describe the injector, not the medium.
+  EXPECT_EQ(injector.stats().latent_sectors, 2u);
+}
+
+TEST(FaultInjectorTest, SeededRandomFaultsAreReproducibleAndCapped) {
+  FaultConfig config;
+  config.enabled = true;
+  config.seed = 42;
+  config.transient_read_p = 0.5;
+  config.max_random_faults = 3;
+  FaultInjector a(config);
+  FaultInjector b(config);
+  uint32_t faults_a = 0;
+  for (SlotId s = 0; s < 100; ++s) {
+    const FaultDecision da = a.OnRead(s, 64);
+    const FaultDecision db = b.OnRead(s, 64);
+    EXPECT_EQ(static_cast<int>(da.kind), static_cast<int>(db.kind));
+    if (da.kind != FaultKind::kNone) {
+      ++faults_a;
+    }
+  }
+  EXPECT_EQ(faults_a, 3u);  // max_random_faults bounds the damage.
+}
+
+TEST(IoPolicyTest, RetryClassification) {
+  IoPolicy policy;
+  EXPECT_TRUE(RetryableIoError(Status::IoError("x"), /*disk_failed=*/false));
+  // A failed disk is degraded mode, not a transient.
+  EXPECT_FALSE(RetryableIoError(Status::IoError("x"), /*disk_failed=*/true));
+  // Checksums do not heal by re-reading.
+  EXPECT_FALSE(RetryableIoError(Status::Corruption("x"), false));
+  EXPECT_FALSE(RetryableIoError(Status::Ok(), false));
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(policy, 1), policy.retry_backoff_ms);
+  EXPECT_DOUBLE_EQ(RetryBackoffMs(policy, 3), 3 * policy.retry_backoff_ms);
+}
+
+TEST(DiskArrayFaultTest, RetryAbsorbsTransientsAndCounts) {
+  DiskArray::Options options;
+  options.min_data_pages = 8;
+  auto array = DiskArray::Create(options);
+  ASSERT_TRUE(array.ok());
+  FaultConfig config;
+  config.enabled = true;
+  (*array)->ArmFaultInjection(config);
+  PageImage image((*array)->page_size());
+  image.payload[0] = 0x7e;
+  ASSERT_TRUE((*array)->WriteData(0, image).ok());
+  const DiskId disk = (*array)->layout().DataLocation(0).disk;
+  (*array)->injector(disk)->ScheduleTransientRead(
+      (*array)->layout().DataLocation(0).slot, 2);
+  PageImage read;
+  ASSERT_TRUE((*array)->ReadData(0, &read).ok());  // 2 retries absorb it.
+  EXPECT_EQ(read.payload[0], 0x7e);
+  EXPECT_EQ((*array)->policy_stats().io_retries, 2u);
+  EXPECT_EQ((*array)->policy_stats().transient_faults, 1u);
+  EXPECT_EQ((*array)->policy_stats().sector_errors, 0u);
+}
+
+TEST(DiskArrayFaultTest, ExhaustedRetriesSurfaceSectorError) {
+  DiskArray::Options options;
+  options.min_data_pages = 8;
+  auto array = DiskArray::Create(options);
+  ASSERT_TRUE(array.ok());
+  FaultConfig config;
+  config.enabled = true;
+  (*array)->ArmFaultInjection(config);
+  const DiskId disk = (*array)->layout().DataLocation(0).disk;
+  (*array)->injector(disk)->InjectLatentSector(
+      (*array)->layout().DataLocation(0).slot);
+  PageImage read;
+  EXPECT_TRUE((*array)->ReadData(0, &read).IsIoError());
+  EXPECT_EQ((*array)->policy_stats().sector_errors, 1u);
+  EXPECT_EQ((*array)->policy_stats().transient_faults, 0u);
+}
+
+TEST(DiskArrayFaultTest, ErrorBudgetEscalatesToDiskFailure) {
+  DiskArray::Options options;
+  options.min_data_pages = 8;
+  auto array = DiskArray::Create(options);
+  ASSERT_TRUE(array.ok());
+  IoPolicy policy;
+  policy.disk_error_budget = 2;
+  (*array)->SetIoPolicy(policy);
+  (*array)->RecordSectorError(0);
+  EXPECT_FALSE((*array)->DiskFailed(0));
+  EXPECT_TRUE((*array)->EscalatedDisks().empty());
+  (*array)->RecordSectorError(0);
+  EXPECT_TRUE((*array)->DiskFailed(0));
+  ASSERT_EQ((*array)->EscalatedDisks().size(), 1u);
+  EXPECT_EQ((*array)->EscalatedDisks()[0], 0u);
+  EXPECT_EQ((*array)->policy_stats().escalations, 1u);
+  // Replacing the disk clears the escalation flag and refills the budget.
+  ASSERT_TRUE((*array)->ReplaceDisk(0).ok());
+  EXPECT_TRUE((*array)->EscalatedDisks().empty());
+  EXPECT_FALSE((*array)->DiskFailed(0));
 }
 
 TEST(IoCountersTest, Arithmetic) {
