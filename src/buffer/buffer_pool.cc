@@ -25,26 +25,47 @@ BufferPool::BufferPool(const Options& options, FetchFn fetch,
                        PropagateFn propagate)
     : options_(options),
       fetch_(std::move(fetch)),
-      propagate_(std::move(propagate)) {}
+      propagate_(std::move(propagate)),
+      num_shards_(std::max<uint32_t>(options.shards, 1)),
+      shards_(std::make_unique<Shard[]>(num_shards_)) {
+  // Split the capacity across shards, never below one frame per shard (a
+  // zero-capacity shard could never fetch anything).
+  const uint32_t per_shard = std::max<uint32_t>(
+      1, (options_.capacity + static_cast<uint32_t>(num_shards_) - 1) /
+             static_cast<uint32_t>(num_shards_));
+  for (size_t s = 0; s < num_shards_; ++s) {
+    shards_[s].capacity = per_shard;
+  }
+}
 
-Result<Frame*> BufferPool::Fetch(PageId page, bool* cache_hit) {
-  auto it = frames_.find(page);
-  if (it != frames_.end()) {
+std::unique_lock<std::mutex> BufferPool::LockShard(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    obs::Inc(latch_waits_counter_);
+    lock.lock();
+  }
+  return lock;
+}
+
+Result<Frame*> BufferPool::FetchLocked(Shard& shard, PageId page,
+                                       bool* cache_hit) {
+  auto it = shard.frames.find(page);
+  if (it != shard.frames.end()) {
     if (cache_hit != nullptr) {
       *cache_hit = true;
     }
-    ++stats_.hits;
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
     obs::Inc(hits_counter_);
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
     return &it->second;
   }
   if (cache_hit != nullptr) {
     *cache_hit = false;
   }
-  ++stats_.misses;
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(misses_counter_);
-  while (frames_.size() >= options_.capacity) {
-    RDA_RETURN_IF_ERROR(EvictOne());
+  while (shard.frames.size() >= shard.capacity) {
+    RDA_RETURN_IF_ERROR(EvictOneLocked(shard));
   }
   PageImage image;
   RDA_RETURN_IF_ERROR(fetch_(page, &image));
@@ -53,57 +74,106 @@ Result<Frame*> BufferPool::Fetch(PageId page, bool* cache_hit) {
   frame.payload = image.payload;
   frame.last_propagated = std::move(image.payload);
   frame.header = image.header;
-  auto [inserted, ok] = frames_.emplace(page, std::move(frame));
+  auto [inserted, ok] = shard.frames.emplace(page, std::move(frame));
   (void)ok;
-  lru_.push_front(page);
-  inserted->second.lru_pos = lru_.begin();
+  shard.lru.push_front(page);
+  inserted->second.lru_pos = shard.lru.begin();
   return &inserted->second;
 }
 
-Frame* BufferPool::Lookup(PageId page) {
-  auto it = frames_.find(page);
-  return it == frames_.end() ? nullptr : &it->second;
+Result<Frame*> BufferPool::Fetch(PageId page, bool* cache_hit) {
+  Shard& shard = ShardOf(page);
+  auto lock = LockShard(shard);
+  return FetchLocked(shard, page, cache_hit);
 }
 
-Status BufferPool::EvictOne() {
+Frame* BufferPool::Lookup(PageId page) {
+  Shard& shard = ShardOf(page);
+  auto lock = LockShard(shard);
+  auto it = shard.frames.find(page);
+  return it == shard.frames.end() ? nullptr : &it->second;
+}
+
+Status BufferPool::WithFrame(PageId page,
+                             const std::function<Status(Frame*)>& fn) {
+  Shard& shard = ShardOf(page);
+  auto lock = LockShard(shard);
+  auto it = shard.frames.find(page);
+  return fn(it == shard.frames.end() ? nullptr : &it->second);
+}
+
+Status BufferPool::WithFetchedFrame(PageId page, bool* cache_hit,
+                                    const std::function<Status(Frame*)>& fn) {
+  Shard& shard = ShardOf(page);
+  auto lock = LockShard(shard);
+  RDA_ASSIGN_OR_RETURN(Frame * frame, FetchLocked(shard, page, cache_hit));
+  return fn(frame);
+}
+
+Status BufferPool::Pin(PageId page) {
+  Shard& shard = ShardOf(page);
+  auto lock = LockShard(shard);
+  RDA_ASSIGN_OR_RETURN(Frame * frame,
+                       FetchLocked(shard, page, /*cache_hit=*/nullptr));
+  ++frame->pins;
+  return Status::Ok();
+}
+
+void BufferPool::Unpin(PageId page) {
+  Shard& shard = ShardOf(page);
+  auto lock = LockShard(shard);
+  auto it = shard.frames.find(page);
+  if (it != shard.frames.end() && it->second.pins > 0) {
+    --it->second.pins;
+  }
+}
+
+Status BufferPool::EvictOneLocked(Shard& shard) {
   // Walk the recency list from the cold end: the first evictable frame is
-  // exactly the minimum-recency victim the old full scan would have picked.
-  Frame* victim = nullptr;
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    Frame& frame = frames_.find(*it)->second;
+  // exactly the minimum-recency victim a full scan would have picked. A
+  // frame whose propagation reports kBusy (its modifier is mid-EOT on
+  // another thread) is skipped the same way a pinned frame is.
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+    Frame& frame = shard.frames.find(*it)->second;
     if (frame.pins > 0) {
       continue;
     }
     if (frame.dirty && !frame.modifiers.empty() && !options_.allow_steal) {
       continue;  // no-STEAL: uncommitted modifications may not leave RAM.
     }
-    victim = &frame;
-    break;
-  }
-  if (victim == nullptr) {
-    return Status::Busy("no evictable buffer frame");
-  }
-  if (victim->dirty) {
-    if (!victim->modifiers.empty()) {
-      ++stats_.steals;
-      obs::Inc(steals_counter_);
-      obs::TraceEvent event;
-      event.subsystem = obs::Subsystem::kBuffer;
-      event.kind = obs::EventKind::kSteal;
-      event.page = victim->page;
-      // A stolen frame can hold several uncommitted modifiers under record
-      // locking; attribute the event to the first for traceability.
-      event.txn = victim->modifiers.front();
-      event.detail = static_cast<int64_t>(victim->modifiers.size());
-      obs::Emit(trace_, event);
+    Frame* victim = &frame;
+    if (victim->dirty) {
+      const bool steal = !victim->modifiers.empty();
+      // Capture attribution before propagation, which may retire modifiers.
+      const TxnId steal_txn =
+          steal ? victim->modifiers.front() : kInvalidTxnId;
+      const size_t steal_count = victim->modifiers.size();
+      const Status propagated = PropagateFrame(victim);
+      if (propagated.IsBusy()) {
+        continue;  // Mid-EOT elsewhere; the next victim may be free.
+      }
+      RDA_RETURN_IF_ERROR(propagated);
+      if (steal) {
+        stats_.steals.fetch_add(1, std::memory_order_relaxed);
+        obs::Inc(steals_counter_);
+        obs::TraceEvent event;
+        event.subsystem = obs::Subsystem::kBuffer;
+        event.kind = obs::EventKind::kSteal;
+        event.page = victim->page;
+        // A stolen frame can hold several uncommitted modifiers under
+        // record locking; attribute the event to the first one.
+        event.txn = steal_txn;
+        event.detail = static_cast<int64_t>(steal_count);
+        obs::Emit(trace_, event);
+      }
     }
-    RDA_RETURN_IF_ERROR(PropagateFrame(victim));
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(evictions_counter_);
+    shard.lru.erase(victim->lru_pos);
+    shard.frames.erase(victim->page);
+    return Status::Ok();
   }
-  ++stats_.evictions;
-  obs::Inc(evictions_counter_);
-  lru_.erase(victim->lru_pos);
-  frames_.erase(victim->page);
-  return Status::Ok();
+  return Status::Busy("no evictable buffer frame");
 }
 
 Status BufferPool::PropagateFrame(Frame* frame) {
@@ -119,15 +189,18 @@ Status BufferPool::PropagateFrame(Frame* frame) {
   return Status::Ok();
 }
 
+Status BufferPool::PropagatePage(PageId page) {
+  return WithFrame(page, [this](Frame* frame) {
+    return frame == nullptr ? Status::Ok() : PropagateFrame(frame);
+  });
+}
+
 Status BufferPool::PropagateAllDirty() {
   // Deterministic order keeps tests and the simulator reproducible.
   std::vector<PageId> dirty = DirtyPages();
   std::sort(dirty.begin(), dirty.end());
   for (const PageId page : dirty) {
-    Frame* frame = Lookup(page);
-    if (frame != nullptr) {
-      RDA_RETURN_IF_ERROR(PropagateFrame(frame));
-    }
+    RDA_RETURN_IF_ERROR(PropagatePage(page));
   }
   return Status::Ok();
 }
@@ -138,27 +211,37 @@ void BufferPool::AttachObs(obs::ObsHub* hub) {
   misses_counter_ = obs::GetCounter(hub, "buffer.misses");
   evictions_counter_ = obs::GetCounter(hub, "buffer.evictions");
   steals_counter_ = obs::GetCounter(hub, "buffer.steals");
+  latch_waits_counter_ = obs::GetCounter(hub, "buffer.latch_waits");
 }
 
 void BufferPool::Discard(PageId page) {
-  auto it = frames_.find(page);
-  if (it == frames_.end()) {
+  Shard& shard = ShardOf(page);
+  auto lock = LockShard(shard);
+  auto it = shard.frames.find(page);
+  if (it == shard.frames.end()) {
     return;
   }
-  lru_.erase(it->second.lru_pos);
-  frames_.erase(it);
+  shard.lru.erase(it->second.lru_pos);
+  shard.frames.erase(it);
 }
 
 void BufferPool::LoseAll() {
-  frames_.clear();
-  lru_.clear();
+  for (size_t s = 0; s < num_shards_; ++s) {
+    auto lock = LockShard(shards_[s]);
+    shards_[s].frames.clear();
+    shards_[s].lru.clear();
+  }
 }
 
 std::vector<PageId> BufferPool::DirtyPages() const {
   std::vector<PageId> out;
-  for (const auto& [page, frame] : frames_) {
-    if (frame.dirty) {
-      out.push_back(page);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = const_cast<Shard&>(shards_[s]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [page, frame] : shard.frames) {
+      if (frame.dirty) {
+        out.push_back(page);
+      }
     }
   }
   std::sort(out.begin(), out.end());
@@ -167,11 +250,41 @@ std::vector<PageId> BufferPool::DirtyPages() const {
 
 std::vector<PageId> BufferPool::ResidentPages() const {
   std::vector<PageId> out;
-  for (const auto& [page, frame] : frames_) {
-    out.push_back(page);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = const_cast<Shard&>(shards_[s]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [page, frame] : shard.frames) {
+      out.push_back(page);
+    }
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+uint32_t BufferPool::size() const {
+  uint32_t total = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = const_cast<Shard&>(shards_[s]);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += static_cast<uint32_t>(shard.frames.size());
+  }
+  return total;
+}
+
+BufferStats BufferPool::stats() const {
+  BufferStats s;
+  s.hits = stats_.hits.load(std::memory_order_relaxed);
+  s.misses = stats_.misses.load(std::memory_order_relaxed);
+  s.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  s.steals = stats_.steals.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::ResetStats() {
+  stats_.hits.store(0, std::memory_order_relaxed);
+  stats_.misses.store(0, std::memory_order_relaxed);
+  stats_.evictions.store(0, std::memory_order_relaxed);
+  stats_.steals.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rda

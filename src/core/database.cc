@@ -65,8 +65,9 @@ Status Database::MaybeAutoCheckpoint() {
   if (options_.checkpoint_interval_updates == 0) {
     return Status::Ok();
   }
-  if (++updates_since_checkpoint_ >= options_.checkpoint_interval_updates) {
-    updates_since_checkpoint_ = 0;
+  if (updates_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) + 1 >=
+      options_.checkpoint_interval_updates) {
+    updates_since_checkpoint_.store(0, std::memory_order_relaxed);
     return checkpointer_->TakeCheckpoint();
   }
   return Status::Ok();

@@ -1,6 +1,7 @@
 #ifndef RDA_CORE_DATABASE_H_
 #define RDA_CORE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -198,7 +199,7 @@ class Database {
   std::unique_ptr<TransactionManager> txn_manager_;
   std::unique_ptr<Checkpointer> checkpointer_;
   std::unique_ptr<ArchiveManager> archive_;
-  uint64_t updates_since_checkpoint_ = 0;
+  std::atomic<uint64_t> updates_since_checkpoint_{0};
   std::unordered_set<TxnId> undo_lost_txns_;
 };
 

@@ -5,6 +5,7 @@
 namespace rda {
 
 Status LockManager::Acquire(TxnId txn, const LockKey& key, LockMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = table_[key.Encoded()];
   auto self = entry.holders.find(txn);
   if (self != entry.holders.end()) {
@@ -52,6 +53,7 @@ Status LockManager::Acquire(TxnId txn, const LockKey& key, LockMode mode) {
 }
 
 bool LockManager::Holds(TxnId txn, const LockKey& key, LockMode mode) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = table_.find(key.Encoded());
   if (it == table_.end()) {
     return false;
@@ -64,6 +66,7 @@ bool LockManager::Holds(TxnId txn, const LockKey& key, LockMode mode) const {
 }
 
 bool LockManager::WouldDeadlock(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   // DFS from txn through the wait-for graph looking for a cycle back to txn.
   std::unordered_set<TxnId> visited;
   std::vector<TxnId> stack;
@@ -94,9 +97,13 @@ bool LockManager::WouldDeadlock(TxnId txn) const {
   return false;
 }
 
-void LockManager::CancelWaits(TxnId txn) { waits_for_.erase(txn); }
+void LockManager::CancelWaits(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  waits_for_.erase(txn);
+}
 
 void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
   waits_for_.erase(txn);
   for (auto& [key, txns] : waits_for_) {
     txns.erase(txn);
@@ -112,6 +119,7 @@ void LockManager::ReleaseAll(TxnId txn) {
 }
 
 size_t LockManager::HeldCount(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t count = 0;
   for (const auto& [key, entry] : table_) {
     if (entry.holders.contains(txn)) {

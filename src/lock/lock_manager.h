@@ -2,6 +2,7 @@
 #define RDA_LOCK_LOCK_MANAGER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -32,11 +33,17 @@ struct LockKey {
   }
 };
 
-// Strict two-phase locking for the single-threaded simulator: Acquire either
-// grants immediately or returns kBusy and records a wait-for edge; the
-// caller (simulator scheduler) retries on its next turn or aborts the
-// transaction if WouldDeadlock reports a cycle. Locks are held until
-// ReleaseAll at EOT — the paper's protocols all assume strictness.
+// Strict two-phase locking: Acquire either grants immediately or returns
+// kBusy and records a wait-for edge; the caller (scheduler or worker
+// thread) retries or aborts the transaction if WouldDeadlock reports a
+// cycle. Locks are held until ReleaseAll at EOT — the paper's protocols
+// all assume strictness.
+//
+// Thread safety: one internal mutex guards the lock table and the wait-for
+// graph; every public method takes it. The mutex is a leaf in the latch
+// order — no callback runs under it, so it can never participate in a
+// latch deadlock (transaction-level deadlocks surface as kBusy +
+// WouldDeadlock, never as blocked threads).
 class LockManager {
  public:
   LockManager() = default;
@@ -63,12 +70,16 @@ class LockManager {
   // Drops every lock and wait-for edge (system crash: lock tables are
   // volatile).
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     table_.clear();
     waits_for_.clear();
   }
 
   // Number of distinct resources currently locked (tests/metrics).
-  size_t LockedResourceCount() const { return table_.size(); }
+  size_t LockedResourceCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.size();
+  }
   // Number of locks held by txn.
   size_t HeldCount(TxnId txn) const;
 
@@ -78,6 +89,7 @@ class LockManager {
     std::unordered_map<TxnId, LockMode> holders;
   };
 
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, Entry> table_;
   // wait-for graph: blocked txn -> txns it waits on.
   std::unordered_map<TxnId, std::unordered_set<TxnId>> waits_for_;

@@ -15,13 +15,35 @@ void Histogram::Observe(double value) {
       break;
     }
   }
+  std::lock_guard<std::mutex> lock(mu_);
   ++buckets_[bucket];
   ++count_;
   sum_ += value;
   max_ = std::max(max_, value);
 }
 
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+std::vector<uint64_t> Histogram::buckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
 void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
   sum_ = 0;
@@ -49,32 +71,37 @@ uint64_t MetricsSnapshot::CounterSum(std::string_view prefix) const {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), Counter()).first;
+    // try_emplace constructs in place: Counter holds an atomic and is
+    // neither movable nor copyable.
+    it = counters_.try_emplace(std::string(name)).first;
   }
   return &it->second;
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), Gauge()).first;
+    it = gauges_.try_emplace(std::string(name)).first;
   }
   return &it->second;
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), Histogram(std::move(bounds)))
-             .first;
+    it = histograms_.try_emplace(std::string(name), std::move(bounds)).first;
   }
   return &it->second;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
@@ -99,6 +126,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) {
     counter.Reset();
   }

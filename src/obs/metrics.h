@@ -1,8 +1,10 @@
 #ifndef RDA_OBS_METRICS_H_
 #define RDA_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -13,49 +15,60 @@ namespace rda::obs {
 // A named monotonic counter. Instrumented components cache the pointer once
 // (AttachObs) and increment through it on the hot path — one add, no lookup.
 // A null pointer means "observability disabled"; use Inc() for null-safe
-// increments.
+// increments. Increments are lock-free (relaxed atomics): counters are
+// aggregates, not synchronization points, so concurrent writers only need
+// to not lose updates.
 class Counter {
  public:
-  void Add(uint64_t delta = 1) { value_ += delta; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 // A named point-in-time value (signed: deltas may go negative transiently).
 class Gauge {
  public:
-  void Set(int64_t value) { value_ = value; }
-  void Add(int64_t delta) { value_ += delta; }
-  int64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 // Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
 // order; one extra overflow bucket catches everything above the last bound.
 // Cheap enough for hot paths: Observe is a linear scan over a handful of
-// bounds plus three scalar updates.
+// bounds plus three scalar updates, under a private mutex — a histogram
+// update touches four fields, so unlike Counter it cannot be a single
+// atomic. The plain accessors are for quiesced readers (tests, report
+// generation after the workload joined).
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double value);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double max() const { return max_; }
+  uint64_t count() const;
+  double sum() const;
+  double max() const;
   const std::vector<double>& bounds() const { return bounds_; }
-  // bounds().size() + 1 entries; the last is the overflow bucket.
-  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  // bounds().size() + 1 entries; the last is the overflow bucket. Snapshot
+  // copy so a concurrent Observe cannot shear the read.
+  std::vector<uint64_t> buckets() const;
   void Reset();
 
  private:
-  std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;  // Immutable after construction.
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   double sum_ = 0;
@@ -88,6 +101,9 @@ struct MetricsSnapshot {
 // Registry of named metrics. Get* creates on first use and returns a stable
 // pointer (node-based map), so components resolve each name exactly once.
 // Names follow the `subsystem.name` convention ("parity.unlogged_first").
+// Lookups/creation are serialized by a registry mutex; the returned metric
+// objects are individually thread-safe, so hot-path updates never touch the
+// registry lock.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -104,6 +120,7 @@ class MetricsRegistry {
   void ResetAll();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;

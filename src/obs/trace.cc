@@ -10,6 +10,7 @@ TraceBuffer::TraceBuffer(size_t capacity)
 }
 
 uint64_t TraceBuffer::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
   event.tick = ++total_;
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
@@ -20,9 +21,23 @@ uint64_t TraceBuffer::Record(TraceEvent event) {
   return event.tick;
 }
 
-size_t TraceBuffer::size() const { return ring_.size(); }
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
 
 std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // Once wrapped, `next_` points at the oldest retained event.
@@ -33,6 +48,7 @@ std::vector<TraceEvent> TraceBuffer::Events() const {
 }
 
 void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   next_ = 0;
   total_ = 0;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/types.h"
@@ -97,7 +98,9 @@ struct TraceEvent {
 };
 
 // Bounded ring buffer of TraceEvents. When full, the oldest events are
-// overwritten and counted as dropped — tracing never blocks or grows.
+// overwritten and counted as dropped — tracing never blocks unboundedly or
+// grows. A ring mutex serializes writers from different threads; the tick
+// stays a total order over all recorded events.
 class TraceBuffer {
  public:
   explicit TraceBuffer(size_t capacity);
@@ -113,11 +116,12 @@ class TraceBuffer {
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
-  uint64_t total_recorded() const { return total_; }
-  uint64_t dropped() const { return total_ - size(); }
+  uint64_t total_recorded() const;
+  uint64_t dropped() const;
   void Clear();
 
  private:
+  mutable std::mutex mu_;
   std::vector<TraceEvent> ring_;
   size_t capacity_;
   size_t next_ = 0;     // Next write position.

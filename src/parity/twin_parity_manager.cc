@@ -1,5 +1,6 @@
 #include "parity/twin_parity_manager.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -10,10 +11,57 @@ namespace rda {
 TwinParityManager::TwinParityManager(DiskArray* array)
     : array_(array),
       directory_(array->num_groups()),
+      group_latches_(
+          std::make_unique<std::recursive_mutex[]>(array->num_groups())),
       scratch_(array->page_size()),
       twin_shadow_(array->num_groups(),
                    {static_cast<uint8_t>(ParityState::kCommitted),
                     static_cast<uint8_t>(ParityState::kObsolete)}) {}
+
+std::unique_lock<std::recursive_mutex> TwinParityManager::LockGroup(
+    GroupId group) {
+  std::unique_lock<std::recursive_mutex> lock(group_latches_[group],
+                                              std::try_to_lock);
+  if (!lock.owns_lock()) {
+    obs::Inc(latch_waits_counter_);
+    lock.lock();
+  }
+  return lock;
+}
+
+std::unique_lock<std::recursive_mutex> TwinParityManager::LockGroupOfPage(
+    PageId page) {
+  return LockGroup(array_->layout().GroupOf(page));
+}
+
+ParityStats TwinParityManager::stats() const {
+  ParityStats s;
+  s.unlogged_first = stats_.unlogged_first.load(std::memory_order_relaxed);
+  s.unlogged_repeat = stats_.unlogged_repeat.load(std::memory_order_relaxed);
+  s.logged_dirty_group =
+      stats_.logged_dirty_group.load(std::memory_order_relaxed);
+  s.plain = stats_.plain.load(std::memory_order_relaxed);
+  s.parity_undos = stats_.parity_undos.load(std::memory_order_relaxed);
+  s.logged_undos = stats_.logged_undos.load(std::memory_order_relaxed);
+  s.commits_finalized =
+      stats_.commits_finalized.load(std::memory_order_relaxed);
+  s.latent_repairs = stats_.latent_repairs.load(std::memory_order_relaxed);
+  s.corruption_repairs =
+      stats_.corruption_repairs.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TwinParityManager::ResetStats() {
+  stats_.unlogged_first.store(0, std::memory_order_relaxed);
+  stats_.unlogged_repeat.store(0, std::memory_order_relaxed);
+  stats_.logged_dirty_group.store(0, std::memory_order_relaxed);
+  stats_.plain.store(0, std::memory_order_relaxed);
+  stats_.parity_undos.store(0, std::memory_order_relaxed);
+  stats_.logged_undos.store(0, std::memory_order_relaxed);
+  stats_.commits_finalized.store(0, std::memory_order_relaxed);
+  stats_.latent_repairs.store(0, std::memory_order_relaxed);
+  stats_.corruption_repairs.store(0, std::memory_order_relaxed);
+}
 
 void TwinParityManager::XorPage(std::vector<uint8_t>* dst,
                                 const std::vector<uint8_t>& src) {
@@ -83,6 +131,7 @@ void TwinParityManager::AttachObs(obs::ObsHub* hub) {
   latent_repairs_counter_ = obs::GetCounter(hub, "parity.latent_repairs");
   corruption_repairs_counter_ =
       obs::GetCounter(hub, "parity.corruption_repairs");
+  latch_waits_counter_ = obs::GetCounter(hub, "parity.latch_waits");
 }
 
 bool TwinParityManager::HealableFault(const Status& status,
@@ -95,10 +144,10 @@ void TwinParityManager::NoteSectorRepair(const Status& cause, PageId page,
                                          GroupId group) {
   const bool corruption = cause.IsCorruption();
   if (corruption) {
-    ++stats_.corruption_repairs;
+    stats_.corruption_repairs.fetch_add(1, std::memory_order_relaxed);
     obs::Inc(corruption_repairs_counter_);
   } else {
-    ++stats_.latent_repairs;
+    stats_.latent_repairs.fetch_add(1, std::memory_order_relaxed);
     obs::Inc(latent_repairs_counter_);
   }
   if (trace_ == nullptr) {
@@ -114,8 +163,9 @@ void TwinParityManager::NoteSectorRepair(const Status& cause, PageId page,
 }
 
 Status TwinParityManager::ReadDataHealed(PageId page, PageImage* out) {
+  auto latch = LockGroupOfPage(page);
   Status status = array_->ReadData(page, out);
-  if (status.ok() || !directory_valid_) {
+  if (status.ok() || !directory_valid()) {
     return status;
   }
   const DiskId disk = array_->layout().DataLocation(page).disk;
@@ -129,8 +179,7 @@ Status TwinParityManager::ReadDataHealed(PageId page, PageImage* out) {
     // original read error, not the reconstruction's.
     return status;
   }
-  if (crash_before_writeback_) {
-    crash_before_writeback_ = false;
+  if (crash_before_writeback_.exchange(false, std::memory_order_relaxed)) {
     return Status::Aborted("injected crash before repair write-back");
   }
   out->header = PageHeader();
@@ -151,8 +200,9 @@ Status TwinParityManager::ReadDataHealed(PageId page, PageImage* out) {
 
 Status TwinParityManager::ReadParityHealed(GroupId group, uint32_t twin,
                                            PageImage* out) {
+  auto latch = LockGroup(group);
   Status status = array_->ReadParity(group, twin, out);
-  if (status.ok() || !directory_valid_) {
+  if (status.ok() || !directory_valid()) {
     return status;
   }
   const DiskId disk = array_->layout().ParityLocation(group, twin).disk;
@@ -194,8 +244,7 @@ Status TwinParityManager::ReadParityHealed(GroupId group, uint32_t twin,
     repaired.header.parity_state = ParityState::kObsolete;
     repaired.header.timestamp = 0;
   }
-  if (crash_before_writeback_) {
-    crash_before_writeback_ = false;
+  if (crash_before_writeback_.exchange(false, std::memory_order_relaxed)) {
     return Status::Aborted("injected crash before repair write-back");
   }
   *out = repaired;
@@ -224,7 +273,7 @@ Status TwinParityManager::FormatArray() {
     }
     directory_.MarkClean(g, 0);
   }
-  directory_valid_ = true;
+  directory_valid_.store(true, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -248,10 +297,12 @@ bool TwinParityManager::FullyHealthyForUnlogged(PageId page) const {
 
 PropagationKind TwinParityManager::Classify(PageId page, TxnId txn) const {
   if (array_->layout().parity_copies() != 2 || txn == kInvalidTxnId ||
-      !directory_valid_ || !FullyHealthyForUnlogged(page)) {
+      !directory_valid() || !FullyHealthyForUnlogged(page)) {
     return PropagationKind::kPlain;
   }
-  const GroupState& g = directory_.Get(array_->layout().GroupOf(page));
+  const GroupId group = array_->layout().GroupOf(page);
+  std::unique_lock<std::recursive_mutex> latch(group_latches_[group]);
+  const GroupState& g = directory_.Get(group);
   if (!g.dirty) {
     return PropagationKind::kUnloggedFirst;
   }
@@ -288,13 +339,14 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
                                     PropagationKind kind,
                                     const std::vector<uint8_t>* old_payload,
                                     const PageImage& new_image) {
-  if (!directory_valid_) {
+  if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
   if (new_image.payload.size() != array_->page_size()) {
     return Status::InvalidArgument("page payload size mismatch");
   }
   const GroupId group = array_->layout().GroupOf(page);
+  auto latch = LockGroup(group);
   const GroupState& state = directory_.Get(group);
 
   // Validate the caller's decision against the Figure 3 rule.
@@ -326,7 +378,7 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
 
   switch (kind) {
     case PropagationKind::kUnloggedFirst: {
-      ++stats_.unlogged_first;
+      stats_.unlogged_first.fetch_add(1, std::memory_order_relaxed);
       obs::Inc(unlogged_first_counter_);
       ScratchPool::ScratchImage parity = scratch_.Acquire();
       RDA_RETURN_IF_ERROR(
@@ -346,7 +398,7 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
       break;
     }
     case PropagationKind::kUnloggedRepeat: {
-      ++stats_.unlogged_repeat;
+      stats_.unlogged_repeat.fetch_add(1, std::memory_order_relaxed);
       obs::Inc(unlogged_repeat_counter_);
       ScratchPool::ScratchImage parity = scratch_.Acquire();
       RDA_RETURN_IF_ERROR(
@@ -362,7 +414,7 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
       break;
     }
     case PropagationKind::kLoggedDirtyGroup: {
-      ++stats_.logged_dirty_group;
+      stats_.logged_dirty_group.fetch_add(1, std::memory_order_relaxed);
       obs::Inc(logged_dirty_group_counter_);
       // XOR the same delta into both twins: P xor P' is unchanged, so the
       // dirty page's parity undo stays exact (paper Section 4.1). In
@@ -381,7 +433,7 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
       break;
     }
     case PropagationKind::kPlain: {
-      ++stats_.plain;
+      stats_.plain.fetch_add(1, std::memory_order_relaxed);
       obs::Inc(plain_counter_);
       if (LocationHealthy(
               array_->layout().ParityLocation(group, state.valid_twin))) {
@@ -415,9 +467,10 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
 }
 
 Status TwinParityManager::FinalizeCommit(GroupId group, TxnId txn) {
-  if (!directory_valid_) {
+  if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
+  auto latch = LockGroup(group);
   const GroupState state = directory_.Get(group);
   if (!state.dirty) {
     return Status::Ok();  // Already finalized (idempotent for recovery).
@@ -440,7 +493,7 @@ Status TwinParityManager::FinalizeCommit(GroupId group, TxnId txn) {
                         state.dirty_page, txn);
     TraceGroupTransition(group, /*to_dirty=*/false, state.dirty_page, txn);
     directory_.MarkClean(group, state.working_twin);
-    ++stats_.commits_finalized;
+    stats_.commits_finalized.fetch_add(1, std::memory_order_relaxed);
     obs::Inc(commits_finalized_counter_);
     return Status::Ok();
   }
@@ -461,23 +514,24 @@ Status TwinParityManager::FinalizeCommit(GroupId group, TxnId txn) {
                       state.dirty_page, txn);
   TraceGroupTransition(group, /*to_dirty=*/false, state.dirty_page, txn);
   directory_.MarkClean(group, state.working_twin);
-  ++stats_.commits_finalized;
+  stats_.commits_finalized.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(commits_finalized_counter_);
   return Status::Ok();
 }
 
 Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
                                                                TxnId txn) {
-  if (!directory_valid_) {
+  if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
+  auto latch = LockGroup(group);
   const GroupState state = directory_.Get(group);
   if (!state.dirty || state.dirty_txn != txn) {
     return Status::FailedPrecondition("group " + std::to_string(group) +
                                       " not dirty by transaction " +
                                       std::to_string(txn));
   }
-  ++stats_.parity_undos;
+  stats_.parity_undos.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(parity_undos_counter_);
 
   PageImage data;
@@ -566,13 +620,14 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
 
 Status TwinParityManager::ApplyLoggedUndo(PageId page,
                                           const std::vector<uint8_t>& before) {
-  if (!directory_valid_) {
+  if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
   if (before.size() != array_->page_size()) {
     return Status::InvalidArgument("before-image size mismatch");
   }
-  ++stats_.logged_undos;
+  auto latch = LockGroupOfPage(page);
+  stats_.logged_undos.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(logged_undos_counter_);
   PageImage restored(array_->page_size());
   restored.payload = before;
@@ -584,11 +639,12 @@ Status TwinParityManager::ApplyLoggedUndo(PageId page,
 
 Result<std::vector<uint8_t>> TwinParityManager::ReconstructDataPayload(
     PageId page) {
-  if (!directory_valid_) {
+  if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
   const Layout& layout = array_->layout();
   const GroupId group = layout.GroupOf(page);
+  auto latch = LockGroup(group);
   const GroupState& state = directory_.Get(group);
   const uint32_t twin = state.dirty ? state.working_twin : state.valid_twin;
   // Raw (unhealed) reads on purpose: reconstruction is what the healed
@@ -621,9 +677,10 @@ Result<std::vector<uint8_t>> TwinParityManager::ReconstructDataPayload(
 
 Result<TwinParityManager::GroupRebuildOutcome>
 TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
-  if (!directory_valid_) {
+  if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
+  auto latch = LockGroup(group);
   GroupRebuildOutcome outcome;
   const Layout& layout = array_->layout();
   const GroupState state = directory_.Get(group);
@@ -714,13 +771,14 @@ TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
 
 Status TwinParityManager::WriteFullGroup(
     GroupId group, const std::vector<std::vector<uint8_t>>& payloads) {
-  if (!directory_valid_) {
+  if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
   const Layout& layout = array_->layout();
   if (payloads.size() != layout.data_pages_per_group()) {
     return Status::InvalidArgument("full-stripe write needs every page");
   }
+  auto latch = LockGroup(group);
   const GroupState& state = directory_.Get(group);
   if (state.dirty) {
     return Status::FailedPrecondition(
@@ -749,9 +807,10 @@ Status TwinParityManager::WriteFullGroup(
 }
 
 Status TwinParityManager::ScrubGroup(GroupId group) {
-  if (!directory_valid_) {
+  if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
+  auto latch = LockGroup(group);
   const GroupState& state = directory_.Get(group);
   if (state.dirty) {
     return Status::FailedPrecondition("cannot scrub a dirty group");
@@ -783,9 +842,10 @@ Status TwinParityManager::ScrubGroup(GroupId group) {
 }
 
 Result<bool> TwinParityManager::VerifyGroupParity(GroupId group) {
-  if (!directory_valid_) {
+  if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
+  auto latch = LockGroup(group);
   const GroupState& state = directory_.Get(group);
   const uint32_t twin = state.dirty ? state.working_twin : state.valid_twin;
   PageImage expected(array_->page_size());
@@ -821,7 +881,7 @@ Status TwinParityManager::ReinitializeParityFromData() {
     }
     directory_.MarkClean(g, 0);
   }
-  directory_valid_ = true;
+  directory_valid_.store(true, std::memory_order_release);
   return Status::Ok();
 }
 
@@ -907,15 +967,22 @@ Status TwinParityManager::RebuildDirectory() {
       }
     }
   }
-  timestamp_ = max_seen;
-  directory_valid_ = true;
+  // Seed the timestamp counter from the highest twin-header timestamp seen,
+  // never going backwards: handing out an already-used timestamp after a
+  // restart would break Current_Parity selection (Figure 7) at the next
+  // crash. max() also hardens the warm-restart case where the in-memory
+  // counter is already ahead of anything on disk.
+  timestamp_.store(
+      std::max(timestamp_.load(std::memory_order_relaxed), max_seen),
+      std::memory_order_relaxed);
+  directory_valid_.store(true, std::memory_order_release);
   return Status::Ok();
 }
 
 void TwinParityManager::LoseVolatileState() {
   directory_ = DirtySet(array_->num_groups());
-  directory_valid_ = false;
-  timestamp_ = 0;
+  directory_valid_.store(false, std::memory_order_release);
+  timestamp_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rda

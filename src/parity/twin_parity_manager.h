@@ -2,7 +2,10 @@
 #define RDA_PARITY_TWIN_PARITY_MANAGER_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -82,6 +85,18 @@ struct ParityStats {
 // (between propagation and EOT, between EOT and twin finalization, during
 // multi-group abort/commit). Real controllers close the intra-operation
 // window with NVRAM write journaling; see DESIGN.md.
+//
+// Concurrency model (DESIGN.md section 11): a latch table with one
+// RECURSIVE mutex per parity group serializes all group-state machinery —
+// directory entry, twin shadow, twin pages — for that group; operations on
+// different groups run in parallel. The latch is recursive because the
+// manager's operations nest (Propagate reads old payloads via
+// ReadDataHealed; ApplyLoggedUndo reuses Propagate), and it is exposed via
+// LockGroup() so the transaction layer can pin a Classify verdict across
+// the subsequent log write and Propagate call. Whole-array operations
+// (FormatArray, RebuildDirectory, ReinitializeParityFromData,
+// LoseVolatileState) and DirtySet scans assume a quiesced system — they are
+// recovery/startup paths, never concurrent with transaction traffic.
 class TwinParityManager {
  public:
   // `array` must outlive the manager and have parity_copies() == 2 for the
@@ -95,6 +110,13 @@ class TwinParityManager {
   // Formats the array: zeroed data, twin 0 = committed parity of the zeroed
   // group, twin 1 obsolete. Resets the directory.
   Status FormatArray();
+
+  // Acquires the latch of one parity group (or of the group owning `page`).
+  // Blocks until available; a failed try-lock is counted as a latch wait
+  // (`parity.latch_waits`). The latch is recursive, so a caller holding it
+  // may invoke any group-scoped method of this manager on the same group.
+  std::unique_lock<std::recursive_mutex> LockGroup(GroupId group);
+  std::unique_lock<std::recursive_mutex> LockGroupOfPage(PageId page);
 
   // Decides how a steal of `page` by active transaction `txn` must be
   // handled. Never performs I/O. With parity_copies()==1, txn==kInvalid, or
@@ -190,7 +212,7 @@ class TwinParityManager {
   // write-back (returns kAborted) — the crash window crash_point_test
   // probes. One-shot; self-disarms when it fires.
   void InjectCrashBeforeNextRepairWriteBack() {
-    crash_before_writeback_ = true;
+    crash_before_writeback_.store(true, std::memory_order_relaxed);
   }
 
   // Recomputes the parity of `group` from its data pages and installs it as
@@ -222,8 +244,10 @@ class TwinParityManager {
 
   const DirtySet& directory() const { return directory_; }
   DiskArray* array() { return array_; }
-  const ParityStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ParityStats(); }
+  // Snapshot by value: counters are bumped under per-group latches, so a
+  // reference would race with concurrent propagations.
+  ParityStats stats() const;
+  void ResetStats();
 
   // Hooks the manager into the observability hub: `parity.*` counters plus
   // the Figure 3 (kGroupTransition) and Figure 8 (kTwinTransition) trace
@@ -236,7 +260,12 @@ class TwinParityManager {
   // Data disk and both twin disks of `page`'s group are functional, so an
   // unlogged steal retains full undo + media coverage.
   bool FullyHealthyForUnlogged(PageId page) const;
-  ParityTimestamp NextTimestamp() { return ++timestamp_; }
+  ParityTimestamp NextTimestamp() {
+    return timestamp_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  bool directory_valid() const {
+    return directory_valid_.load(std::memory_order_acquire);
+  }
 
   Status ReadOldPayload(PageId page, const std::vector<uint8_t>* hint,
                         std::vector<uint8_t>* out);
@@ -267,12 +296,31 @@ class TwinParityManager {
   void TraceGroupTransition(GroupId group, bool to_dirty, PageId page,
                             TxnId txn);
 
+  // Per-field atomic mirror of ParityStats (fields bumped under different
+  // group latches must not race; stats() assembles a plain snapshot).
+  struct AtomicParityStats {
+    std::atomic<uint64_t> unlogged_first{0};
+    std::atomic<uint64_t> unlogged_repeat{0};
+    std::atomic<uint64_t> logged_dirty_group{0};
+    std::atomic<uint64_t> plain{0};
+    std::atomic<uint64_t> parity_undos{0};
+    std::atomic<uint64_t> logged_undos{0};
+    std::atomic<uint64_t> commits_finalized{0};
+    std::atomic<uint64_t> latent_repairs{0};
+    std::atomic<uint64_t> corruption_repairs{0};
+  };
+
   DiskArray* array_;
   DirtySet directory_;
-  ParityTimestamp timestamp_ = 0;
-  bool directory_valid_ = false;
-  bool crash_before_writeback_ = false;
-  ParityStats stats_;
+  std::atomic<ParityTimestamp> timestamp_{0};
+  std::atomic<bool> directory_valid_{false};
+  std::atomic<bool> crash_before_writeback_{false};
+  AtomicParityStats stats_;
+
+  // One recursive latch per parity group (see the class comment). The array
+  // is sized at construction and never reallocated, so indexing is safe
+  // without a global lock.
+  std::unique_ptr<std::recursive_mutex[]> group_latches_;
 
   // Page-sized transient buffers for propagation, undo, reconstruction and
   // rebuild — steady-state parity maintenance allocates nothing (see
@@ -295,6 +343,7 @@ class TwinParityManager {
   obs::Counter* degraded_reads_counter_ = nullptr;
   obs::Counter* latent_repairs_counter_ = nullptr;
   obs::Counter* corruption_repairs_counter_ = nullptr;
+  obs::Counter* latch_waits_counter_ = nullptr;
 };
 
 }  // namespace rda

@@ -20,6 +20,33 @@ Disk::Disk(DiskId id, SlotId num_slots, size_t page_size)
   }
 }
 
+Disk::Disk(Disk&& other) noexcept
+    : id_(other.id_),
+      page_size_(other.page_size_),
+      failed_(other.failed_.load(std::memory_order_relaxed)),
+      pages_(std::move(other.pages_)),
+      checksums_(std::move(other.checksums_)),
+      injector_(other.injector_),
+      counters_(other.counters_),
+      model_(other.model_),
+      busy_ms_(other.busy_ms_),
+      head_slot_(other.head_slot_) {}
+
+Disk& Disk::operator=(Disk&& other) noexcept {
+  id_ = other.id_;
+  page_size_ = other.page_size_;
+  failed_.store(other.failed_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  pages_ = std::move(other.pages_);
+  checksums_ = std::move(other.checksums_);
+  injector_ = other.injector_;
+  counters_ = other.counters_;
+  model_ = other.model_;
+  busy_ms_ = other.busy_ms_;
+  head_slot_ = other.head_slot_;
+  return *this;
+}
+
 uint32_t Disk::ChecksumOf(const PageImage& image) const {
   uint32_t crc = Crc32c(image.payload.data(), image.payload.size());
   crc = Crc32c(&image.header.txn_id, sizeof(image.header.txn_id), crc);
@@ -44,7 +71,8 @@ void Disk::AccountAccess(SlotId slot) const {
 }
 
 Status Disk::Read(SlotId slot, PageImage* out) const {
-  if (failed_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed()) {
     return Status::IoError("disk " + std::to_string(id_) + " failed");
   }
   if (slot >= pages_.size()) {
@@ -65,6 +93,7 @@ Status Disk::Read(SlotId slot, PageImage* out) const {
 }
 
 Status Disk::Write(SlotId slot, const PageImage& image) {
+  std::lock_guard<std::mutex> lock(mu_);
   RDA_RETURN_IF_ERROR(CheckWrite(slot, image));
   bool handled = false;
   RDA_RETURN_IF_ERROR(ApplyWriteFaults(slot, image, &handled));
@@ -82,6 +111,7 @@ Status Disk::Write(SlotId slot, const PageImage& image) {
 }
 
 Status Disk::Write(SlotId slot, PageImage&& image) {
+  std::lock_guard<std::mutex> lock(mu_);
   RDA_RETURN_IF_ERROR(CheckWrite(slot, image));
   bool handled = false;
   RDA_RETURN_IF_ERROR(ApplyWriteFaults(slot, image, &handled));
@@ -97,7 +127,7 @@ Status Disk::Write(SlotId slot, PageImage&& image) {
 }
 
 Status Disk::CheckWrite(SlotId slot, const PageImage& image) {
-  if (failed_) {
+  if (failed()) {
     return Status::IoError("disk " + std::to_string(id_) + " failed");
   }
   if (slot >= pages_.size()) {
@@ -114,8 +144,21 @@ Status Disk::CheckWrite(SlotId slot, const PageImage& image) {
   return Status::Ok();
 }
 
+void Disk::ReclassifyRetries(uint64_t attempts, bool is_read) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (is_read) {
+    attempts = std::min(attempts, counters_.page_reads);
+    counters_.page_reads -= attempts;
+  } else {
+    attempts = std::min(attempts, counters_.page_writes);
+    counters_.page_writes -= attempts;
+  }
+  counters_.io_retries += attempts;
+}
+
 void Disk::Fail() {
-  failed_ = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  failed_.store(true, std::memory_order_release);
   // Media failure destroys the content; Replace() must not resurrect it.
   for (auto& page : pages_) {
     page = PageImage(page_size_);
@@ -194,7 +237,8 @@ Status Disk::ApplyWriteFaults(SlotId slot, const PageImage& image,
 }
 
 void Disk::Replace() {
-  failed_ = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  failed_.store(false, std::memory_order_release);
   head_slot_ = 0;  // A fresh drive parks its head at the outer track.
   if (injector_ != nullptr) {
     injector_->OnReplace();  // New platters carry no latent errors.

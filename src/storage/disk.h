@@ -1,7 +1,9 @@
 #ifndef RDA_STORAGE_DISK_H_
 #define RDA_STORAGE_DISK_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -39,14 +41,22 @@ struct ServiceTimeModel {
 // sector errors, bit flips, torn writes — come from an attached
 // FaultInjector; a detached disk (the default) pays one pointer test per
 // access and behaves exactly like the fault-free model.
+//
+// Thread safety: each disk carries its own mutex held for the duration of
+// one access — the hardware analogue of a drive serving one request at a
+// time. Accesses to DIFFERENT disks proceed in parallel, which is exactly
+// the concurrency the array layouts are designed to expose. `failed_` is
+// atomic so health checks (retry policy, degraded-mode tests) need no lock.
 class Disk {
  public:
   Disk(DiskId id, SlotId num_slots, size_t page_size);
 
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
-  Disk(Disk&&) = default;
-  Disk& operator=(Disk&&) = default;
+  // Moves exist only so DiskArray can build its vector<Disk> at
+  // construction time (single-threaded); the mutex is freshly constructed.
+  Disk(Disk&& other) noexcept;
+  Disk& operator=(Disk&& other) noexcept;
 
   // Reads the page at `slot` into `*out`. Counts one page transfer.
   Status Read(SlotId slot, PageImage* out) const;
@@ -71,22 +81,50 @@ class Disk {
 
   // Attaches a sector-fault source (null detaches). Non-owning; the caller
   // (usually DiskArray) keeps the injector alive while attached.
-  void AttachFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  void AttachFaultInjector(FaultInjector* injector) {
+    std::lock_guard<std::mutex> lock(mu_);
+    injector_ = injector;
+  }
   FaultInjector* fault_injector() { return injector_; }
 
   // Accumulated service time under the positional model.
-  double busy_ms() const { return busy_ms_; }
-  void ResetServiceClock() { busy_ms_ = 0; }
-  void set_service_model(const ServiceTimeModel& model) { model_ = model; }
+  double busy_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return busy_ms_;
+  }
+  void ResetServiceClock() {
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_ms_ = 0;
+  }
+  void set_service_model(const ServiceTimeModel& model) {
+    std::lock_guard<std::mutex> lock(mu_);
+    model_ = model;
+  }
   // Charges extra service time (retry backoff) to this disk.
-  void AddServiceDelay(double ms) const { busy_ms_ += ms; }
+  void AddServiceDelay(double ms) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    busy_ms_ += ms;
+  }
 
-  bool failed() const { return failed_; }
+  // Reclassifies `attempts` already-counted transfers of this disk as
+  // retries: a retried access is ONE logical page transfer plus N retry
+  // attempts, not N+1 transfers (the per-txn attribution and the BENCH_perf
+  // transfer columns count logical work). Called by the array's retry loop
+  // once the final outcome of an access is known.
+  void ReclassifyRetries(uint64_t attempts, bool is_read) const;
+
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
   DiskId id() const { return id_; }
   SlotId num_slots() const { return static_cast<SlotId>(pages_.size()); }
   size_t page_size() const { return page_size_; }
-  const IoCounters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = IoCounters(); }
+  IoCounters counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
+  void ResetCounters() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_ = IoCounters();
+  }
 
  private:
   uint32_t ChecksumOf(const PageImage& image) const;
@@ -103,7 +141,10 @@ class Disk {
 
   DiskId id_;
   size_t page_size_;
-  bool failed_ = false;
+  std::atomic<bool> failed_{false};
+  // Serializes one access at a time (media, checksums, counters, head
+  // position, injector decisions). Leaf lock: nothing is acquired under it.
+  mutable std::mutex mu_;
   std::vector<PageImage> pages_;
   std::vector<uint32_t> checksums_;
   FaultInjector* injector_ = nullptr;

@@ -88,7 +88,10 @@ bool DiskArray::ShouldRetry(const Status& status, DiskId disk,
       !RetryableIoError(status, disks_[disk].failed())) {
     return false;
   }
-  ++policy_stats_.io_retries;
+  {
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    ++policy_stats_.io_retries;
+  }
   obs::Inc(retries_counter_);
   disks_[disk].AddServiceDelay(RetryBackoffMs(policy_, attempt + 1));
   EmitDiskEvent(obs::EventKind::kIoRetry, disk);
@@ -100,14 +103,20 @@ void DiskArray::NoteAttemptOutcome(const Status& status, DiskId disk,
   if (status.ok()) {
     if (attempts_used > 0) {
       // A retry absorbed the fault, so it was transient by definition.
-      ++policy_stats_.transient_faults;
+      {
+        std::lock_guard<std::mutex> lock(policy_mu_);
+        ++policy_stats_.transient_faults;
+      }
       obs::Inc(transients_counter_);
     }
   } else if (!disks_[disk].failed()) {
     // Exhausted retries on a live disk, or corruption: a persistent
     // sector-level error. Degraded healing (and the error budget) is the
     // caller's move — this layer only reports honestly.
-    ++policy_stats_.sector_errors;
+    {
+      std::lock_guard<std::mutex> lock(policy_mu_);
+      ++policy_stats_.sector_errors;
+    }
     EmitDiskEvent(obs::EventKind::kIoFault, disk);
   }
 }
@@ -121,6 +130,12 @@ Status DiskArray::ReadWithRetry(DiskId disk, SlotId slot,
     status = disks_[disk].Read(slot, out);
   }
   NoteAttemptOutcome(status, disk, attempt);
+  if (attempt > 0) {
+    // A retried access is one logical transfer: the extra attempts the disk
+    // already counted become io_retries, not page_reads (satellite: per-txn
+    // attribution must not double-count retried reads).
+    disks_[disk].ReclassifyRetries(attempt, /*is_read=*/true);
+  }
   return status;
 }
 
@@ -133,6 +148,9 @@ Status DiskArray::WriteWithRetry(DiskId disk, SlotId slot,
     status = disks_[disk].Write(slot, image);
   }
   NoteAttemptOutcome(status, disk, attempt);
+  if (attempt > 0) {
+    disks_[disk].ReclassifyRetries(attempt, /*is_read=*/false);
+  }
   return status;
 }
 
@@ -146,6 +164,9 @@ Status DiskArray::WriteWithRetry(DiskId disk, SlotId slot, PageImage&& image) {
     status = disks_[disk].Write(slot, std::move(image));
   }
   NoteAttemptOutcome(status, disk, attempt);
+  if (attempt > 0) {
+    disks_[disk].ReclassifyRetries(attempt, /*is_read=*/false);
+  }
   return status;
 }
 
@@ -236,8 +257,11 @@ Status DiskArray::ReplaceDisk(DiskId disk) {
     return Status::InvalidArgument("no such disk");
   }
   disks_[disk].Replace();
-  sector_error_counts_[disk] = 0;  // The new medium starts with a full budget.
-  escalated_[disk] = false;
+  {
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    sector_error_counts_[disk] = 0;  // New medium starts with a full budget.
+    escalated_[disk] = false;
+  }
   obs::TraceEvent event;
   event.subsystem = obs::Subsystem::kStorage;
   event.kind = obs::EventKind::kDiskReplaced;
@@ -287,19 +311,23 @@ void DiskArray::RecordSectorError(DiskId disk) {
       disks_[disk].failed()) {
     return;
   }
-  if (++sector_error_counts_[disk] < policy_.disk_error_budget) {
-    return;
+  {
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    if (++sector_error_counts_[disk] < policy_.disk_error_budget) {
+      return;
+    }
+    // Budget exhausted: the drive is lying about its health often enough
+    // that slot-by-slot healing is a losing game. Take it out, rebuild whole.
+    escalated_[disk] = true;
+    ++policy_stats_.escalations;
   }
-  // Budget exhausted: the drive is lying about its health often enough that
-  // slot-by-slot healing is a losing game. Take it out and rebuild whole.
-  escalated_[disk] = true;
-  ++policy_stats_.escalations;
   obs::Inc(escalations_counter_);
   EmitDiskEvent(obs::EventKind::kEscalation, disk);
   (void)FailDisk(disk);
 }
 
 std::vector<DiskId> DiskArray::EscalatedDisks() const {
+  std::lock_guard<std::mutex> lock(policy_mu_);
   std::vector<DiskId> out;
   for (DiskId d = 0; d < escalated_.size(); ++d) {
     if (escalated_[d]) {
@@ -324,7 +352,7 @@ IoCounters DiskArray::counters() const {
   for (const Disk& d : disks_) {
     total += d.counters();
   }
-  total.xor_computations = xor_computations_;
+  total.xor_computations = xor_computations_.load(std::memory_order_relaxed);
   return total;
 }
 
@@ -332,11 +360,11 @@ void DiskArray::ResetCounters() {
   for (Disk& d : disks_) {
     d.ResetCounters();
   }
-  xor_computations_ = 0;
+  xor_computations_.store(0, std::memory_order_relaxed);
 }
 
 void DiskArray::AccountXor(uint64_t pages) {
-  xor_computations_ += pages;
+  xor_computations_.fetch_add(pages, std::memory_order_relaxed);
   obs::Inc(xor_counter_, pages);
 }
 

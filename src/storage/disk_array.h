@@ -1,7 +1,9 @@
 #ifndef RDA_STORAGE_DISK_ARRAY_H_
 #define RDA_STORAGE_DISK_ARRAY_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -71,7 +73,12 @@ class DiskArray {
   // Retry/escalation behaviour of the raw I/O above.
   void SetIoPolicy(const IoPolicy& policy) { policy_ = policy; }
   const IoPolicy& io_policy() const { return policy_; }
-  const IoPolicyStats& policy_stats() const { return policy_stats_; }
+  // Snapshot by value: the stats are mutated under the policy mutex by
+  // concurrent I/O threads.
+  IoPolicyStats policy_stats() const {
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    return policy_stats_;
+  }
 
   // Creates one FaultInjector per disk (seeded from config.seed and the
   // disk id so streams are independent) and attaches them. Replaces any
@@ -141,9 +148,12 @@ class DiskArray {
   std::unique_ptr<Layout> layout_;
   size_t page_size_;
   std::vector<Disk> disks_;
-  uint64_t xor_computations_ = 0;
+  std::atomic<uint64_t> xor_computations_{0};
 
   IoPolicy policy_;
+  // Guards the retry/escalation bookkeeping below (off the clean-path I/O:
+  // taken only when a fault actually occurred).
+  mutable std::mutex policy_mu_;
   mutable IoPolicyStats policy_stats_;
   std::vector<std::unique_ptr<FaultInjector>> injectors_;
   std::vector<uint32_t> sector_error_counts_;

@@ -11,11 +11,15 @@ namespace rda {
 // "units of page transfers" (Section 5); these counters are the simulator's
 // equivalent of that metric. `xor_computations` tracks page-sized XOR
 // operations separately — they are CPU work, not transfers, so total()
-// deliberately excludes them.
+// deliberately excludes them. `io_retries` counts extra disk attempts the
+// retry policy issued for one logical transfer; a retried read is still ONE
+// page transfer in the paper's cost metric, so total() excludes retries too
+// (they are accounted as service time, not transfers).
 struct IoCounters {
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
   uint64_t xor_computations = 0;
+  uint64_t io_retries = 0;
 
   uint64_t total() const { return page_reads + page_writes; }
 
@@ -23,6 +27,7 @@ struct IoCounters {
     page_reads += other.page_reads;
     page_writes += other.page_writes;
     xor_computations += other.xor_computations;
+    io_retries += other.io_retries;
     return *this;
   }
 
@@ -41,9 +46,12 @@ struct IoCounters {
               "IoCounters delta would underflow page_writes");
     RDA_CHECK(xor_computations >= other.xor_computations,
               "IoCounters delta would underflow xor_computations");
+    RDA_CHECK(io_retries >= other.io_retries,
+              "IoCounters delta would underflow io_retries");
     return IoCounters{page_reads - other.page_reads,
                       page_writes - other.page_writes,
-                      xor_computations - other.xor_computations};
+                      xor_computations - other.xor_computations,
+                      io_retries - other.io_retries};
   }
 
   bool operator==(const IoCounters&) const = default;

@@ -2,6 +2,7 @@
 #define RDA_STORAGE_SCRATCH_POOL_H_
 
 #include <cstddef>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -23,7 +24,9 @@ namespace rda {
 //  - A payload that must outlive the scratch scope (e.g. a restored image
 //    returned to the caller) is moved OUT of the image with TakePayload();
 //    the pool then replaces the buffer lazily on the next Acquire().
-//  - The pool is not thread-safe; it is per-owner state like the directory.
+//  - The free list is guarded by a leaf mutex, so concurrent parity
+//    propagations (which may run under different group latches) can share
+//    one pool; the mutex is touched only at Acquire/Release boundaries.
 class ScratchPool {
  public:
   class ScratchImage;
@@ -38,7 +41,10 @@ class ScratchPool {
 
   size_t page_size() const { return page_size_; }
   // Buffers currently parked in the free list (observability for tests).
-  size_t free_count() const { return free_.size(); }
+  size_t free_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
 
   // RAII handle around a pooled PageImage.
   class ScratchImage {
@@ -80,20 +86,28 @@ class ScratchPool {
     // leaves an empty vector behind; re-pooling it would just defer the
     // allocation to a hotter moment).
     if (image.payload.capacity() >= page_size_) {
+      std::lock_guard<std::mutex> lock(mu_);
       free_.push_back(std::move(image));
     }
   }
 
   size_t page_size_;
+  mutable std::mutex mu_;  // Leaf lock: guards free_ only.
   std::vector<PageImage> free_;
 };
 
 inline ScratchPool::ScratchImage ScratchPool::Acquire() {
-  if (free_.empty()) {
+  PageImage image;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      image = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (image.payload.capacity() < page_size_) {
     return ScratchImage(this, PageImage(page_size_));
   }
-  PageImage image = std::move(free_.back());
-  free_.pop_back();
   image.payload.assign(page_size_, 0);  // Reuses the retained capacity.
   image.header = PageHeader();
   return ScratchImage(this, std::move(image));

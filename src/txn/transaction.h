@@ -1,7 +1,9 @@
 #ifndef RDA_TXN_TRANSACTION_H_
 #define RDA_TXN_TRANSACTION_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/types.h"
@@ -31,13 +33,31 @@ struct RecordWrite {
 
 // Per-transaction state tracked by the TransactionManager. A passive data
 // holder; all protocol logic lives in the manager.
+//
+// Concurrency: all mutable fields are owned by the worker thread running
+// the transaction, with one cross-thread exception — buffer-pool eviction
+// (PropagateFrame) may log undo information on behalf of a frame's
+// modifiers from any thread. `mu` serializes that: the owner takes it in
+// brief sections (never across a pool call), evictions only try_lock it
+// and treat failure as kBusy. `in_eot`, set under `mu` at the start of
+// Commit/Abort, tells evictions to keep their hands off while EOT
+// processing rewrites the transaction's state wholesale.
 class Transaction {
  public:
   explicit Transaction(TxnId id) : id_(id) {}
 
   TxnId id() const { return id_; }
 
-  TxnState state = TxnState::kActive;
+  // Guards every field below (see the class comment). Acquired after the
+  // buffer shard latch and parity group latch, before the WAL mutex.
+  std::mutex mu;
+  // True while Commit/Abort runs. The EOT thread sets it under `mu` — the
+  // acquisition doubles as a barrier that waits out any in-flight eviction
+  // touch — then works without `mu`, exclusivity guaranteed because
+  // evictions seeing the flag back off with kBusy.
+  bool in_eot = false;
+
+  std::atomic<TxnState> state{TxnState::kActive};
 
   // Begin-of-transaction record is written lazily, "before it writes back
   // any modified pages" (paper Section 4.3).

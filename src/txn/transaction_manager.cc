@@ -1,7 +1,9 @@
 #include "txn/transaction_manager.h"
 
 #include <algorithm>
+#include <random>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "storage/data_page_meta.h"
@@ -66,10 +68,34 @@ void TransactionManager::AttachObs(obs::ObsHub* hub) {
   obs_attached_ = hub != nullptr;
 }
 
+TxnStats TransactionManager::stats() const {
+  TxnStats s;
+  s.begun = stats_.begun.load(std::memory_order_relaxed);
+  s.committed = stats_.committed.load(std::memory_order_relaxed);
+  s.aborted = stats_.aborted.load(std::memory_order_relaxed);
+  s.before_images_logged =
+      stats_.before_images_logged.load(std::memory_order_relaxed);
+  s.before_images_avoided =
+      stats_.before_images_avoided.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TransactionManager::ResetStats() {
+  stats_.begun.store(0, std::memory_order_relaxed);
+  stats_.committed.store(0, std::memory_order_relaxed);
+  stats_.aborted.store(0, std::memory_order_relaxed);
+  stats_.before_images_logged.store(0, std::memory_order_relaxed);
+  stats_.before_images_avoided.store(0, std::memory_order_relaxed);
+}
+
 Result<TxnId> TransactionManager::Begin() {
-  const TxnId id = next_txn_++;
-  txns_.emplace(id, std::make_unique<Transaction>(id));
-  ++stats_.begun;
+  TxnId id;
+  {
+    std::lock_guard<std::mutex> lock(txns_mu_);
+    id = next_txn_++;
+    txns_.emplace(id, std::make_unique<Transaction>(id));
+  }
+  stats_.begun.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(begun_counter_);
   if (trace_ != nullptr) {
     obs::TraceEvent event;
@@ -82,15 +108,19 @@ Result<TxnId> TransactionManager::Begin() {
 }
 
 Transaction* TransactionManager::Find(TxnId txn) {
+  std::lock_guard<std::mutex> lock(txns_mu_);
   auto it = txns_.find(txn);
   return it == txns_.end() ? nullptr : it->second.get();
 }
 
 std::vector<TxnId> TransactionManager::ActiveTxns() const {
   std::vector<TxnId> out;
-  for (const auto& [id, txn] : txns_) {
-    if (txn->state == TxnState::kActive) {
-      out.push_back(id);
+  {
+    std::lock_guard<std::mutex> lock(txns_mu_);
+    for (const auto& [id, txn] : txns_) {
+      if (txn->state == TxnState::kActive) {
+        out.push_back(id);
+      }
     }
   }
   std::sort(out.begin(), out.end());
@@ -98,6 +128,7 @@ std::vector<TxnId> TransactionManager::ActiveTxns() const {
 }
 
 void TransactionManager::BumpNextTxnId(TxnId floor) {
+  std::lock_guard<std::mutex> lock(txns_mu_);
   next_txn_ = std::max(next_txn_, floor);
 }
 
@@ -112,6 +143,40 @@ Status RequireActive(Transaction* txn) {
   }
   return Status::Ok();
 }
+
+// Thread-local EOT markers: which transaction (of which manager) this
+// thread is currently committing or aborting. PropagateFrame consults them
+// so that the EOT's OWN propagations (the FORCE loop) pass the mid-EOT
+// guard that turns everyone else away.
+thread_local const void* tls_eot_manager = nullptr;
+thread_local TxnId tls_eot_txn = kInvalidTxnId;
+
+// Start-of-EOT barrier: sets txn->in_eot under the transaction mutex —
+// the acquisition waits out any eviction currently touching the
+// transaction; every later eviction sees the flag and answers kBusy — so
+// the EOT body runs with exclusive use of the transaction without holding
+// its mutex across pool or parity calls. Cleared on scope exit (error
+// paths included).
+class EotScope {
+ public:
+  EotScope(const void* manager, Transaction* txn) : txn_(txn) {
+    {
+      std::lock_guard<std::mutex> lock(txn->mu);
+      txn->in_eot = true;
+    }
+    tls_eot_manager = manager;
+    tls_eot_txn = txn->id();
+  }
+  ~EotScope() {
+    tls_eot_manager = nullptr;
+    tls_eot_txn = kInvalidTxnId;
+    std::lock_guard<std::mutex> lock(txn_->mu);
+    txn_->in_eot = false;
+  }
+
+ private:
+  Transaction* txn_;
+};
 
 }  // namespace
 
@@ -137,9 +202,13 @@ Status TransactionManager::ReadPage(TxnId txn_id, PageId page,
   RDA_RETURN_IF_ERROR(locks_->Acquire(txn_id, LockKey::Page(page),
                                       LockMode::kShared));
   const uint64_t transfers_start = TransfersStart();
-  RDA_ASSIGN_OR_RETURN(Frame * frame, pool_.Fetch(page, nullptr));
-  out->assign(frame->payload.begin() + kDataRegionOffset,
-              frame->payload.end());
+  RDA_RETURN_IF_ERROR(pool_.WithFetchedFrame(
+      page, nullptr, [out](Frame* frame) {
+        out->assign(frame->payload.begin() + kDataRegionOffset,
+                    frame->payload.end());
+        return Status::Ok();
+      }));
+  std::lock_guard<std::mutex> lock(txn->mu);
   ++txn->reads;
   AttributeTransfers(txn, transfers_start);
   return Status::Ok();
@@ -157,26 +226,32 @@ Status TransactionManager::WritePage(TxnId txn_id, PageId page,
   }
   RDA_RETURN_IF_ERROR(locks_->Acquire(txn_id, LockKey::Page(page),
                                       LockMode::kExclusive));
-  RDA_RETURN_IF_ERROR(EnsureBot(txn));
-  const uint64_t transfers_start = TransfersStart();
-  RDA_ASSIGN_OR_RETURN(Frame * frame, pool_.Fetch(page, nullptr));
-
-  if (!frame->has_pending_before) {
-    // Logical before-image for this propagation epoch: what an abort (or a
-    // before-image log record) must restore. It may contain committed-but-
-    // unpropagated bytes of earlier transactions — which is why it is
-    // captured here and not derived from last_propagated.
-    frame->pending_before = frame->payload;
-    frame->has_pending_before = true;
+  {
+    std::lock_guard<std::mutex> lock(txn->mu);
+    RDA_RETURN_IF_ERROR(EnsureBot(txn));
   }
-  std::copy(bytes.begin(), bytes.end(),
-            frame->payload.begin() + kDataRegionOffset);
-  DataPageMeta meta = LoadDataMeta(frame->payload);
-  meta.page_lsn = log_->next_lsn();  // Monotone update stamp.
-  StoreDataMeta(meta, &frame->payload);
-
-  frame->dirty = true;
-  frame->AddModifier(txn_id);
+  const uint64_t transfers_start = TransfersStart();
+  RDA_RETURN_IF_ERROR(pool_.WithFetchedFrame(
+      page, nullptr, [&](Frame* frame) {
+        if (!frame->has_pending_before) {
+          // Logical before-image for this propagation epoch: what an abort
+          // (or a before-image log record) must restore. It may contain
+          // committed-but-unpropagated bytes of earlier transactions —
+          // which is why it is captured here and not derived from
+          // last_propagated.
+          frame->pending_before = frame->payload;
+          frame->has_pending_before = true;
+        }
+        std::copy(bytes.begin(), bytes.end(),
+                  frame->payload.begin() + kDataRegionOffset);
+        DataPageMeta meta = LoadDataMeta(frame->payload);
+        meta.page_lsn = log_->next_lsn();  // Monotone update stamp.
+        StoreDataMeta(meta, &frame->payload);
+        frame->dirty = true;
+        frame->AddModifier(txn_id);
+        return Status::Ok();
+      }));
+  std::lock_guard<std::mutex> lock(txn->mu);
   txn->NoteModifiedPage(page);
   ++txn->page_updates;
   AttributeTransfers(txn, transfers_start);
@@ -195,9 +270,12 @@ Status TransactionManager::ReadRecord(TxnId txn_id, PageId page,
   RDA_RETURN_IF_ERROR(locks_->Acquire(txn_id, LockKey::Record(page, slot),
                                       LockMode::kShared));
   const uint64_t transfers_start = TransfersStart();
-  RDA_ASSIGN_OR_RETURN(Frame * frame, pool_.Fetch(page, nullptr));
-  RecordPageView view(&frame->payload, config_.record_size);
-  RDA_RETURN_IF_ERROR(view.Read(slot, out));
+  RDA_RETURN_IF_ERROR(pool_.WithFetchedFrame(
+      page, nullptr, [&](Frame* frame) {
+        RecordPageView view(&frame->payload, config_.record_size);
+        return view.Read(slot, out);
+      }));
+  std::lock_guard<std::mutex> lock(txn->mu);
   ++txn->reads;
   AttributeTransfers(txn, transfers_start);
   return Status::Ok();
@@ -214,43 +292,53 @@ Status TransactionManager::WriteRecord(TxnId txn_id, PageId page,
   }
   RDA_RETURN_IF_ERROR(locks_->Acquire(txn_id, LockKey::Record(page, slot),
                                       LockMode::kExclusive));
-  RDA_RETURN_IF_ERROR(EnsureBot(txn));
+  {
+    std::lock_guard<std::mutex> lock(txn->mu);
+    RDA_RETURN_IF_ERROR(EnsureBot(txn));
+  }
   const uint64_t transfers_start = TransfersStart();
-  RDA_ASSIGN_OR_RETURN(Frame * frame, pool_.Fetch(page, nullptr));
-
-  RecordPageView view(&frame->payload, config_.record_size);
-  const Lsn stamp = log_->next_lsn();
-
-  // In-buffer undo info: value before this modification.
-  RecordMod mod;
-  mod.txn = txn_id;
-  mod.slot = slot;
-  mod.stamp = stamp;
-  RDA_RETURN_IF_ERROR(view.Read(slot, &mod.before));
-  frame->record_mods.push_back(std::move(mod));
-
-  RDA_RETURN_IF_ERROR(view.Write(slot, bytes));
-  DataPageMeta meta = LoadDataMeta(frame->payload);
-  meta.page_lsn = stamp;
-  StoreDataMeta(meta, &frame->payload);
-
-  bool pending_known = false;
-  for (const PendingMod& pending : frame->pending_mods) {
-    if (pending.txn == txn_id && pending.slot == slot) {
-      pending_known = true;
-      break;
-    }
-  }
-  if (!pending_known) {
-    PendingMod pending;
-    pending.txn = txn_id;
-    pending.slot = slot;
-    pending.before = frame->record_mods.back().before;
-    frame->pending_mods.push_back(std::move(pending));
-  }
-
+  Lsn stamp = kInvalidLsn;
   std::vector<uint8_t> after;
-  RDA_RETURN_IF_ERROR(view.Read(slot, &after));
+  RDA_RETURN_IF_ERROR(pool_.WithFetchedFrame(
+      page, nullptr, [&](Frame* frame) {
+        RecordPageView view(&frame->payload, config_.record_size);
+        stamp = log_->next_lsn();
+
+        // In-buffer undo info: value before this modification.
+        RecordMod mod;
+        mod.txn = txn_id;
+        mod.slot = slot;
+        mod.stamp = stamp;
+        RDA_RETURN_IF_ERROR(view.Read(slot, &mod.before));
+        frame->record_mods.push_back(std::move(mod));
+
+        RDA_RETURN_IF_ERROR(view.Write(slot, bytes));
+        DataPageMeta meta = LoadDataMeta(frame->payload);
+        meta.page_lsn = stamp;
+        StoreDataMeta(meta, &frame->payload);
+
+        bool pending_known = false;
+        for (const PendingMod& pending : frame->pending_mods) {
+          if (pending.txn == txn_id && pending.slot == slot) {
+            pending_known = true;
+            break;
+          }
+        }
+        if (!pending_known) {
+          PendingMod pending;
+          pending.txn = txn_id;
+          pending.slot = slot;
+          pending.before = frame->record_mods.back().before;
+          frame->pending_mods.push_back(std::move(pending));
+        }
+
+        RDA_RETURN_IF_ERROR(view.Read(slot, &after));
+        frame->dirty = true;
+        frame->AddModifier(txn_id);
+        return Status::Ok();
+      }));
+
+  std::lock_guard<std::mutex> lock(txn->mu);
   if (RecordWrite* existing = txn->FindRecordWrite(page, slot)) {
     existing->after = std::move(after);
     existing->stamp = stamp;
@@ -258,9 +346,6 @@ Status TransactionManager::WriteRecord(TxnId txn_id, PageId page,
     txn->record_writes.push_back(
         RecordWrite{page, slot, std::move(after), stamp});
   }
-
-  frame->dirty = true;
-  frame->AddModifier(txn_id);
   txn->NoteModifiedPage(page);
   ++txn->record_updates;
   AttributeTransfers(txn, transfers_start);
@@ -268,12 +353,9 @@ Status TransactionManager::WriteRecord(TxnId txn_id, PageId page,
 }
 
 Status TransactionManager::LogBeforeImagesForSteal(
-    Frame* frame, const std::vector<TxnId>& modifiers) {
-  for (const TxnId txn_id : modifiers) {
-    Transaction* txn = Find(txn_id);
-    if (txn == nullptr || txn->state != TxnState::kActive) {
-      continue;
-    }
+    Frame* frame, const std::vector<Transaction*>& modifiers) {
+  for (Transaction* txn : modifiers) {
+    const TxnId txn_id = txn->id();
     RDA_RETURN_IF_ERROR(EnsureBot(txn));
     if (config_.logging_mode == LoggingMode::kPageLogging) {
       // The logical before-image captured at the transaction's first touch
@@ -290,7 +372,7 @@ Status TransactionManager::LogBeforeImagesForSteal(
       RDA_ASSIGN_OR_RETURN(const Lsn lsn, log_->Append(bi));
       txn->logged_undos.push_back(
           LoggedUndo{frame->page, false, 0, before, lsn});
-      ++stats_.before_images_logged;
+      stats_.before_images_logged.fetch_add(1, std::memory_order_relaxed);
       obs::Inc(before_logged_counter_);
     } else {
       // One record-granular before-image per slot this transaction touched
@@ -315,7 +397,7 @@ Status TransactionManager::LogBeforeImagesForSteal(
         txn->logged_undos.push_back(
             LoggedUndo{frame->page, true, pending.slot, pending.before,
                        lsn});
-        ++stats_.before_images_logged;
+        stats_.before_images_logged.fetch_add(1, std::memory_order_relaxed);
         obs::Inc(before_logged_counter_);
       }
     }
@@ -362,25 +444,52 @@ bool TransactionManager::UnloggedCoverageExact(Frame* frame, TxnId txn) {
 }
 
 Status TransactionManager::PropagateFrame(Frame* frame) {
-  // Active modifiers only; committed/aborted ones were detached at EOT.
-  std::vector<TxnId> modifiers;
+  // Called by the pool with the frame's shard latch held. Gather the active
+  // modifiers, TRY-locking each one's mutex — holding them pins the
+  // transactions' undo bookkeeping for the duration of the steal. A
+  // contended mutex, or a modifier mid-EOT on another thread, turns the
+  // whole propagation into kBusy: the eviction walk skips this victim
+  // instead of blocking (the latch order forbids waiting on a transaction
+  // mutex here, and a mid-EOT transaction owns its state exclusively).
+  std::vector<Transaction*> modifiers;
+  std::vector<std::unique_lock<std::mutex>> held;
   for (const TxnId id : frame->modifiers) {
     Transaction* txn = Find(id);
-    if (txn != nullptr && txn->state == TxnState::kActive) {
-      modifiers.push_back(id);
+    if (txn == nullptr) {
+      continue;
     }
+    const bool own_eot = tls_eot_manager == this && tls_eot_txn == id;
+    std::unique_lock<std::mutex> lock(txn->mu, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      // Own-EOT propagations never contend here: the EOT thread dropped
+      // the mutex before calling into the pool.
+      return Status::Busy("frame modifier busy");
+    }
+    if (txn->in_eot && !own_eot) {
+      return Status::Busy("frame modifier mid-EOT");
+    }
+    if (txn->state != TxnState::kActive) {
+      continue;  // Committed/aborted modifiers were detached at EOT.
+    }
+    modifiers.push_back(txn);
+    held.push_back(std::move(lock));
   }
 
   DataPageMeta meta = LoadDataMeta(frame->payload);
   meta.chain_prev = kInvalidPageId;
 
+  // Group latch held across classify -> chain-head log -> propagate: pins
+  // the Figure 3 classification against concurrent propagations into the
+  // same group from other buffer shards.
+  auto group_latch = parity_->LockGroupOfPage(frame->page);
+
   if (modifiers.size() == 1 && config_.rda_undo &&
-      UnloggedCoverageExact(frame, modifiers[0])) {
-    const TxnId owner = modifiers[0];
+      UnloggedCoverageExact(frame, modifiers[0]->id())) {
+    Transaction* txn = modifiers[0];
+    const TxnId owner = txn->id();
     const PropagationKind kind = parity_->Classify(frame->page, owner);
     if (kind == PropagationKind::kUnloggedFirst ||
         kind == PropagationKind::kUnloggedRepeat) {
-      Transaction* txn = Find(owner);
       RDA_RETURN_IF_ERROR(EnsureBot(txn));
       if (!txn->chain_head_logged) {
         // The paper pairs the chain head with the BOT record (the
@@ -414,7 +523,7 @@ Status TransactionManager::PropagateFrame(Frame* frame) {
             parity_->array()->layout().GroupOf(frame->page));
         txn->chain_head = frame->page;
       }
-      ++stats_.before_images_avoided;
+      stats_.before_images_avoided.fetch_add(1, std::memory_order_relaxed);
       obs::Inc(before_avoided_counter_);
       return Status::Ok();
     }
@@ -453,9 +562,15 @@ Status TransactionManager::LogAfterImages(Transaction* txn) {
       ai.type = LogRecordType::kAfterImage;
       ai.txn = txn->id();
       ai.page = page;
-      if (Frame* frame = pool_.Lookup(page)) {
-        ai.after = frame->payload;
-      } else {
+      bool resident = false;
+      RDA_RETURN_IF_ERROR(pool_.WithFrame(page, [&](Frame* frame) {
+        if (frame != nullptr) {
+          resident = true;
+          ai.after = frame->payload;
+        }
+        return Status::Ok();
+      }));
+      if (!resident) {
         // Stolen and evicted: the latest content is on disk.
         PageImage image;
         RDA_RETURN_IF_ERROR(parity_->ReadDataHealed(page, &image));
@@ -481,17 +596,19 @@ Status TransactionManager::LogAfterImages(Transaction* txn) {
 Status TransactionManager::Commit(TxnId txn_id) {
   Transaction* txn = Find(txn_id);
   RDA_RETURN_IF_ERROR(RequireActive(txn));
+  // From here to return, this thread has exclusive use of `txn` without
+  // holding its mutex: evictions answer kBusy to the in_eot flag.
+  EotScope eot(this, txn);
   const uint64_t transfers_start = TransfersStart();
 
   if (config_.force) {
     // FORCE discipline: propagate every modified page before EOT. The
     // transaction is still active, so Figure 3 applies — this is where the
-    // FORCE/TOC algorithms harvest unlogged propagations.
+    // FORCE/TOC algorithms harvest unlogged propagations. A kBusy from a
+    // shared frame (another modifier mid-flight) aborts the attempt; the
+    // caller retries the commit.
     for (const PageId page : txn->modified_pages) {
-      Frame* frame = pool_.Lookup(page);
-      if (frame != nullptr && frame->dirty) {
-        RDA_RETURN_IF_ERROR(pool_.PropagateFrame(frame));
-      }
+      RDA_RETURN_IF_ERROR(pool_.PropagatePage(page));
     }
   }
 
@@ -500,8 +617,11 @@ Status TransactionManager::Commit(TxnId txn_id) {
     LogRecord commit;
     commit.type = LogRecordType::kCommit;
     commit.txn = txn_id;
-    RDA_RETURN_IF_ERROR(log_->Append(std::move(commit)).status());
-    RDA_RETURN_IF_ERROR(log_->Flush());
+    RDA_ASSIGN_OR_RETURN(const Lsn commit_lsn,
+                         log_->Append(std::move(commit)));
+    // Group commit: ride a batch flush with concurrent committers instead
+    // of forcing the log alone.
+    RDA_RETURN_IF_ERROR(log_->CommitFlush(commit_lsn));
   }
 
   // After the commit point, finalize the twin parity of dirtied groups
@@ -511,16 +631,19 @@ Status TransactionManager::Commit(TxnId txn_id) {
   }
 
   for (const PageId page : txn->modified_pages) {
-    if (Frame* frame = pool_.Lookup(page)) {
+    RDA_RETURN_IF_ERROR(pool_.WithFrame(page, [&](Frame* frame) {
+      if (frame == nullptr) {
+        return Status::Ok();
+      }
       frame->RemoveModifier(txn_id);
       frame->record_mods.erase(
-          std::remove_if(frame->record_mods.begin(), frame->record_mods.end(),
+          std::remove_if(frame->record_mods.begin(),
+                         frame->record_mods.end(),
                          [txn_id](const RecordMod& mod) {
                            return mod.txn == txn_id;
                          }),
           frame->record_mods.end());
-      // pending_mods stay: committed slots still need before-images? No —
-      // committed data needs no UNDO; drop this transaction's entries.
+      // Committed data needs no UNDO; drop this transaction's entries.
       frame->pending_mods.erase(
           std::remove_if(frame->pending_mods.begin(),
                          frame->pending_mods.end(),
@@ -534,12 +657,13 @@ Status TransactionManager::Commit(TxnId txn_id) {
         frame->has_pending_before = false;
         frame->pending_before.clear();
       }
-    }
+      return Status::Ok();
+    }));
   }
 
   locks_->ReleaseAll(txn_id);
   txn->state = TxnState::kCommitted;
-  ++stats_.committed;
+  stats_.committed.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(committed_counter_);
   AttributeTransfers(txn, transfers_start);
   obs::Observe(transfers_per_commit_, static_cast<double>(txn->transfers));
@@ -572,6 +696,9 @@ Status TransactionManager::UndoDiskState(
       continue;
     }
     // Record-granular: patch the slot inside the current on-disk payload.
+    // The group latch spans the read-modify-write and the dirty-group
+    // directory check.
+    auto group_latch = parity_->LockGroupOfPage(undo.page);
     std::vector<uint8_t> payload;
     auto cached = restored_disk->find(undo.page);
     if (cached != restored_disk->end()) {
@@ -597,6 +724,7 @@ Status TransactionManager::UndoDiskState(
 
   // Parity undo LAST: cancels each dirtied group's unlogged delta exactly.
   for (const GroupId group : txn->dirtied_groups) {
+    auto group_latch = parity_->LockGroup(group);
     const GroupState& state = parity_->directory().Get(group);
     if (!state.dirty || state.dirty_txn != txn->id()) {
       continue;  // Already finalized or undone.
@@ -621,89 +749,94 @@ void TransactionManager::CleanBufferAfterAbort(
     // disk-undo result if the page was propagated, else the captured
     // pending_before snapshot.
     for (const PageId page : txn->modified_pages) {
-      Frame* frame = pool_.Lookup(page);
-      if (frame == nullptr) {
-        continue;
-      }
       auto restored = restored_disk.find(page);
-      if (restored != restored_disk.end()) {
-        frame->payload = restored->second;
-        frame->last_propagated = restored->second;
-      } else if (frame->has_pending_before) {
-        frame->payload = frame->pending_before;
-      }
-      frame->RemoveModifier(txn->id());
-      frame->pending_mods.clear();
-      frame->has_pending_before = false;
-      frame->pending_before.clear();
-      frame->dirty = frame->payload != frame->last_propagated;
+      pool_.WithFrame(page, [&](Frame* frame) {
+        if (frame == nullptr) {
+          return Status::Ok();
+        }
+        if (restored != restored_disk.end()) {
+          frame->payload = restored->second;
+          frame->last_propagated = restored->second;
+        } else if (frame->has_pending_before) {
+          frame->payload = frame->pending_before;
+        }
+        frame->RemoveModifier(txn->id());
+        frame->pending_mods.clear();
+        frame->has_pending_before = false;
+        frame->pending_before.clear();
+        frame->dirty = frame->payload != frame->last_propagated;
+        return Status::Ok();
+      }).ok();
     }
     return;
   }
   for (const PageId page : txn->modified_pages) {
-    Frame* frame = pool_.Lookup(page);
-    if (frame == nullptr) {
-      continue;
-    }
     auto restored = restored_disk.find(page);
-    if (restored != restored_disk.end()) {
-      // The disk-level undo rewrote this page; the frame may hold stale
-      // content from before an earlier steal (its in-buffer undo info was
-      // lost with the eviction). Reconcile: every slot this transaction
-      // ever wrote takes its restored on-disk (pre-transaction) value;
-      // every other slot keeps the buffer value — that preserves other
-      // active transactions' changes and committed-but-unpropagated data.
-      RecordPageView frame_view(&frame->payload, config_.record_size);
-      std::vector<uint8_t> restored_copy = restored->second;
-      RecordPageView disk_view(&restored_copy, config_.record_size);
-      for (const RecordWrite& write : txn->record_writes) {
-        if (write.page != page) {
-          continue;
+    pool_.WithFrame(page, [&](Frame* frame) {
+      if (frame == nullptr) {
+        return Status::Ok();
+      }
+      if (restored != restored_disk.end()) {
+        // The disk-level undo rewrote this page; the frame may hold stale
+        // content from before an earlier steal (its in-buffer undo info was
+        // lost with the eviction). Reconcile: every slot this transaction
+        // ever wrote takes its restored on-disk (pre-transaction) value;
+        // every other slot keeps the buffer value — that preserves other
+        // active transactions' changes and committed-but-unpropagated data.
+        RecordPageView frame_view(&frame->payload, config_.record_size);
+        std::vector<uint8_t> restored_copy = restored->second;
+        RecordPageView disk_view(&restored_copy, config_.record_size);
+        for (const RecordWrite& write : txn->record_writes) {
+          if (write.page != page) {
+            continue;
+          }
+          std::vector<uint8_t> bytes;
+          if (disk_view.Read(write.slot, &bytes).ok()) {
+            frame_view.Write(write.slot, bytes).ok();
+          }
         }
-        std::vector<uint8_t> bytes;
-        if (disk_view.Read(write.slot, &bytes).ok()) {
-          frame_view.Write(write.slot, bytes).ok();
+      } else {
+        // Never propagated: revert this transaction's record modifications
+        // in reverse append order (stamps can tie when no log append
+        // happened between updates, so the vector order is the authority).
+        std::vector<const RecordMod*> mine;
+        for (const RecordMod& mod : frame->record_mods) {
+          if (mod.txn == txn->id()) {
+            mine.push_back(&mod);
+          }
+        }
+        RecordPageView view(&frame->payload, config_.record_size);
+        for (auto it = mine.rbegin(); it != mine.rend(); ++it) {
+          view.Write((*it)->slot, (*it)->before).ok();
         }
       }
-    } else {
-      // Never propagated: revert this transaction's record modifications
-      // in reverse append order (stamps can tie when no log append
-      // happened between updates, so the vector order is the authority).
-      std::vector<const RecordMod*> mine;
-      for (const RecordMod& mod : frame->record_mods) {
-        if (mod.txn == txn->id()) {
-          mine.push_back(&mod);
-        }
+      frame->record_mods.erase(
+          std::remove_if(
+              frame->record_mods.begin(), frame->record_mods.end(),
+              [txn](const RecordMod& mod) { return mod.txn == txn->id(); }),
+          frame->record_mods.end());
+      frame->pending_mods.erase(
+          std::remove_if(
+              frame->pending_mods.begin(), frame->pending_mods.end(),
+              [txn](const PendingMod& mod) { return mod.txn == txn->id(); }),
+          frame->pending_mods.end());
+      frame->RemoveModifier(txn->id());
+      if (restored != restored_disk.end()) {
+        frame->last_propagated = restored->second;
       }
-      RecordPageView view(&frame->payload, config_.record_size);
-      for (auto it = mine.rbegin(); it != mine.rend(); ++it) {
-        view.Write((*it)->slot, (*it)->before).ok();
+      if (frame->modifiers.empty() && frame->record_mods.empty() &&
+          frame->payload == frame->last_propagated) {
+        frame->dirty = false;
       }
-    }
-    frame->record_mods.erase(
-        std::remove_if(
-            frame->record_mods.begin(), frame->record_mods.end(),
-            [txn](const RecordMod& mod) { return mod.txn == txn->id(); }),
-        frame->record_mods.end());
-    frame->pending_mods.erase(
-        std::remove_if(
-            frame->pending_mods.begin(), frame->pending_mods.end(),
-            [txn](const PendingMod& mod) { return mod.txn == txn->id(); }),
-        frame->pending_mods.end());
-    frame->RemoveModifier(txn->id());
-    if (restored != restored_disk.end()) {
-      frame->last_propagated = restored->second;
-    }
-    if (frame->modifiers.empty() && frame->record_mods.empty() &&
-        frame->payload == frame->last_propagated) {
-      frame->dirty = false;
-    }
+      return Status::Ok();
+    }).ok();
   }
 }
 
 Status TransactionManager::Abort(TxnId txn_id) {
   Transaction* txn = Find(txn_id);
   RDA_RETURN_IF_ERROR(RequireActive(txn));
+  EotScope eot(this, txn);
   const uint64_t transfers_start = TransfersStart();
 
   std::unordered_map<PageId, std::vector<uint8_t>> restored_disk;
@@ -720,7 +853,7 @@ Status TransactionManager::Abort(TxnId txn_id) {
 
   locks_->ReleaseAll(txn_id);
   txn->state = TxnState::kAborted;
-  ++stats_.aborted;
+  stats_.aborted.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(aborted_counter_);
   AttributeTransfers(txn, transfers_start);
   if (trace_ != nullptr) {
@@ -734,9 +867,139 @@ Status TransactionManager::Abort(TxnId txn_id) {
   return Status::Ok();
 }
 
+Result<ConcurrentResult> TransactionManager::RunConcurrent(
+    const ConcurrentWorkload& workload) {
+  if (workload.threads == 0 || workload.pages == 0) {
+    return Status::InvalidArgument("empty concurrent workload");
+  }
+  struct Op {
+    bool write = false;
+    PageId page = 0;
+    RecordSlot slot = 0;
+    uint8_t value = 0;
+  };
+  struct WorkerOutcome {
+    ConcurrentResult result;
+    Status error = Status::Ok();
+  };
+  const bool record_mode = config_.logging_mode == LoggingMode::kRecordLogging;
+  const size_t write_size =
+      record_mode ? config_.record_size : user_page_size();
+  const uint32_t slots = record_mode ? records_per_page() : 1;
+
+  std::vector<WorkerOutcome> outcomes(workload.threads);
+  std::atomic<bool> failed{false};
+
+  auto worker = [&](uint32_t worker_id) {
+    WorkerOutcome& out = outcomes[worker_id];
+    std::mt19937_64 rng(workload.seed +
+                        worker_id * uint64_t{0x9e3779b97f4a7c15});
+    std::vector<uint8_t> scratch;
+    for (uint32_t t = 0; t < workload.txns_per_thread; ++t) {
+      // Draw the transaction's op script once; retries replay it.
+      std::vector<Op> ops(workload.ops_per_txn);
+      for (Op& op : ops) {
+        op.write = (static_cast<double>(rng() % 1000) / 1000.0) <
+                   workload.write_fraction;
+        op.page = static_cast<PageId>(rng() % workload.pages);
+        op.slot = static_cast<RecordSlot>(rng() % slots);
+        op.value = static_cast<uint8_t>(rng());
+      }
+      bool committed = false;
+      for (uint32_t attempt = 0;
+           attempt < workload.max_attempts && !committed; ++attempt) {
+        if (failed.load(std::memory_order_relaxed)) {
+          return;
+        }
+        Result<TxnId> begun = Begin();
+        if (!begun.ok()) {
+          out.error = begun.status();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        const TxnId id = begun.value();
+        bool busy = false;
+        Status hard = Status::Ok();
+        for (const Op& op : ops) {
+          Status s;
+          if (op.write) {
+            std::vector<uint8_t> bytes(write_size, op.value);
+            s = record_mode ? WriteRecord(id, op.page, op.slot, bytes)
+                            : WritePage(id, op.page, bytes);
+          } else {
+            s = record_mode ? ReadRecord(id, op.page, op.slot, &scratch)
+                            : ReadPage(id, op.page, &scratch);
+          }
+          if (s.IsBusy()) {
+            busy = true;
+            break;
+          }
+          if (!s.ok()) {
+            hard = s;
+            break;
+          }
+        }
+        if (!busy && hard.ok()) {
+          const Status c = Commit(id);
+          if (c.IsBusy()) {
+            busy = true;
+          } else if (!c.ok()) {
+            hard = c;
+          } else {
+            committed = true;
+            ++out.result.committed;
+          }
+        }
+        if (!committed) {
+          const Status a = Abort(id);
+          if (!a.ok() && hard.ok()) {
+            hard = a;
+          }
+          ++out.result.aborted;
+          if (busy) {
+            ++out.result.busy_retries;
+            std::this_thread::yield();
+          }
+        }
+        if (!hard.ok()) {
+          out.error = hard;
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+      if (!committed) {
+        out.error = Status::Aborted("concurrent workload livelocked");
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workload.threads);
+  for (uint32_t i = 0; i < workload.threads; ++i) {
+    threads.emplace_back(worker, i);
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  ConcurrentResult total;
+  for (const WorkerOutcome& out : outcomes) {
+    if (!out.error.ok()) {
+      return out.error;
+    }
+    total.committed += out.result.committed;
+    total.aborted += out.result.aborted;
+    total.busy_retries += out.result.busy_retries;
+  }
+  return total;
+}
+
 void TransactionManager::LoseVolatileState() {
   pool_.LoseAll();
   locks_->Clear();
+  std::lock_guard<std::mutex> lock(txns_mu_);
   txns_.clear();
 }
 

@@ -1,8 +1,10 @@
 #ifndef RDA_TXN_TRANSACTION_MANAGER_H_
 #define RDA_TXN_TRANSACTION_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -50,14 +52,45 @@ struct TxnStats {
   uint64_t before_images_avoided = 0;  // Unlogged steals (the RDA win).
 };
 
+// Parameters for RunConcurrent: a closed-loop multi-threaded workload where
+// each worker runs transactions back to back until its quota of commits is
+// reached. Lock conflicts and mid-EOT frame collisions surface as kBusy and
+// are resolved by abort-and-retry (deadlock victims included).
+struct ConcurrentWorkload {
+  uint32_t threads = 4;
+  uint32_t txns_per_thread = 25;  // Commits each worker must complete.
+  uint32_t ops_per_txn = 4;
+  uint32_t pages = 64;      // Page ids drawn uniformly from [0, pages).
+  double write_fraction = 1.0;
+  uint64_t seed = 1;
+  // Abort-and-retry attempts per transaction before giving up (livelock
+  // guard; hitting it is an error).
+  uint32_t max_attempts = 10000;
+};
+
+struct ConcurrentResult {
+  uint64_t committed = 0;
+  uint64_t aborted = 0;      // Abort-and-retry cycles (all retried).
+  uint64_t busy_retries = 0;  // kBusy occurrences that triggered a retry.
+};
+
 // The transaction manager: BOT/EOT processing, page- and record-granular
 // updates through the buffer pool, the Figure 3 UNDO-logging decision on
 // every steal, commit finalization of dirtied parity groups, and runtime
 // abort via parity and/or logged before-images.
 //
-// Single-threaded by design (the simulator interleaves transactions
-// cooperatively); lock conflicts surface as kBusy for the scheduler to
-// retry or resolve via deadlock-victim abort.
+// Thread safety (DESIGN.md section 11): distinct transactions may run on
+// distinct threads concurrently — one thread per transaction at a time.
+// Lock conflicts surface as kBusy for the caller to retry or resolve via
+// deadlock-victim abort, exactly as in the cooperative single-threaded
+// simulator. Internally the manager relies on the buffer pool's shard
+// latches for frame state, per-parity-group latches for group state, the
+// per-transaction mutex for cross-thread eviction touches, and a small
+// table mutex for the transaction map. The latch order is
+//   buffer shard -> parity group -> txn mutex -> WAL / disk / lock table,
+// and the only place a later lock is awaited while holding an earlier one
+// is the eviction callback — which only ever try_locks transaction
+// mutexes, so it can skip (kBusy) instead of deadlocking.
 class TransactionManager {
  public:
   TransactionManager(const TxnConfig& config, TwinParityManager* parity,
@@ -83,6 +116,13 @@ class TransactionManager {
   Status Commit(TxnId txn);
   Status Abort(TxnId txn);
 
+  // Runs `workload.threads` worker threads, each committing
+  // `workload.txns_per_thread` transactions of `workload.ops_per_txn`
+  // random page (or record) operations. kBusy outcomes abort and retry the
+  // transaction. Returns aggregate outcome counts, or the first hard error
+  // any worker hit.
+  Result<ConcurrentResult> RunConcurrent(const ConcurrentWorkload& workload);
+
   // True iff `txn` is blocked in a deadlock cycle (scheduler picks victims).
   bool WouldDeadlock(TxnId txn) const { return locks_->WouldDeadlock(txn); }
 
@@ -96,8 +136,9 @@ class TransactionManager {
   TwinParityManager* parity() { return parity_; }
   LogManager* log() { return log_; }
   const TxnConfig& config() const { return config_; }
-  const TxnStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = TxnStats(); }
+  // Snapshot by value: counters are bumped concurrently.
+  TxnStats stats() const;
+  void ResetStats();
   size_t user_page_size() const;
   uint32_t records_per_page() const;
 
@@ -113,6 +154,10 @@ class TransactionManager {
  private:
   // Eviction/propagation callback registered with the buffer pool: applies
   // the Figure 3 decision and performs logging + parity-maintained writes.
+  // Runs under the frame's shard latch; takes the page's parity-group latch
+  // across classify -> log -> propagate and try_locks every active
+  // modifier's mutex — a busy or mid-EOT modifier makes it return kBusy so
+  // the eviction walk can pick another victim.
   Status PropagateFrame(Frame* frame);
 
   // True iff parity undo of `frame`'s current propagation epoch would land
@@ -120,13 +165,15 @@ class TransactionManager {
   // unpropagated bytes of other transactions would be wiped).
   bool UnloggedCoverageExact(Frame* frame, TxnId txn);
 
-  // Writes the BOT record if this is the transaction's first update.
+  // Writes the BOT record if this is the transaction's first update. The
+  // caller must hold txn->mu or have EOT exclusivity.
   Status EnsureBot(Transaction* txn);
 
   // Logs before-images for a steal that cannot use parity coverage, for
-  // every active modifier of the frame, then flushes (WAL rule).
+  // every active modifier of the frame (whose mutexes the caller holds),
+  // then flushes (WAL rule).
   Status LogBeforeImagesForSteal(Frame* frame,
-                                 const std::vector<TxnId>& modifiers);
+                                 const std::vector<Transaction*>& modifiers);
 
   // Disk-level undo of everything `txn` propagated: parity undo of dirtied
   // groups first, then logged before-images in reverse. Fills
@@ -161,9 +208,21 @@ class TransactionManager {
   LogManager* log_;
   LockManager* locks_;
   BufferPool pool_;
+  // Guards the map and the id counter only (leaf lock, held briefly);
+  // Transaction objects are pointer-stable and carry their own mutex.
+  mutable std::mutex txns_mu_;
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> txns_;
   TxnId next_txn_ = 1;
-  TxnStats stats_;
+
+  // Per-field atomic stats: bumped from several worker threads.
+  struct AtomicTxnStats {
+    std::atomic<uint64_t> begun{0};
+    std::atomic<uint64_t> committed{0};
+    std::atomic<uint64_t> aborted{0};
+    std::atomic<uint64_t> before_images_logged{0};
+    std::atomic<uint64_t> before_images_avoided{0};
+  };
+  AtomicTxnStats stats_;
 
   // Observability (null / false = disabled).
   bool obs_attached_ = false;

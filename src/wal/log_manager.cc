@@ -1,7 +1,9 @@
 #include "wal/log_manager.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/crc32.h"
 
@@ -17,8 +19,12 @@ LogManager::LogManager(const Options& options)
     : options_(options), stable_(options.copies) {}
 
 Result<Lsn> LogManager::Append(LogRecord record) {
-  const Lsn lsn = next_lsn_;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Lsn lsn = next_lsn_.load(std::memory_order_relaxed);
   record.lsn = lsn;
+  if (record.type == LogRecordType::kCommit) {
+    ++buffered_commits_;
+  }
   // Encode straight into the append buffer (no per-record payload vector),
   // then backfill the frame header once the length is known.
   const size_t offset = buffer_.size();
@@ -31,19 +37,26 @@ Result<Lsn> LogManager::Append(LogRecord record) {
   std::memcpy(buffer_.data() + offset, &length, sizeof(length));
   std::memcpy(buffer_.data() + offset + 4, &crc, sizeof(crc));
   pending_index_.push_back(lsn);
-  next_lsn_ += kFrameHeaderSize + length;
+  next_lsn_.store(lsn + kFrameHeaderSize + length, std::memory_order_release);
   obs::Inc(records_counter_);
   obs::Inc(bytes_counter_, kFrameHeaderSize + length);
   return lsn;
 }
 
-Status LogManager::Flush() {
+Status LogManager::FlushLocked() {
   if (buffer_.empty()) {
     return Status::Ok();
   }
+  std::vector<uint8_t> chunk = std::move(buffer_);
+  buffer_.clear();
+  std::vector<Lsn> chunk_index = std::move(pending_index_);
+  pending_index_.clear();
+  buffered_commits_ = 0;
+
   // Pages touched by this flush, tail page re-write included.
-  const uint64_t first_page = flushed_bytes_ / options_.page_size;
-  const uint64_t new_total = flushed_bytes_ + buffer_.size();
+  const uint64_t flushed = flushed_bytes_.load(std::memory_order_relaxed);
+  const uint64_t first_page = flushed / options_.page_size;
+  const uint64_t new_total = flushed + chunk.size();
   const uint64_t last_page = (new_total - 1) / options_.page_size;
   const uint64_t pages = last_page - first_page + 1;
   counters_.page_writes += pages * options_.copies;
@@ -51,29 +64,72 @@ Status LogManager::Flush() {
   obs::Inc(pages_flushed_counter_, pages * options_.copies);
 
   for (auto& copy : stable_) {
-    copy.insert(copy.end(), buffer_.begin(), buffer_.end());
+    copy.insert(copy.end(), chunk.begin(), chunk.end());
   }
-  stable_index_.insert(stable_index_.end(), pending_index_.begin(),
-                       pending_index_.end());
-  pending_index_.clear();
-  flushed_bytes_ = new_total;
-  buffer_.clear();
+  stable_index_.insert(stable_index_.end(), chunk_index.begin(),
+                       chunk_index.end());
+  flushed_bytes_.store(new_total, std::memory_order_release);
   return Status::Ok();
 }
 
+Status LogManager::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status LogManager::CommitFlush(Lsn lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (lsn < commit_durable_bytes_) {
+      return Status::Ok();  // A completed batch already covered this commit.
+    }
+    if (!flush_active_) {
+      break;  // No batch in flight: this thread leads the next one.
+    }
+    cv_.wait(lock);  // Follower: the leader's wake-up re-checks coverage.
+  }
+  flush_active_ = true;
+  if (options_.group_commit_window_us > 0) {
+    // Linger to gather followers into the batch before paying the flush.
+    lock.unlock();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.group_commit_window_us));
+    lock.lock();
+  }
+  const uint64_t batch = std::max<uint64_t>(buffered_commits_, 1);
+  // Publish first, then pay the device latency with mu_ released. The whole
+  // point of group commit: concurrent transactions append (and queue up as
+  // the next batch) while this batch's latency elapses — and plain WAL-rule
+  // flushes publish freely in the meantime, ordered after this batch.
+  const Status status = FlushLocked();
+  const uint64_t published = flushed_bytes_.load(std::memory_order_relaxed);
+  if (status.ok() && options_.flush_delay_us > 0) {
+    lock.unlock();
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.flush_delay_us));
+    lock.lock();
+  }
+  commit_durable_bytes_ = std::max(commit_durable_bytes_, published);
+  flush_active_ = false;
+  obs::Inc(batches_counter_);
+  obs::Observe(batch_size_hist_, static_cast<double>(batch));
+  cv_.notify_all();
+  return status;
+}
+
 Status LogManager::Scan(Lsn from, std::vector<LogRecord>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   out->clear();
+  const uint64_t flushed = flushed_bytes_.load(std::memory_order_relaxed);
   // Seek: the boundary index hands us the first record with lsn >= from
   // directly — the skipped prefix is neither read nor re-deserialized.
   const auto begin = std::lower_bound(stable_index_.begin(),
                                       stable_index_.end(), from);
-  const Lsn start_pos =
-      begin == stable_index_.end() ? flushed_bytes_ : *begin;
+  const Lsn start_pos = begin == stable_index_.end() ? flushed : *begin;
   out->reserve(stable_index_.end() - begin);
   for (auto it = begin; it != stable_index_.end(); ++it) {
     const Lsn pos = *it;
-    const Lsn next =
-        (it + 1) == stable_index_.end() ? flushed_bytes_ : *(it + 1);
+    const Lsn next = (it + 1) == stable_index_.end() ? flushed : *(it + 1);
     const size_t offset = pos - base_lsn_;
     const uint32_t frame_length =
         static_cast<uint32_t>(next - pos - kFrameHeaderSize);
@@ -112,14 +168,15 @@ Status LogManager::Scan(Lsn from, std::vector<LogRecord>* out) const {
   // Account the sequential read of the scanned portion, once (a recovery
   // scan reads one copy unless it hits corruption; close enough for the
   // simulator's accounting). Seeking past a prefix means not paying for it.
-  counters_.page_reads += (flushed_bytes_ - start_pos + options_.page_size -
-                           1) /
-                          options_.page_size;
+  counters_.page_reads +=
+      (flushed - start_pos + options_.page_size - 1) / options_.page_size;
   return Status::Ok();
 }
 
 Status LogManager::Truncate(Lsn up_to) {
-  if (up_to < base_lsn_ || up_to > flushed_bytes_) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t flushed = flushed_bytes_.load(std::memory_order_relaxed);
+  if (up_to < base_lsn_ || up_to > flushed) {
     return Status::InvalidArgument("truncation point outside stable log");
   }
   // `up_to` must be a record boundary: the start of a stable record (index
@@ -127,7 +184,7 @@ Status LogManager::Truncate(Lsn up_to) {
   const auto it = std::lower_bound(stable_index_.begin(), stable_index_.end(),
                                    up_to);
   const bool is_boundary =
-      up_to == flushed_bytes_ || (it != stable_index_.end() && *it == up_to);
+      up_to == flushed || (it != stable_index_.end() && *it == up_to);
   if (!is_boundary) {
     return Status::InvalidArgument("truncation point not a record boundary");
   }
@@ -145,15 +202,25 @@ void LogManager::AttachObs(obs::ObsHub* hub) {
   bytes_counter_ = obs::GetCounter(hub, "wal.bytes_appended");
   forces_counter_ = obs::GetCounter(hub, "wal.forces");
   pages_flushed_counter_ = obs::GetCounter(hub, "wal.pages_flushed");
+  batches_counter_ = obs::GetCounter(hub, "wal.group_commit_batches");
+  batch_size_hist_ = obs::GetHistogram(hub, "wal.group_commit_batch_size",
+                                       {1, 2, 4, 8, 16, 32});
 }
 
 void LogManager::LoseVolatileState() {
+  std::lock_guard<std::mutex> lock(mu_);
   buffer_.clear();
   pending_index_.clear();
-  next_lsn_ = flushed_bytes_;
+  buffered_commits_ = 0;
+  // Everything published survived the crash; the latency watermark is a
+  // runtime accounting artifact, so it catches up to the stable tail.
+  commit_durable_bytes_ = flushed_bytes_.load(std::memory_order_relaxed);
+  next_lsn_.store(flushed_bytes_.load(std::memory_order_relaxed),
+                  std::memory_order_release);
 }
 
 void LogManager::CorruptStableByteForTest(uint32_t copy, size_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (copy < stable_.size() && offset < stable_[copy].size()) {
     stable_[copy][offset] ^= 0xff;
   }

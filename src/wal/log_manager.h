@@ -1,7 +1,10 @@
 #ifndef RDA_WAL_LOG_MANAGER_H_
 #define RDA_WAL_LOG_MANAGER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -24,12 +27,35 @@ namespace rda {
 // Transfer accounting mirrors the paper's metric: every Flush counts the
 // log pages it touches (including the re-write of a partially filled tail
 // page) once per copy.
+//
+// Thread safety + group commit: all mutation is serialized under one mutex.
+// CommitFlush(lsn) implements leader/follower group commit — the first
+// committer to find no flush in progress becomes the leader, optionally
+// lingers for `group_commit_window_us` to let more committers append,
+// publishes the whole buffered batch to the stable streams, then sleeps out
+// the simulated device latency (`flush_delay_us`) with the mutex RELEASED.
+// Commit durability is tracked by a separate watermark that advances only
+// when the leader's latency elapses, so every commit in the batch waits out
+// the (single, shared) device delay; committers arriving during that window
+// append into the next batch. One delay therefore covers many commits — the
+// classic group-commit amortization. Plain Flush() publishes immediately
+// and never queues behind a sleeping leader: the modeled latency charges
+// commit durability only, keeping WAL-rule forces (steal, propagation,
+// checkpoint) cheap and deterministic.
 class LogManager {
  public:
   struct Options {
     size_t page_size = 512;
     // Number of stable copies. The paper duplexes the log; 2 is default.
     uint32_t copies = 2;
+    // Simulated device latency of one stable flush, slept with the log
+    // mutex released so concurrent appenders proceed. 0 = instantaneous
+    // (the single-threaded / deterministic-test default).
+    uint32_t flush_delay_us = 0;
+    // How long a group-commit leader lingers (mutex released) before
+    // flushing, to gather followers into its batch. 0 = flush immediately;
+    // with a nonzero flush_delay_us the delay itself already batches.
+    uint32_t group_commit_window_us = 0;
   };
 
   explicit LogManager(const Options& options);
@@ -40,13 +66,24 @@ class LogManager {
   // Buffers `record`, assigns and returns its LSN.
   Result<Lsn> Append(LogRecord record);
 
-  // Forces all buffered records to every stable copy.
+  // Forces all buffered records to every stable copy, immediately — it
+  // neither pays flush_delay_us nor waits for a leader sleeping one out
+  // (that latency models the commit-path force only; steal/checkpoint/
+  // propagation forces stay cheap and deterministic).
   Status Flush();
 
+  // Group-commit force: blocks until the record at `lsn` is commit-durable.
+  // Either the batch in flight already covers it (follower: wait for the
+  // leader's wake-up), or this thread leads the next batch and pays the
+  // (shared) flush_delay_us for every commit batched behind it.
+  Status CommitFlush(Lsn lsn);
+
   // First LSN not yet assigned.
-  Lsn next_lsn() const { return next_lsn_; }
+  Lsn next_lsn() const { return next_lsn_.load(std::memory_order_acquire); }
   // All records with lsn < flushed_lsn() survive a crash.
-  Lsn flushed_lsn() const { return flushed_bytes_; }
+  Lsn flushed_lsn() const {
+    return flushed_bytes_.load(std::memory_order_acquire);
+  }
 
   // Decodes all *stable* records with lsn >= from, in LSN order. The
   // LSN->offset boundary index positions the scan directly at the first
@@ -64,25 +101,60 @@ class LogManager {
   Status Truncate(Lsn up_to);
 
   // First LSN still present in the stable log (0 until truncated).
-  Lsn base_lsn() const { return base_lsn_; }
+  Lsn base_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return base_lsn_;
+  }
 
   // Test hook: flips a byte in stable copy `copy` at byte offset `offset`.
   void CorruptStableByteForTest(uint32_t copy, size_t offset);
 
-  const IoCounters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = IoCounters(); }
-  uint64_t stable_bytes() const { return flushed_bytes_; }
+  // Snapshot by value: concurrent flushes mutate the counters under mu_.
+  IoCounters counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
+  void ResetCounters() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_ = IoCounters();
+  }
+  uint64_t stable_bytes() const {
+    return flushed_bytes_.load(std::memory_order_acquire);
+  }
 
-  // Hooks the log into the observability hub (`wal.*` counters). Null
-  // detaches.
+  // Hooks the log into the observability hub (`wal.*` counters, plus the
+  // group-commit batch-size histogram). Null detaches.
   void AttachObs(obs::ObsHub* hub);
 
  private:
+  // Moves the current buffer to the stable copies, entirely under mu_ (the
+  // caller holds it). Publication is immediate; any simulated latency is
+  // the caller's business (CommitFlush sleeps AFTER publishing).
+  Status FlushLocked();
+
   Options options_;
+  // Serializes all log state. Leaf-ward lock: nothing above the WAL is
+  // acquired while held (see DESIGN.md section 11 for the latch order).
+  mutable std::mutex mu_;
+  // Signalled when a flush completes (followers re-check durability).
+  mutable std::condition_variable cv_;
+  // True while a commit leader is in CommitFlush (lingering or sleeping out
+  // flush_delay_us with mu_ released). Keeps other COMMITTERS out; plain
+  // Flush() ignores it.
+  bool flush_active_ = false;
+  // Commit records sitting in the volatile buffer — the size of the batch
+  // the next flush will make durable.
+  uint64_t buffered_commits_ = 0;
+  // High-water mark of commit durability: records below it have had their
+  // batch's flush_delay_us fully paid. Lags flushed_bytes_ while a leader
+  // sleeps. Guarded by mu_.
+  uint64_t commit_durable_bytes_ = 0;
   std::vector<std::vector<uint8_t>> stable_;  // One byte stream per copy.
   std::vector<uint8_t> buffer_;               // Volatile tail.
-  Lsn next_lsn_ = 0;
-  uint64_t flushed_bytes_ = 0;
+  // Atomic so next_lsn()/flushed_lsn() stay lock-free (they are read on
+  // every page write to stamp page_lsn).
+  std::atomic<Lsn> next_lsn_{0};
+  std::atomic<uint64_t> flushed_bytes_{0};
   // Absolute LSN of the first byte still stored in stable_ (see Truncate).
   Lsn base_lsn_ = 0;
   // LSN -> byte-offset index: the absolute LSN of every STABLE record
@@ -102,6 +174,8 @@ class LogManager {
   obs::Counter* bytes_counter_ = nullptr;
   obs::Counter* forces_counter_ = nullptr;
   obs::Counter* pages_flushed_counter_ = nullptr;
+  obs::Counter* batches_counter_ = nullptr;
+  obs::Histogram* batch_size_hist_ = nullptr;
 };
 
 }  // namespace rda

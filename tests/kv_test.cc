@@ -158,10 +158,10 @@ TEST_F(KvStoreTest, CollisionsResolveByProbing) {
   const uint32_t capacity = static_cast<uint32_t>(kv_->capacity());
   ASSERT_GE(capacity, 3u);
   for (uint32_t i = 0; i < capacity; ++i) {
-    PutCommitted("c" + std::to_string(i), std::to_string(i));
+    PutCommitted(std::string("c") + std::to_string(i), std::to_string(i));
   }
   for (uint32_t i = 0; i < capacity; ++i) {
-    auto value = GetCommitted("c" + std::to_string(i));
+    auto value = GetCommitted(std::string("c") + std::to_string(i));
     ASSERT_TRUE(value.ok()) << i;
     EXPECT_EQ(*value, std::to_string(i));
   }
@@ -191,12 +191,12 @@ TEST_F(KvStoreTest, RandomizedOracleWithCrashes) {
   Random rng(909);
   std::map<std::string, std::string> oracle;
   for (int step = 0; step < 300; ++step) {
-    const std::string key = "k" + std::to_string(rng.Uniform(40));
+    const std::string key = std::string("k") + std::to_string(rng.Uniform(40));
     const double dice = rng.NextDouble();
     auto txn = db_->Begin();
     ASSERT_TRUE(txn.ok());
     if (dice < 0.55) {
-      const std::string value = "v" + std::to_string(rng.Uniform(10000));
+      const std::string value = std::string("v") + std::to_string(rng.Uniform(10000));
       ASSERT_TRUE(kv_->Put(*txn, key, value).ok());
       if (rng.Bernoulli(0.8)) {
         ASSERT_TRUE(db_->Commit(*txn).ok());

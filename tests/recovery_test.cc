@@ -408,5 +408,51 @@ TEST_F(CrashRecoveryTest, FlushedBotWithoutWorkIsCleanLoser) {
   EXPECT_TRUE(second->losers.empty());
 }
 
+// Regression: after a restart, RebuildDirectory must seed the timestamp
+// counter ABOVE every timestamp already stamped on stable twins. If the
+// counter restarted low, the first post-restart unlogged update would get a
+// twin timestamp not newer than the committed twin's, the WORKING/committed
+// classification would pick the wrong image, and undo would restore stale
+// data.
+TEST_F(CrashRecoveryTest, RestartSeedsTimestampsAboveStableTwins) {
+  Open();
+  // Several committed generations inflate the pre-crash timestamps.
+  for (const uint8_t fill : {0x11, 0x22, 0xAA}) {
+    auto txn = db_->Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(db_->WritePage(*txn, 1, UserBytes(fill)).ok());
+    Steal(1);
+    ASSERT_TRUE(db_->Commit(*txn).ok());
+  }
+
+  db_->Crash();
+  ASSERT_TRUE(db_->Recover().ok());
+  EXPECT_EQ(DiskByte(1), 0xAA);
+
+  // Runtime undo after the restart: the fresh twin must be classified as
+  // the working (newer) image so parity undo restores 0xAA, not vice versa.
+  auto loser = db_->Begin();
+  ASSERT_TRUE(loser.ok());
+  ASSERT_TRUE(db_->WritePage(*loser, 1, UserBytes(0xBB)).ok());
+  Steal(1);
+  EXPECT_EQ(DiskByte(1), 0xBB);
+  ASSERT_TRUE(db_->Abort(*loser).ok());
+  EXPECT_EQ(DiskByte(1), 0xAA);
+  ExpectParityConsistent();
+
+  // Crash undo after the restart: same property through recovery.
+  auto crash_loser = db_->Begin();
+  ASSERT_TRUE(crash_loser.ok());
+  ASSERT_TRUE(db_->WritePage(*crash_loser, 1, UserBytes(0xCC)).ok());
+  Steal(1);
+  EXPECT_EQ(DiskByte(1), 0xCC);
+  db_->Crash();
+  auto report = db_->Recover();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report->parity_undos, 1u);
+  EXPECT_EQ(DiskByte(1), 0xAA);
+  ExpectParityConsistent();
+}
+
 }  // namespace
 }  // namespace rda

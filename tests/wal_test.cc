@@ -338,5 +338,75 @@ TEST(LogManagerTest, PartialScanSeeksAndChargesSuffixOnly) {
   EXPECT_EQ(log.counters().page_reads, 0u);
 }
 
+// --- truncation boundary semantics (archive log truncation) ---
+
+TEST(LogManagerTest, TruncateExactlyAtRecordBoundaryKeepsSuffix) {
+  LogManager log(LogManager::Options{});
+  LogRecord r = SampleRecord();
+  r.txn = 1;
+  ASSERT_TRUE(log.Append(r).ok());
+  r.txn = 2;
+  auto second = log.Append(r);
+  ASSERT_TRUE(second.ok());
+  r.txn = 3;
+  ASSERT_TRUE(log.Append(r).ok());
+  ASSERT_TRUE(log.Flush().ok());
+
+  ASSERT_TRUE(log.Truncate(*second).ok());
+  EXPECT_EQ(log.base_lsn(), *second);
+
+  // LSNs stay absolute: a scan from 0 starts at the new base, a scan from
+  // the truncation point itself sees exactly the surviving records.
+  std::vector<LogRecord> records;
+  ASSERT_TRUE(log.Scan(0, &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].txn, 2u);
+  EXPECT_EQ(records[0].lsn, *second);
+  ASSERT_TRUE(log.Scan(*second, &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+}
+
+TEST(LogManagerTest, TruncateAtFlushedEndEmptiesLog) {
+  LogManager log(LogManager::Options{});
+  ASSERT_TRUE(log.Append(SampleRecord()).ok());
+  ASSERT_TRUE(log.Append(SampleRecord()).ok());
+  ASSERT_TRUE(log.Flush().ok());
+
+  ASSERT_TRUE(log.Truncate(log.flushed_lsn()).ok());
+  EXPECT_EQ(log.base_lsn(), log.flushed_lsn());
+  std::vector<LogRecord> records;
+  ASSERT_TRUE(log.Scan(0, &records).ok());
+  EXPECT_TRUE(records.empty());
+
+  // The log keeps working: post-truncation appends scan out normally.
+  LogRecord r = SampleRecord();
+  r.txn = 42;
+  ASSERT_TRUE(log.Append(r).ok());
+  ASSERT_TRUE(log.Flush().ok());
+  ASSERT_TRUE(log.Scan(0, &records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].txn, 42u);
+}
+
+TEST(LogManagerTest, TruncateBeyondFlushedOrOffBoundaryRejected) {
+  LogManager log(LogManager::Options{});
+  auto first = log.Append(SampleRecord());
+  ASSERT_TRUE(first.ok());
+  auto second = log.Append(SampleRecord());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(log.Flush().ok());
+
+  // Above the stable tail.
+  EXPECT_TRUE(log.Truncate(log.flushed_lsn() + 1).IsInvalidArgument());
+  // Inside a record frame (not a boundary).
+  EXPECT_TRUE(log.Truncate(*second + 1).IsInvalidArgument());
+
+  // Below the base after a real truncation: the prefix is gone for good.
+  ASSERT_TRUE(log.Truncate(*second).ok());
+  EXPECT_TRUE(log.Truncate(*first).IsInvalidArgument());
+  // Re-truncating exactly at the base is a no-op, not an error.
+  EXPECT_TRUE(log.Truncate(*second).ok());
+}
+
 }  // namespace
 }  // namespace rda
