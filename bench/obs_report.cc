@@ -134,8 +134,13 @@ int main() {
       json += std::to_string(sim_result->committed);
       json += ",\"total_transfers\":";
       json += std::to_string(sim_result->total_transfers);
+      const rda::obs::MetricsSnapshot snapshot = db->SnapshotMetrics();
+      // Surfaced explicitly: a non-zero drop count means the retained trace
+      // is a suffix of the run, not the whole story.
+      json += ",\"trace_dropped\":";
+      json += std::to_string(snapshot.CounterValue("obs.trace_dropped"));
       json += ",\"metrics\":";
-      json += rda::obs::MetricsToJson(db->SnapshotMetrics());
+      json += rda::obs::MetricsToJson(snapshot);
       json += ",\"recovery_phases\":";
       AppendPhases(&json, recovery);
       json += ",\"recovery\":{\"parity_undos\":";
@@ -147,11 +152,13 @@ int main() {
       json += "}}";
 
       std::printf("%-20s rda=%d: %llu committed, %llu transfers, "
-                  "%zu recovery phases\n",
+                  "%zu recovery phases, %llu trace events dropped\n",
                   config.name, rda_on ? 1 : 0,
                   static_cast<unsigned long long>(sim_result->committed),
                   static_cast<unsigned long long>(sim_result->total_transfers),
-                  recovery.phases.size());
+                  recovery.phases.size(),
+                  static_cast<unsigned long long>(
+                      snapshot.CounterValue("obs.trace_dropped")));
     }
   }
   json += "]}\n";

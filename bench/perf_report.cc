@@ -5,6 +5,7 @@
 // JSON (BENCH_perf.json) for the README results table and CI artifact.
 //
 // Usage: perf_report [output.json]   (default: BENCH_perf.json in cwd)
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -17,6 +18,7 @@
 #include "common/random.h"
 #include "common/xor_util.h"
 #include "core/database.h"
+#include "obs/span.h"
 
 namespace {
 
@@ -260,6 +262,54 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- span hooks: ~zero-cost when disabled ---
+  // A ScopedSpan with a null collector and null histogram must not even
+  // read the clock; its per-op cost over an empty baseline loop is asserted
+  // below a CI-safe ceiling. The enabled cost (two clock reads + one
+  // lock-free ring push) is reported alongside for scale.
+  auto measure_ns_per_op = [](const std::function<void()>& body) {
+    for (int i = 0; i < 1024; ++i) {
+      body();  // Warm up.
+    }
+    uint64_t iters = 0;
+    const auto start = Clock::now();
+    const auto deadline = start + std::chrono::milliseconds(100);
+    while (Clock::now() < deadline) {
+      for (int i = 0; i < 4096; ++i) {
+        body();
+      }
+      iters += 4096;
+    }
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return secs * 1e9 / static_cast<double>(iters);
+  };
+  const double span_baseline_ns =
+      measure_ns_per_op([] { g_sink = g_sink + 1; });
+  const double span_disabled_raw_ns = measure_ns_per_op([] {
+    rda::obs::ScopedSpan span(nullptr, rda::obs::SpanKind::kTxnCommit);
+    g_sink = g_sink + 1;
+  });
+  rda::obs::SpanCollector span_collector(1024);
+  rda::obs::Histogram span_hist({1, 10, 100, 1000});
+  const double span_enabled_raw_ns = measure_ns_per_op([&] {
+    rda::obs::ScopedSpan span(&span_collector, rda::obs::SpanKind::kTxnCommit,
+                              &span_hist);
+    g_sink = g_sink + 1;
+  });
+  const double span_disabled_ns =
+      std::max(0.0, span_disabled_raw_ns - span_baseline_ns);
+  const double span_enabled_ns =
+      std::max(0.0, span_enabled_raw_ns - span_baseline_ns);
+  constexpr double kSpanDisabledCeilingNs = 25.0;
+  if (span_disabled_ns > kSpanDisabledCeilingNs) {
+    std::fprintf(stderr,
+                 "FAIL: disabled-obs ScopedSpan costs %.2f ns/op "
+                 "(ceiling %.0f ns) — the null fast path regressed\n",
+                 span_disabled_ns, kSpanDisabledCeilingNs);
+    return 1;
+  }
+
   // --- fault hooks: zero-cost when disabled ---
   // The same deterministic workload with (a) no injectors and (b) armed
   // injectors at zero probability. The I/O must be EXACTLY identical — any
@@ -298,6 +348,9 @@ int main(int argc, char** argv) {
               "zero), wall-clock ratio %.3f\n",
               static_cast<unsigned long long>(fault_off.total_transfers),
               fault_wallclock_ratio);
+  std::printf("span hooks: disabled %.2f ns/op (ceiling %.0f), "
+              "enabled %.1f ns/op\n",
+              span_disabled_ns, kSpanDisabledCeilingNs, span_enabled_ns);
   std::printf("\n%-16s %6s %14s %16s\n", "config", "rda", "txns/sec",
               "transfers/txn");
   for (const EndToEndResult& r : results) {
@@ -342,6 +395,12 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(fault_zero.total_transfers));
   std::fprintf(out, "    \"wallclock_ratio_armed_zero\": %.3f\n",
                fault_wallclock_ratio);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"span_overhead\": {\n");
+  std::fprintf(out, "    \"disabled_ns_per_op\": %.3f,\n", span_disabled_ns);
+  std::fprintf(out, "    \"enabled_ns_per_op\": %.3f,\n", span_enabled_ns);
+  std::fprintf(out, "    \"disabled_ceiling_ns\": %.1f\n",
+               kSpanDisabledCeilingNs);
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);

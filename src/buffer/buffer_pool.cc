@@ -64,6 +64,9 @@ Result<Frame*> BufferPool::FetchLocked(Shard& shard, PageId page,
   }
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(misses_counter_);
+  obs::ScopedSpan miss_span(spans_, obs::SpanKind::kBufferFetchMiss,
+                            /*histogram=*/nullptr,
+                            static_cast<int64_t>(page));
   while (shard.frames.size() >= shard.capacity) {
     RDA_RETURN_IF_ERROR(EvictOneLocked(shard));
   }
@@ -129,6 +132,7 @@ void BufferPool::Unpin(PageId page) {
 }
 
 Status BufferPool::EvictOneLocked(Shard& shard) {
+  obs::ScopedSpan evict_span(spans_, obs::SpanKind::kBufferEvict);
   // Walk the recency list from the cold end: the first evictable frame is
   // exactly the minimum-recency victim a full scan would have picked. A
   // frame whose propagation reports kBusy (its modifier is mid-EOT on
@@ -212,6 +216,7 @@ void BufferPool::AttachObs(obs::ObsHub* hub) {
   evictions_counter_ = obs::GetCounter(hub, "buffer.evictions");
   steals_counter_ = obs::GetCounter(hub, "buffer.steals");
   latch_waits_counter_ = obs::GetCounter(hub, "buffer.latch_waits");
+  spans_ = obs::SpansOf(hub);
 }
 
 void BufferPool::Discard(PageId page) {

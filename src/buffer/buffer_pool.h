@@ -239,6 +239,9 @@ class BufferPool {
   obs::Counter* evictions_counter_ = nullptr;
   obs::Counter* steals_counter_ = nullptr;
   obs::Counter* latch_waits_counter_ = nullptr;
+  // Latency spans on the miss/evict paths only — a cache hit never reads
+  // the clock.
+  obs::SpanCollector* spans_ = nullptr;
 };
 
 }  // namespace rda

@@ -49,7 +49,8 @@ Result<std::unique_ptr<Database>> Database::Open(
       db->txn_manager_.get(), db->parity_.get(), db->log_.get());
   // Attach observability last, after formatting: format I/O is not workload
   // I/O, and the obs counters should match the freshly reset array counters.
-  if (opts.obs.enable_metrics || opts.obs.enable_trace) {
+  if (opts.obs.enable_metrics || opts.obs.enable_trace ||
+      opts.obs.enable_spans) {
     db->obs_ = std::make_unique<obs::ObsHub>(opts.obs);
     db->array_->AttachObs(db->obs_.get());
     db->parity_->AttachObs(db->obs_.get());
@@ -300,6 +301,15 @@ Status Database::DumpMetrics(const std::string& path) const {
     return Status::FailedPrecondition("metrics are disabled");
   }
   return WriteTextFile(path, MetricsJson());
+}
+
+Status Database::DumpChromeTrace(const std::string& path) const {
+  const obs::SpanCollector* spans = obs_ != nullptr ? obs_->spans() : nullptr;
+  const obs::TraceBuffer* trace = obs_ != nullptr ? obs_->trace() : nullptr;
+  if (spans == nullptr && trace == nullptr) {
+    return Status::FailedPrecondition("spans and tracing are disabled");
+  }
+  return WriteTextFile(path, obs::ChromeTraceJson(spans, trace));
 }
 
 }  // namespace rda

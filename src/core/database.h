@@ -37,8 +37,9 @@ struct DatabaseOptions {
   // ACC checkpoint interval, measured in update operations; 0 disables
   // automatic checkpoints (TOC / FORCE configurations).
   uint64_t checkpoint_interval_updates = 0;
-  // Engine-wide metrics + trace. Disabling both makes the hub null and
-  // instrumentation collapses to a pointer test per site.
+  // Engine-wide metrics + trace + latency spans. Disabling all of them
+  // makes the hub null and instrumentation collapses to a pointer test
+  // per site.
   obs::ObsOptions obs;
   // Sector-level fault injection (DESIGN.md section 10). With
   // fault.enabled false (the default) no injectors are created and every
@@ -184,6 +185,9 @@ class Database {
   // Writes the retained trace (JSON) / metrics (JSON) to `path`.
   Status DumpTrace(const std::string& path) const;
   Status DumpMetrics(const std::string& path) const;
+  // Writes the recorded latency spans (plus trace events) as a Chrome
+  // Trace Event Format file, loadable in Perfetto / chrome://tracing.
+  Status DumpChromeTrace(const std::string& path) const;
 
  private:
   explicit Database(const DatabaseOptions& options);

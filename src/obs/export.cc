@@ -290,6 +290,84 @@ std::string MetricsToCsv(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+namespace {
+
+void AppendMicros(std::string* out, uint64_t ns) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.3f",
+                static_cast<double>(ns) / 1000.0);
+  *out += buffer;
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const SpanCollector* spans,
+                            const TraceBuffer* trace) {
+  std::string out = "{";
+  AppendKey(&out, "displayTimeUnit");
+  out += "\"ms\",";
+  AppendKey(&out, "traceEvents");
+  out += '[';
+  bool first = true;
+  auto comma = [&out, &first]() {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+  };
+  // One metadata event names the process for the Perfetto track header.
+  comma();
+  out +=
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"rda\"}}";
+  if (spans != nullptr) {
+    for (const auto& thread : spans->SnapshotAll()) {
+      for (const SpanRecord& span : thread.spans) {
+        comma();
+        out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+        AppendU64(&out, thread.thread_index + 1);
+        out += ",\"cat\":\"span\",\"name\":\"";
+        out += SpanKindName(span.kind);
+        out += "\",\"ts\":";
+        AppendMicros(&out, span.start_ns);
+        out += ",\"dur\":";
+        AppendMicros(&out, span.duration_ns);
+        out += ",\"args\":{\"depth\":";
+        AppendU64(&out, span.depth);
+        if (span.detail != 0) {
+          out += ",\"detail\":";
+          AppendI64(&out, span.detail);
+        }
+        out += "}}";
+      }
+    }
+  }
+  if (trace != nullptr) {
+    for (const TraceEvent& event : trace->Events()) {
+      comma();
+      out += "{\"ph\":\"i\",\"s\":\"p\",\"pid\":1,\"tid\":0,\"cat\":\"";
+      out += SubsystemName(event.subsystem);
+      out += "\",\"name\":\"";
+      out += EventKindName(event.kind);
+      out += "\",\"ts\":";
+      AppendMicros(&out, event.wall_ns);
+      out += ",\"args\":{\"tick\":";
+      AppendU64(&out, event.tick);
+      if (event.page != kInvalidPageId) {
+        out += ",\"page\":";
+        AppendU64(&out, event.page);
+      }
+      if (event.txn != kInvalidTxnId) {
+        out += ",\"txn\":";
+        AppendU64(&out, event.txn);
+      }
+      out += "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
 std::string TraceToJson(const TraceBuffer& trace) {
   std::string out = "{";
   AppendKey(&out, "total_recorded");

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace rda::obs {
@@ -32,6 +33,14 @@ std::string MetricsToCsv(const MetricsSnapshot& snapshot);
 //   {"total_recorded":n,"dropped":d,"events":[{...},...]}
 // Transition events render their from/to states as names.
 std::string TraceToJson(const TraceBuffer& trace);
+
+// Spans (+ optionally trace events) -> Chrome Trace Event Format, loadable
+// in Perfetto / chrome://tracing: complete ("ph":"X") events per span with
+// microsecond ts/dur on one track per emitting thread (nesting reconstructs
+// from containment), plus instant ("ph":"i") events for the retained
+// TraceBuffer entries on track 0. Either pointer may be null.
+std::string ChromeTraceJson(const SpanCollector* spans,
+                            const TraceBuffer* trace);
 
 // Minimal JSON string escaping, exposed for bench report writers.
 void AppendJsonEscaped(std::string* out, std::string_view text);

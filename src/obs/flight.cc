@@ -1,0 +1,152 @@
+#include "obs/flight.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "obs/export.h"
+
+namespace rda::obs {
+namespace {
+
+void AppendU64(std::string* out, uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  *out += buffer;
+}
+
+void AppendI64(std::string* out, int64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64, value);
+  *out += buffer;
+}
+
+void AppendMicros(std::string* out, uint64_t ns) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.3f",
+                static_cast<double>(ns) / 1000.0);
+  *out += buffer;
+}
+
+void AppendKey(std::string* out, std::string_view key) {
+  *out += '"';
+  AppendJsonEscaped(out, key);
+  *out += "\":";
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(SpanCollector* spans, TraceBuffer* trace,
+                               size_t last_n)
+    : spans_(spans), trace_(trace), last_n_(last_n == 0 ? 1 : last_n) {}
+
+void FlightRecorder::set_output_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = std::move(path);
+}
+
+std::string FlightRecorder::output_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+std::string FlightRecorder::BuildDump(std::string_view reason) const {
+  std::string out = "{";
+  AppendKey(&out, "reason");
+  out += '"';
+  AppendJsonEscaped(&out, reason);
+  out += "\",";
+  AppendKey(&out, "trigger");
+  AppendU64(&out, triggers_.load(std::memory_order_relaxed));
+  out += ',';
+  AppendKey(&out, "last_n");
+  AppendU64(&out, last_n_);
+  out += ',';
+  AppendKey(&out, "threads");
+  out += '[';
+  if (spans_ != nullptr) {
+    bool first_thread = true;
+    for (const auto& thread : spans_->SnapshotAll()) {
+      if (!first_thread) {
+        out += ',';
+      }
+      first_thread = false;
+      out += '{';
+      AppendKey(&out, "thread");
+      AppendU64(&out, thread.thread_index);
+      out += ',';
+      AppendKey(&out, "recorded");
+      AppendU64(&out, thread.recorded);
+      out += ',';
+      AppendKey(&out, "dropped");
+      AppendU64(&out, thread.dropped);
+      out += ',';
+      AppendKey(&out, "spans");
+      out += '[';
+      const size_t begin =
+          thread.spans.size() > last_n_ ? thread.spans.size() - last_n_ : 0;
+      for (size_t i = begin; i < thread.spans.size(); ++i) {
+        const SpanRecord& span = thread.spans[i];
+        if (i > begin) {
+          out += ',';
+        }
+        out += '{';
+        AppendKey(&out, "name");
+        out += '"';
+        out += SpanKindName(span.kind);
+        out += "\",";
+        AppendKey(&out, "start_us");
+        AppendMicros(&out, span.start_ns);
+        out += ',';
+        AppendKey(&out, "dur_us");
+        AppendMicros(&out, span.duration_ns);
+        out += ',';
+        AppendKey(&out, "depth");
+        AppendU64(&out, span.depth);
+        if (span.detail != 0) {
+          out += ',';
+          AppendKey(&out, "detail");
+          AppendI64(&out, span.detail);
+        }
+        out += '}';
+      }
+      out += "]}";
+    }
+  }
+  out += "],";
+  AppendKey(&out, "trace");
+  if (trace_ != nullptr) {
+    out += TraceToJson(*trace_);
+  } else {
+    out += "null";
+  }
+  out += '}';
+  return out;
+}
+
+void FlightRecorder::Trigger(std::string_view reason) {
+  triggers_.fetch_add(1, std::memory_order_relaxed);
+  std::string dump = BuildDump(reason);
+  std::lock_guard<std::mutex> lock(mu_);
+  last_dump_ = std::move(dump);
+  last_reason_ = std::string(reason);
+  if (!path_.empty()) {
+    std::ofstream file(path_, std::ios::trunc);
+    if (file.is_open()) {
+      file << last_dump_;
+    }
+  }
+}
+
+std::string FlightRecorder::last_dump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_dump_;
+}
+
+std::string FlightRecorder::last_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_reason_;
+}
+
+}  // namespace rda::obs

@@ -1,0 +1,65 @@
+#ifndef RDA_OBS_FLIGHT_H_
+#define RDA_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace rda::obs {
+
+// Crash flight recorder: when a fault escalates (a disk force-failed after
+// exhausting its error budget) or an injected crash-point trips during
+// recovery, it captures the last N spans per thread plus the retained trace
+// events into a post-mortem JSON — the timeline that led into the failure,
+// already in memory, dumped before it scrolls away. Spans and trace may be
+// null (that facility disabled); the dump simply omits them.
+class FlightRecorder {
+ public:
+  FlightRecorder(SpanCollector* spans, TraceBuffer* trace, size_t last_n);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // When set, every Trigger also writes the dump to this file (overwriting:
+  // the latest trigger is the one closest to the failure).
+  void set_output_path(std::string path);
+  std::string output_path() const;
+
+  // Builds the dump JSON without triggering (used by tests and exporters).
+  std::string BuildDump(std::string_view reason) const;
+
+  // Captures and stores a dump, writes it to output_path() if set.
+  void Trigger(std::string_view reason);
+
+  uint64_t trigger_count() const {
+    return triggers_.load(std::memory_order_relaxed);
+  }
+  std::string last_dump() const;
+  std::string last_reason() const;
+
+ private:
+  SpanCollector* const spans_;
+  TraceBuffer* const trace_;
+  const size_t last_n_;
+  std::atomic<uint64_t> triggers_{0};
+  mutable std::mutex mu_;
+  std::string path_;
+  std::string last_dump_;
+  std::string last_reason_;
+};
+
+// Null-safe trigger helper mirroring obs::Inc / obs::Emit.
+inline void TriggerFlight(FlightRecorder* flight, std::string_view reason) {
+  if (flight != nullptr) {
+    flight->Trigger(reason);
+  }
+}
+
+}  // namespace rda::obs
+
+#endif  // RDA_OBS_FLIGHT_H_

@@ -42,6 +42,71 @@ std::vector<uint64_t> Histogram::buckets() const {
   return buckets_;
 }
 
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> buckets;
+  double max_value;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buckets = buckets_;
+    max_value = max_;
+  }
+  return QuantileFromBuckets(bounds_, buckets, q, max_value);
+}
+
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& buckets, double q,
+                           double max_value) {
+  uint64_t total = 0;
+  for (const uint64_t count : buckets) {
+    total += count;
+  }
+  if (total == 0) {
+    return 0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (next < target) {
+      cumulative = next;
+      continue;
+    }
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    // Overflow bucket: the observed maximum is the only honest upper edge.
+    double upper = i < bounds.size() ? bounds[i] : std::max(max_value, lower);
+    const double fraction =
+        (target - cumulative) / static_cast<double>(buckets[i]);
+    return lower + fraction * (upper - lower);
+  }
+  // q == 1 with rounding dust: the last non-empty bucket's upper edge.
+  for (size_t i = buckets.size(); i-- > 0;) {
+    if (buckets[i] > 0) {
+      return i < bounds.size() ? bounds[i] : max_value;
+    }
+  }
+  return 0;
+}
+
+double Quantile(const MetricsSnapshot::HistogramSnapshot& histogram,
+                double q) {
+  return QuantileFromBuckets(histogram.bounds, histogram.buckets, q,
+                             histogram.max);
+}
+
+const MetricsSnapshot::HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const auto& histogram : histograms) {
+    if (histogram.name == name) {
+      return &histogram;
+    }
+  }
+  return nullptr;
+}
+
 void Histogram::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   std::fill(buckets_.begin(), buckets_.end(), 0);

@@ -60,6 +60,9 @@ class Histogram {
   uint64_t count() const;
   double sum() const;
   double max() const;
+  // Bucket-interpolated quantile estimate (q in [0,1]); see
+  // QuantileFromBuckets for the estimation rules. 0 when empty.
+  double Quantile(double q) const;
   const std::vector<double>& bounds() const { return bounds_; }
   // bounds().size() + 1 entries; the last is the overflow bucket. Snapshot
   // copy so a concurrent Observe cannot shear the read.
@@ -96,7 +99,25 @@ struct MetricsSnapshot {
   // Sum of all counters whose name starts with `prefix` (metric names follow
   // the `subsystem.name` convention, so "wal." sums the WAL subsystem).
   uint64_t CounterSum(std::string_view prefix) const;
+  // Histogram snapshot by exact name; null when absent.
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
 };
+
+// Bucket-interpolated quantile estimate over a fixed-bucket histogram.
+// `bounds` are inclusive upper bounds; `buckets` has one extra overflow
+// entry. The target rank q*count is located by cumulative count, then
+// linearly interpolated inside its bucket (a bucket's observations are
+// assumed uniform over [lower bound, upper bound]). The overflow bucket
+// interpolates between the last bound and `max_value` — the observed
+// maximum bounds the estimate instead of returning +inf. Returns 0 for an
+// empty histogram; q is clamped to [0,1].
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<uint64_t>& buckets, double q,
+                           double max_value);
+
+// Convenience overload using the snapshot's own buckets and observed max.
+double Quantile(const MetricsSnapshot::HistogramSnapshot& histogram,
+                double q);
 
 // Registry of named metrics. Get* creates on first use and returns a stable
 // pointer (node-based map), so components resolve each name exactly once.

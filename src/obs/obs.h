@@ -6,7 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace rda::obs {
@@ -16,13 +18,22 @@ struct ObsOptions {
   bool enable_trace = true;
   // Ring capacity of the trace buffer (oldest events dropped beyond this).
   size_t trace_capacity = 4096;
+  // Latency spans: per-thread lock-free rings of ScopedSpan records.
+  bool enable_spans = true;
+  size_t span_ring_capacity = 1024;
+  // Crash flight recorder: dumps the last `flight_last_n` spans per thread
+  // plus the retained trace on fault escalation / crash-point trip. When
+  // `flight_path` is empty the dump is kept in memory only (last_dump()).
+  bool enable_flight = true;
+  size_t flight_last_n = 64;
+  std::string flight_path;
 };
 
 // The per-database observability hub: one MetricsRegistry plus one
-// TraceBuffer, handed (as a nullable pointer) to every engine component via
-// AttachObs. Disabled facilities return null, and instrumentation collapses
-// to a pointer test — the registry-null-check flavour of
-// zero-cost-when-disabled.
+// TraceBuffer, one SpanCollector and one FlightRecorder, handed (as a
+// nullable pointer) to every engine component via AttachObs. Disabled
+// facilities return null, and instrumentation collapses to a pointer test —
+// the registry-null-check flavour of zero-cost-when-disabled.
 class ObsHub {
  public:
   explicit ObsHub(const ObsOptions& options) : options_(options) {
@@ -31,6 +42,18 @@ class ObsHub {
     }
     if (options.enable_trace) {
       trace_ = std::make_unique<TraceBuffer>(options.trace_capacity);
+    }
+    if (trace_ != nullptr && metrics_ != nullptr) {
+      // Ring-overflow drops become a visible metric instead of silence.
+      trace_->SetDroppedCounter(metrics_->GetCounter("obs.trace_dropped"));
+    }
+    if (options.enable_spans) {
+      spans_ = std::make_unique<SpanCollector>(options.span_ring_capacity);
+    }
+    if (options.enable_flight) {
+      flight_ = std::make_unique<FlightRecorder>(spans_.get(), trace_.get(),
+                                                 options.flight_last_n);
+      flight_->set_output_path(options.flight_path);
     }
   }
 
@@ -41,12 +64,18 @@ class ObsHub {
   const MetricsRegistry* metrics() const { return metrics_.get(); }
   TraceBuffer* trace() { return trace_.get(); }
   const TraceBuffer* trace() const { return trace_.get(); }
+  SpanCollector* spans() { return spans_.get(); }
+  const SpanCollector* spans() const { return spans_.get(); }
+  FlightRecorder* flight() { return flight_.get(); }
+  const FlightRecorder* flight() const { return flight_.get(); }
   const ObsOptions& options() const { return options_; }
 
  private:
   ObsOptions options_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<TraceBuffer> trace_;
+  std::unique_ptr<SpanCollector> spans_;
+  std::unique_ptr<FlightRecorder> flight_;
 };
 
 // Attach-time helpers: components resolve their counters once through these
@@ -57,6 +86,14 @@ inline MetricsRegistry* RegistryOf(ObsHub* hub) {
 
 inline TraceBuffer* TraceOf(ObsHub* hub) {
   return hub != nullptr ? hub->trace() : nullptr;
+}
+
+inline SpanCollector* SpansOf(ObsHub* hub) {
+  return hub != nullptr ? hub->spans() : nullptr;
+}
+
+inline FlightRecorder* FlightOf(ObsHub* hub) {
+  return hub != nullptr ? hub->flight() : nullptr;
 }
 
 inline Counter* GetCounter(ObsHub* hub, std::string_view name) {

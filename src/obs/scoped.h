@@ -35,9 +35,11 @@ class ScopedTimer {
 
 // RAII recovery-phase scope: on destruction it appends a PhaseCost (page
 // transfers spent inside the scope, per `transfers_now`, plus wall clock) to
-// `out`, bumps the phase's metric counters and emits kPhaseBegin/kPhaseEnd
-// trace events. `out` is always filled — reports carry the breakdown even
-// when observability is disabled; hub may be null.
+// `out`, bumps the phase's metric counters, observes the wall clock into the
+// phase's `recovery.phase.<slug>.wall_us` histogram, records a
+// kRecoveryPhase latency span, and emits kPhaseBegin/kPhaseEnd trace
+// events. `out` is always filled — reports carry the breakdown even when
+// observability is disabled; hub may be null.
 class ScopedPhase {
  public:
   using TransfersFn = std::function<uint64_t()>;
@@ -61,12 +63,12 @@ class ScopedPhase {
   ScopedPhase& operator=(const ScopedPhase&) = delete;
 
   ~ScopedPhase() {
+    const auto end_tp = std::chrono::steady_clock::now();
     PhaseCost cost;
     cost.phase = phase_;
     cost.page_transfers = transfers_now_() - transfers_at_start_;
-    cost.wall_ms = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - start_)
-                       .count();
+    cost.wall_ms =
+        std::chrono::duration<double, std::milli>(end_tp - start_).count();
     if (out_ != nullptr) {
       out_->push_back(cost);
     }
@@ -75,6 +77,15 @@ class ScopedPhase {
           std::string("recovery.phase.") + PhaseSlug(phase_);
       registry->GetCounter(prefix + ".transfers")->Add(cost.page_transfers);
       registry->GetCounter(prefix + ".runs")->Add(1);
+      registry
+          ->GetHistogram(prefix + ".wall_us",
+                         {10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000,
+                          500000})
+          ->Observe(cost.wall_ms * 1000.0);
+    }
+    if (SpanCollector* spans = SpansOf(hub_)) {
+      spans->RecordInterval(SpanKind::kRecoveryPhase, start_, end_tp,
+                            static_cast<int64_t>(phase_));
     }
     TraceEvent end;
     end.subsystem = Subsystem::kRecovery;

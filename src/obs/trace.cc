@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace rda::obs {
 
 TraceBuffer::TraceBuffer(size_t capacity)
@@ -10,6 +13,7 @@ TraceBuffer::TraceBuffer(size_t capacity)
 }
 
 uint64_t TraceBuffer::Record(TraceEvent event) {
+  event.wall_ns = TraceNowNs();
   std::lock_guard<std::mutex> lock(mu_);
   event.tick = ++total_;
   if (ring_.size() < capacity_) {
@@ -17,8 +21,16 @@ uint64_t TraceBuffer::Record(TraceEvent event) {
   } else {
     ring_[next_] = event;
     next_ = (next_ + 1) % capacity_;
+    if (dropped_counter_ != nullptr) {
+      dropped_counter_->Add(1);
+    }
   }
   return event.tick;
+}
+
+void TraceBuffer::SetDroppedCounter(Counter* counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dropped_counter_ = counter;
 }
 
 size_t TraceBuffer::size() const {

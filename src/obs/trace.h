@@ -82,10 +82,13 @@ struct PhaseCost {
 
 // One trace record. `tick` is a monotone operation tick assigned by the
 // buffer at Record() time — the engine is a discrete-event simulator, so an
-// ordering tick is the honest timestamp. detail/value carry kind-specific
-// scalars (documented at each EventKind).
+// ordering tick is the honest timestamp. `wall_ns` (also stamped at
+// Record(), nanoseconds since the shared trace epoch — see TraceNowNs in
+// span.h) aligns events with latency spans on exported timelines.
+// detail/value carry kind-specific scalars (documented at each EventKind).
 struct TraceEvent {
   uint64_t tick = 0;
+  uint64_t wall_ns = 0;
   Subsystem subsystem = Subsystem::kStorage;
   EventKind kind = EventKind::kGroupTransition;
   PageId page = kInvalidPageId;
@@ -96,6 +99,10 @@ struct TraceEvent {
   uint8_t from_state = 0;
   uint8_t to_state = 0;
 };
+
+// Forward-declared: counting dropped events must not pull metrics.h into
+// every trace consumer.
+class Counter;
 
 // Bounded ring buffer of TraceEvents. When full, the oldest events are
 // overwritten and counted as dropped — tracing never blocks unboundedly or
@@ -110,6 +117,10 @@ class TraceBuffer {
 
   // Stamps `event` with the next tick, stores it, returns the tick.
   uint64_t Record(TraceEvent event);
+
+  // Optional overflow counter (the hub wires "obs.trace_dropped"): bumped
+  // once per event overwritten by a wrapping Record. Null detaches.
+  void SetDroppedCounter(Counter* counter);
 
   // Events currently retained, in chronological order.
   std::vector<TraceEvent> Events() const;
@@ -126,6 +137,7 @@ class TraceBuffer {
   size_t capacity_;
   size_t next_ = 0;     // Next write position.
   uint64_t total_ = 0;  // Events ever recorded.
+  Counter* dropped_counter_ = nullptr;  // Guarded by mu_.
 };
 
 // Null-safe helper mirroring obs::Inc for counters.

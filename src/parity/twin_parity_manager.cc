@@ -132,6 +132,10 @@ void TwinParityManager::AttachObs(obs::ObsHub* hub) {
   corruption_repairs_counter_ =
       obs::GetCounter(hub, "parity.corruption_repairs");
   latch_waits_counter_ = obs::GetCounter(hub, "parity.latch_waits");
+  spans_ = obs::SpansOf(hub);
+  propagate_hist_ = obs::GetHistogram(
+      hub, "parity.propagate_us",
+      {1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000});
 }
 
 bool TwinParityManager::HealableFault(const Status& status,
@@ -339,6 +343,8 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
                                     PropagationKind kind,
                                     const std::vector<uint8_t>* old_payload,
                                     const PageImage& new_image) {
+  obs::ScopedSpan span(spans_, obs::SpanKind::kParityPropagate,
+                       propagate_hist_, static_cast<int64_t>(page));
   if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
@@ -521,6 +527,8 @@ Status TwinParityManager::FinalizeCommit(GroupId group, TxnId txn) {
 
 Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
                                                                TxnId txn) {
+  obs::ScopedSpan span(spans_, obs::SpanKind::kParityUndo,
+                       /*histogram=*/nullptr, static_cast<int64_t>(group));
   if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
@@ -620,6 +628,8 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
 
 Status TwinParityManager::ApplyLoggedUndo(PageId page,
                                           const std::vector<uint8_t>& before) {
+  obs::ScopedSpan span(spans_, obs::SpanKind::kParityUndo,
+                       /*histogram=*/nullptr, static_cast<int64_t>(page));
   if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
@@ -677,6 +687,8 @@ Result<std::vector<uint8_t>> TwinParityManager::ReconstructDataPayload(
 
 Result<TwinParityManager::GroupRebuildOutcome>
 TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
+  obs::ScopedSpan span(spans_, obs::SpanKind::kParityRebuild,
+                       /*histogram=*/nullptr, static_cast<int64_t>(group));
   if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }

@@ -344,6 +344,10 @@ class TwinParityManager {
   obs::Counter* latent_repairs_counter_ = nullptr;
   obs::Counter* corruption_repairs_counter_ = nullptr;
   obs::Counter* latch_waits_counter_ = nullptr;
+  // Latency spans (propagate/undo/rebuild) and the propagate-latency
+  // histogram feeding the percentile reports.
+  obs::SpanCollector* spans_ = nullptr;
+  obs::Histogram* propagate_hist_ = nullptr;
 };
 
 }  // namespace rda

@@ -17,6 +17,10 @@ Status CrashRecovery::ConsumeFaultBudget() {
     return Status::Ok();
   }
   if (fault_budget_ == 0) {
+    // Crash-point trip: capture the per-thread span/event timeline before
+    // the recovery attempt unwinds.
+    obs::TriggerFlight(obs::FlightOf(hub_),
+                       "injected crash-point tripped during recovery");
     return Status::Aborted("injected crash during recovery");
   }
   --fault_budget_;

@@ -323,6 +323,11 @@ void DiskArray::RecordSectorError(DiskId disk) {
   }
   obs::Inc(escalations_counter_);
   EmitDiskEvent(obs::EventKind::kEscalation, disk);
+  // Flight recorder: the escalation is the moment the timeline that led
+  // here is about to scroll out of the rings — dump it now.
+  obs::TriggerFlight(flight_, "disk " + std::to_string(disk) +
+                                  " escalated after exhausting its error "
+                                  "budget");
   (void)FailDisk(disk);
 }
 
@@ -370,6 +375,7 @@ void DiskArray::AccountXor(uint64_t pages) {
 
 void DiskArray::AttachObs(obs::ObsHub* hub) {
   trace_ = obs::TraceOf(hub);
+  flight_ = obs::FlightOf(hub);
   reads_counter_ = obs::GetCounter(hub, "storage.reads");
   writes_counter_ = obs::GetCounter(hub, "storage.writes");
   xor_counter_ = obs::GetCounter(hub, "storage.xor_computations");

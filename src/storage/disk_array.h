@@ -162,6 +162,7 @@ class DiskArray {
   // Observability (null = disabled). The counter pointers are resolved once
   // in AttachObs so the I/O hot path pays only a null test.
   obs::TraceBuffer* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;  // Dumped on escalation.
   obs::Counter* reads_counter_ = nullptr;
   obs::Counter* writes_counter_ = nullptr;
   obs::Counter* xor_counter_ = nullptr;

@@ -2,6 +2,7 @@
 #define RDA_TXN_TRANSACTION_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -82,6 +83,10 @@ class Transaction {
 
   // Record-mode writes (latest value per (page, slot)).
   std::vector<RecordWrite> record_writes;
+
+  // Begin() wall clock, for the begin->EOT lifetime latency span (the
+  // begin and end live in different manager calls, so RAII cannot span it).
+  std::chrono::steady_clock::time_point begin_time;
 
   // Statistics for the simulator.
   uint64_t page_updates = 0;

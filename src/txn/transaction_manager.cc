@@ -65,6 +65,11 @@ void TransactionManager::AttachObs(obs::ObsHub* hub) {
   before_avoided_counter_ = obs::GetCounter(hub, "txn.before_images_avoided");
   transfers_per_commit_ = obs::GetHistogram(
       hub, "txn.transfers_per_commit", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  const std::vector<double> us_bounds = {5,    10,   25,   50,    100,  250,
+                                         500,  1000, 2500, 5000,  10000};
+  commit_us_hist_ = obs::GetHistogram(hub, "txn.commit_us", us_bounds);
+  abort_us_hist_ = obs::GetHistogram(hub, "txn.abort_us", us_bounds);
+  spans_ = obs::SpansOf(hub);
   obs_attached_ = hub != nullptr;
 }
 
@@ -93,7 +98,11 @@ Result<TxnId> TransactionManager::Begin() {
   {
     std::lock_guard<std::mutex> lock(txns_mu_);
     id = next_txn_++;
-    txns_.emplace(id, std::make_unique<Transaction>(id));
+    auto txn = std::make_unique<Transaction>(id);
+    if (spans_ != nullptr) {
+      txn->begin_time = std::chrono::steady_clock::now();
+    }
+    txns_.emplace(id, std::move(txn));
   }
   stats_.begun.fetch_add(1, std::memory_order_relaxed);
   obs::Inc(begun_counter_);
@@ -599,6 +608,8 @@ Status TransactionManager::Commit(TxnId txn_id) {
   // From here to return, this thread has exclusive use of `txn` without
   // holding its mutex: evictions answer kBusy to the in_eot flag.
   EotScope eot(this, txn);
+  obs::ScopedSpan commit_span(spans_, obs::SpanKind::kTxnCommit,
+                              commit_us_hist_, static_cast<int64_t>(txn_id));
   const uint64_t transfers_start = TransfersStart();
 
   if (config_.force) {
@@ -607,12 +618,18 @@ Status TransactionManager::Commit(TxnId txn_id) {
     // FORCE/TOC algorithms harvest unlogged propagations. A kBusy from a
     // shared frame (another modifier mid-flight) aborts the attempt; the
     // caller retries the commit.
+    obs::ScopedSpan force_span(
+        spans_, obs::SpanKind::kCommitForcePages, /*histogram=*/nullptr,
+        static_cast<int64_t>(txn->modified_pages.size()));
     for (const PageId page : txn->modified_pages) {
       RDA_RETURN_IF_ERROR(pool_.PropagatePage(page));
     }
   }
 
   if (txn->bot_logged) {
+    obs::ScopedSpan wal_span(spans_, obs::SpanKind::kCommitWalFlush,
+                             /*histogram=*/nullptr,
+                             static_cast<int64_t>(txn_id));
     RDA_RETURN_IF_ERROR(LogAfterImages(txn));
     LogRecord commit;
     commit.type = LogRecordType::kCommit;
@@ -624,10 +641,15 @@ Status TransactionManager::Commit(TxnId txn_id) {
     RDA_RETURN_IF_ERROR(log_->CommitFlush(commit_lsn));
   }
 
-  // After the commit point, finalize the twin parity of dirtied groups
-  // (crash between the two is rolled forward by recovery).
-  for (const GroupId group : txn->dirtied_groups) {
-    RDA_RETURN_IF_ERROR(parity_->FinalizeCommit(group, txn_id));
+  {
+    // After the commit point, finalize the twin parity of dirtied groups
+    // (crash between the two is rolled forward by recovery).
+    obs::ScopedSpan parity_span(
+        spans_, obs::SpanKind::kCommitParityFinalize, /*histogram=*/nullptr,
+        static_cast<int64_t>(txn->dirtied_groups.size()));
+    for (const GroupId group : txn->dirtied_groups) {
+      RDA_RETURN_IF_ERROR(parity_->FinalizeCommit(group, txn_id));
+    }
   }
 
   for (const PageId page : txn->modified_pages) {
@@ -674,6 +696,11 @@ Status TransactionManager::Commit(TxnId txn_id) {
     event.txn = txn_id;
     event.value = static_cast<int64_t>(txn->transfers);
     trace_->Record(event);
+  }
+  if (spans_ != nullptr) {
+    spans_->RecordInterval(obs::SpanKind::kTxnLifetime, txn->begin_time,
+                           std::chrono::steady_clock::now(),
+                           static_cast<int64_t>(txn_id));
   }
   return Status::Ok();
 }
@@ -837,6 +864,8 @@ Status TransactionManager::Abort(TxnId txn_id) {
   Transaction* txn = Find(txn_id);
   RDA_RETURN_IF_ERROR(RequireActive(txn));
   EotScope eot(this, txn);
+  obs::ScopedSpan abort_span(spans_, obs::SpanKind::kTxnAbort,
+                             abort_us_hist_, static_cast<int64_t>(txn_id));
   const uint64_t transfers_start = TransfersStart();
 
   std::unordered_map<PageId, std::vector<uint8_t>> restored_disk;
@@ -863,6 +892,11 @@ Status TransactionManager::Abort(TxnId txn_id) {
     event.txn = txn_id;
     event.value = static_cast<int64_t>(txn->transfers);
     trace_->Record(event);
+  }
+  if (spans_ != nullptr) {
+    spans_->RecordInterval(obs::SpanKind::kTxnLifetime, txn->begin_time,
+                           std::chrono::steady_clock::now(),
+                           static_cast<int64_t>(txn_id));
   }
   return Status::Ok();
 }

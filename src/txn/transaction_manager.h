@@ -233,6 +233,11 @@ class TransactionManager {
   obs::Counter* before_logged_counter_ = nullptr;
   obs::Counter* before_avoided_counter_ = nullptr;
   obs::Histogram* transfers_per_commit_ = nullptr;
+  // Latency spans: the whole Commit()/Abort() plus its force/WAL/parity
+  // segments, and the begin->EOT lifetime interval.
+  obs::SpanCollector* spans_ = nullptr;
+  obs::Histogram* commit_us_hist_ = nullptr;
+  obs::Histogram* abort_us_hist_ = nullptr;
 };
 
 }  // namespace rda

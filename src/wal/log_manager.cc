@@ -73,19 +73,41 @@ Status LogManager::FlushLocked() {
 }
 
 Status LogManager::Flush() {
+  obs::ScopedSpan span(spans_, obs::SpanKind::kWalFlush, flush_hist_);
   std::unique_lock<std::mutex> lock(mu_);
   return FlushLocked();
 }
 
 Status LogManager::CommitFlush(Lsn lsn) {
+  // Group-commit wait latency is the whole point of the leader/follower
+  // split, so measure from call entry: a follower's time is dominated by
+  // the cv wait, a leader's by linger + flush + device delay.
+  const bool timed = spans_ != nullptr || wait_hist_ != nullptr;
+  std::chrono::steady_clock::time_point entry;
+  if (timed) {
+    entry = std::chrono::steady_clock::now();
+  }
   std::unique_lock<std::mutex> lock(mu_);
+  bool waited = false;
   for (;;) {
     if (lsn < commit_durable_bytes_) {
-      return Status::Ok();  // A completed batch already covered this commit.
+      // A completed batch already covered this commit.
+      if (timed && waited) {
+        const auto now = std::chrono::steady_clock::now();
+        const double wait_us =
+            std::chrono::duration<double, std::micro>(now - entry).count();
+        obs::Observe(wait_hist_, wait_us);
+        obs::Observe(follower_wait_hist_, wait_us);
+        if (spans_ != nullptr) {
+          spans_->RecordInterval(obs::SpanKind::kWalGroupFollow, entry, now);
+        }
+      }
+      return Status::Ok();
     }
     if (!flush_active_) {
       break;  // No batch in flight: this thread leads the next one.
     }
+    waited = true;
     cv_.wait(lock);  // Follower: the leader's wake-up re-checks coverage.
   }
   flush_active_ = true;
@@ -113,6 +135,17 @@ Status LogManager::CommitFlush(Lsn lsn) {
   flush_active_ = false;
   obs::Inc(batches_counter_);
   obs::Observe(batch_size_hist_, static_cast<double>(batch));
+  if (timed) {
+    const auto now = std::chrono::steady_clock::now();
+    const double lead_us =
+        std::chrono::duration<double, std::micro>(now - entry).count();
+    obs::Observe(wait_hist_, lead_us);
+    obs::Observe(leader_flush_hist_, lead_us);
+    if (spans_ != nullptr) {
+      spans_->RecordInterval(obs::SpanKind::kWalGroupLead, entry, now,
+                             static_cast<int64_t>(batch));
+    }
+  }
   cv_.notify_all();
   return status;
 }
@@ -205,6 +238,16 @@ void LogManager::AttachObs(obs::ObsHub* hub) {
   batches_counter_ = obs::GetCounter(hub, "wal.group_commit_batches");
   batch_size_hist_ = obs::GetHistogram(hub, "wal.group_commit_batch_size",
                                        {1, 2, 4, 8, 16, 32});
+  const std::vector<double> us_bounds = {10,   50,   100,   250,   500,
+                                         1000, 2500, 5000,  10000, 25000};
+  wait_hist_ = obs::GetHistogram(hub, "wal.group_commit_wait_us", us_bounds);
+  leader_flush_hist_ =
+      obs::GetHistogram(hub, "wal.group_commit_leader_flush_us", us_bounds);
+  follower_wait_hist_ =
+      obs::GetHistogram(hub, "wal.group_commit_follower_wait_us", us_bounds);
+  flush_hist_ = obs::GetHistogram(
+      hub, "wal.flush_us", {1, 5, 10, 25, 50, 100, 250, 500, 1000, 5000});
+  spans_ = obs::SpansOf(hub);
 }
 
 void LogManager::LoseVolatileState() {

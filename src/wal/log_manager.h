@@ -176,6 +176,14 @@ class LogManager {
   obs::Counter* pages_flushed_counter_ = nullptr;
   obs::Counter* batches_counter_ = nullptr;
   obs::Histogram* batch_size_hist_ = nullptr;
+  // Group-commit latency, split by role: a leader's time covers linger +
+  // flush + device delay, a follower's covers its wait for the leader's
+  // wake-up. Both also land in the combined wait histogram.
+  obs::Histogram* wait_hist_ = nullptr;
+  obs::Histogram* leader_flush_hist_ = nullptr;
+  obs::Histogram* follower_wait_hist_ = nullptr;
+  obs::Histogram* flush_hist_ = nullptr;  // Plain Flush() wall time.
+  obs::SpanCollector* spans_ = nullptr;
 };
 
 }  // namespace rda

@@ -336,5 +336,61 @@ TEST(MtSoakGroupCommitTest, ConcurrentCommittersShareFlushes) {
   EXPECT_TRUE(*parity_ok);
 }
 
+// Concurrent span emission: four threads pour ScopedSpans into one shared
+// collector while a reader thread snapshots the rings the whole time. The
+// seqlock protocol must keep this data-race free (this file runs under the
+// TSan CI job) and no record may be torn — a snapshot either sees a span
+// whole or not at all.
+TEST(MtSoakSpanTest, ConcurrentEmittersAndSnapshotsDontTear) {
+  constexpr int kSpansPerThread = 2000;
+  obs::SpanCollector collector(128);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> snapshots_taken{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const auto& thread : collector.SnapshotAll()) {
+        for (const obs::SpanRecord& span : thread.spans) {
+          // A torn slot would show a kind no writer ever stores.
+          ASSERT_EQ(span.kind, obs::SpanKind::kParityPropagate);
+          ASSERT_EQ(span.detail, static_cast<int64_t>(thread.thread_index));
+        }
+      }
+      snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  {
+    std::vector<std::thread> emitters;
+    for (int w = 0; w < 4; ++w) {
+      emitters.emplace_back([&collector] {
+        // Every thread writes its ring index as the detail, so the reader
+        // can verify attribution. Ring() resolves the index on first use.
+        const uint32_t index = collector.Ring()->thread_index();
+        for (int i = 0; i < kSpansPerThread; ++i) {
+          obs::ScopedSpan span(&collector, obs::SpanKind::kParityPropagate,
+                               nullptr, static_cast<int64_t>(index));
+        }
+      });
+    }
+    for (std::thread& emitter : emitters) {
+      emitter.join();
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_GT(snapshots_taken.load(), 0u);
+  EXPECT_EQ(collector.TotalRecorded(), 4u * kSpansPerThread);
+  // Rings hold 128 entries each; the rest are counted, not silent.
+  EXPECT_EQ(collector.TotalDropped(), 4u * (kSpansPerThread - 128));
+  const auto threads = collector.SnapshotAll();
+  ASSERT_EQ(threads.size(), 4u);
+  for (const auto& thread : threads) {
+    EXPECT_EQ(thread.recorded, static_cast<uint64_t>(kSpansPerThread));
+    EXPECT_EQ(thread.spans.size(), 128u);  // Quiesced: no skipped slots.
+  }
+}
+
 }  // namespace
 }  // namespace rda

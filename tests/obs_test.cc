@@ -77,6 +77,150 @@ TEST(HistogramTest, BucketingCountsAndOverflow) {
   EXPECT_EQ(h->buckets()[0], 0u);
 }
 
+// --- quantile estimation ---
+
+TEST(QuantileTest, InterpolatesWithinBuckets) {
+  // 30 observations spread 10/10/10 over [0,10], (10,20], (20,30].
+  const std::vector<double> bounds = {10, 20, 30};
+  const std::vector<uint64_t> buckets = {10, 10, 10, 0};
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 0.0, 28), 0.0);
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 0.5, 28), 15.0);
+  // target 27 lands 7/10 into the third bucket: 20 + 0.7 * 10.
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 0.9, 28), 27.0);
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 1.0, 28), 30.0);
+  // q outside [0,1] clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, -1.0, 28), 0.0);
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 2.0, 28), 30.0);
+}
+
+TEST(QuantileTest, OverflowBucketIsBoundedByObservedMax) {
+  // All 4 observations above the last bound; the observed max (100) is the
+  // upper edge, not +inf.
+  const std::vector<double> bounds = {10};
+  const std::vector<uint64_t> buckets = {0, 4};
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 0.5, 100), 55.0);
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 1.0, 100),
+                   100.0);
+  // A max below the last bound (all overflow values equal, say) still gives
+  // a sane edge: the bound itself.
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 1.0, 5), 10.0);
+}
+
+TEST(QuantileTest, EmptyHistogramIsZeroAndMemberMatchesFree) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("txn.q", {10, 20});
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);  // Empty.
+  h->Observe(5);
+  h->Observe(15);
+  const obs::MetricsSnapshot snapshot = registry.Snapshot();
+  const auto* snap = snapshot.FindHistogram("txn.q");
+  ASSERT_NE(snap, nullptr);
+  for (const double q : {0.25, 0.5, 0.95}) {
+    EXPECT_DOUBLE_EQ(h->Quantile(q), obs::Quantile(*snap, q)) << q;
+  }
+  EXPECT_EQ(snapshot.FindHistogram("no.such"), nullptr);
+}
+
+// --- span rings ---
+
+TEST(SpanRingTest, PushSnapshotAndDropCounting) {
+  obs::ThreadSpanRing ring(3, 4);
+  for (int i = 0; i < 6; ++i) {
+    obs::SpanRecord record;
+    record.start_ns = static_cast<uint64_t>(i) * 100;
+    record.duration_ns = 10;
+    record.detail = i;
+    record.kind = obs::SpanKind::kWalFlush;
+    ring.Push(record);
+  }
+  EXPECT_EQ(ring.thread_index(), 3u);
+  EXPECT_EQ(ring.recorded(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);  // Capacity 4: the two oldest overwritten.
+  const std::vector<obs::SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].detail, static_cast<int64_t>(2 + i));  // Oldest-first.
+    EXPECT_EQ(spans[i].kind, obs::SpanKind::kWalFlush);
+  }
+}
+
+TEST(SpanCollectorTest, ScopedSpanRecordsNestingDepth) {
+  obs::SpanCollector collector(64);
+  {
+    obs::ScopedSpan outer(&collector, obs::SpanKind::kTxnCommit, nullptr, 7);
+    {
+      obs::ScopedSpan inner(&collector, obs::SpanKind::kWalFlush);
+    }
+  }
+  const auto threads = collector.SnapshotAll();
+  ASSERT_EQ(threads.size(), 1u);
+  ASSERT_EQ(threads[0].spans.size(), 2u);
+  // The inner span completes (and is pushed) first.
+  EXPECT_EQ(threads[0].spans[0].kind, obs::SpanKind::kWalFlush);
+  EXPECT_EQ(threads[0].spans[0].depth, 1u);
+  EXPECT_EQ(threads[0].spans[1].kind, obs::SpanKind::kTxnCommit);
+  EXPECT_EQ(threads[0].spans[1].depth, 0u);
+  EXPECT_EQ(threads[0].spans[1].detail, 7);
+  // The outer interval contains the inner one.
+  EXPECT_LE(threads[0].spans[1].start_ns, threads[0].spans[0].start_ns);
+  EXPECT_GE(threads[0].spans[1].duration_ns, threads[0].spans[0].duration_ns);
+  EXPECT_EQ(collector.TotalRecorded(), 2u);
+  EXPECT_EQ(collector.TotalDropped(), 0u);
+}
+
+TEST(SpanCollectorTest, ScopedSpanFeedsHistogramAndNullIsNoOp) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("txn.span_us", {1000});
+  {
+    obs::ScopedSpan span(nullptr, obs::SpanKind::kTxnCommit, h);
+  }
+  EXPECT_EQ(h->count(), 1u);  // Histogram-only span still measures.
+  {
+    obs::ScopedSpan span(nullptr, obs::SpanKind::kTxnCommit);  // Fully null.
+  }
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(SpanCollectorTest, RecordIntervalKeepsGivenTimestamps) {
+  obs::SpanCollector collector(8);
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = start + std::chrono::milliseconds(5);
+  collector.RecordInterval(obs::SpanKind::kRecoveryPhase, start, end, 3);
+  const auto threads = collector.SnapshotAll();
+  ASSERT_EQ(threads.size(), 1u);
+  ASSERT_EQ(threads[0].spans.size(), 1u);
+  EXPECT_EQ(threads[0].spans[0].duration_ns, 5'000'000u);
+  EXPECT_EQ(threads[0].spans[0].detail, 3);
+}
+
+// --- flight recorder ---
+
+TEST(FlightRecorderTest, TriggerCapturesRecentSpansAndTrace) {
+  obs::SpanCollector collector(16);
+  obs::TraceBuffer trace(8);
+  obs::FlightRecorder flight(&collector, &trace, 4);
+  for (int i = 0; i < 6; ++i) {
+    obs::ScopedSpan span(&collector, obs::SpanKind::kParityPropagate, nullptr,
+                         i);
+  }
+  TraceEvent event;
+  event.subsystem = Subsystem::kStorage;
+  trace.Record(event);
+
+  EXPECT_EQ(flight.trigger_count(), 0u);
+  obs::TriggerFlight(&flight, "disk 2 escalated");
+  EXPECT_EQ(flight.trigger_count(), 1u);
+  EXPECT_EQ(flight.last_reason(), "disk 2 escalated");
+  const std::string dump = flight.last_dump();
+  EXPECT_NE(dump.find("\"reason\":\"disk 2 escalated\""), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("parity.propagate"), std::string::npos) << dump;
+  // last_n = 4: only the most recent spans survive; detail 0 and 1 are cut.
+  EXPECT_NE(dump.find("\"detail\":5"), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("\"detail\":1}"), std::string::npos) << dump;
+  obs::TriggerFlight(nullptr, "no-op");  // Null-safe.
+}
+
 // --- trace buffer ---
 
 TEST(TraceBufferTest, RingWrapsAndCountsDropped) {
@@ -262,17 +406,17 @@ TEST(ObsWiringTest, CountersFollowTheWorkload) {
   // Per-disk counters partition the array totals.
   EXPECT_EQ(snapshot.CounterSum("storage.disk"),
             (*db)->array()->counters().total());
-  // Every commit observed into the transfer histogram (the WAL's
-  // group-commit batch-size histogram rides alongside it).
-  ASSERT_EQ(snapshot.histograms.size(), 2u);
-  bool found_transfers = false;
-  for (const auto& histogram : snapshot.histograms) {
-    if (histogram.name == "txn.transfers_per_commit") {
-      found_transfers = true;
-      EXPECT_EQ(histogram.count, 3u);
-    }
-  }
-  EXPECT_TRUE(found_transfers);
+  // Every commit observed into the transfer and latency histograms.
+  const auto* transfers = snapshot.FindHistogram("txn.transfers_per_commit");
+  ASSERT_NE(transfers, nullptr);
+  EXPECT_EQ(transfers->count, 3u);
+  const auto* commit_us = snapshot.FindHistogram("txn.commit_us");
+  ASSERT_NE(commit_us, nullptr);
+  EXPECT_EQ(commit_us->count, 3u);
+  // FORCE propagation drives the parity latency histogram too.
+  const auto* propagate = snapshot.FindHistogram("parity.propagate_us");
+  ASSERT_NE(propagate, nullptr);
+  EXPECT_GT(propagate->count, 0u);
 }
 
 TEST(ObsWiringTest, PerTxnTransferAttributionMatchesEngineTotals) {
@@ -344,6 +488,7 @@ TEST(ObsWiringTest, DisabledObsIsNullAndEngineStillWorks) {
   DatabaseOptions options = SmallDb();
   options.obs.enable_metrics = false;
   options.obs.enable_trace = false;
+  options.obs.enable_spans = false;
   auto db = Database::Open(options);
   ASSERT_TRUE(db.ok());
   EXPECT_EQ((*db)->obs(), nullptr);
@@ -357,6 +502,8 @@ TEST(ObsWiringTest, DisabledObsIsNullAndEngineStillWorks) {
   EXPECT_TRUE((*db)->SnapshotMetrics().counters.empty());
   EXPECT_TRUE((*db)->DumpTrace("/tmp/never-written").IsFailedPrecondition());
   EXPECT_TRUE((*db)->DumpMetrics("/tmp/never-written")
+                  .IsFailedPrecondition());
+  EXPECT_TRUE((*db)->DumpChromeTrace("/tmp/never-written")
                   .IsFailedPrecondition());
 
   // The phase breakdown is engine state, not observability: still filled.
@@ -383,6 +530,86 @@ TEST(ObsWiringTest, TraceOnlyModeHasNoRegistry) {
   ASSERT_TRUE((*db)->Commit(*txn).ok());
   EXPECT_GT((*db)->obs()->trace()->total_recorded(), 0u);
   EXPECT_TRUE((*db)->SnapshotMetrics().counters.empty());
+}
+
+TEST(ObsWiringTest, SpansCoverCommitAndChromeTraceExports) {
+  auto db = Database::Open(SmallDb());
+  ASSERT_TRUE(db.ok());
+  auto txn = (*db)->Begin();
+  ASSERT_TRUE(txn.ok());
+  std::vector<uint8_t> bytes((*db)->user_page_size(), 0x88);
+  ASSERT_TRUE((*db)->WritePage(*txn, 0, bytes).ok());
+  ASSERT_TRUE((*db)->Commit(*txn).ok());
+
+  const obs::SpanCollector* spans = (*db)->obs()->spans();
+  ASSERT_NE(spans, nullptr);
+  EXPECT_GT(spans->TotalRecorded(), 0u);
+  bool saw_commit = false;
+  bool saw_nested = false;
+  for (const auto& thread : spans->SnapshotAll()) {
+    for (const obs::SpanRecord& span : thread.spans) {
+      saw_commit |= span.kind == obs::SpanKind::kTxnCommit;
+      saw_nested |= span.depth > 0;
+    }
+  }
+  EXPECT_TRUE(saw_commit);
+  EXPECT_TRUE(saw_nested);  // Force/WAL/parity segments nest under commit.
+
+  const std::string json =
+      obs::ChromeTraceJson(spans, (*db)->obs()->trace());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // Duration spans.
+  EXPECT_NE(json.find("txn.commit"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // Trace instants.
+
+  const std::string path =
+      testing::TempDir() + "/obs_chrome_trace.json";
+  ASSERT_TRUE((*db)->DumpChromeTrace(path).ok());
+}
+
+TEST(ObsWiringTest, InjectedRecoveryCrashTripsFlightRecorder) {
+  auto db = Database::Open(SmallDb());
+  ASSERT_TRUE(db.ok());
+  std::vector<uint8_t> bytes((*db)->user_page_size(), 0x99);
+  auto loser = (*db)->Begin();
+  ASSERT_TRUE(loser.ok());
+  ASSERT_TRUE((*db)->WritePage(*loser, 0, bytes).ok());
+  Frame* frame = (*db)->txn_manager()->pool()->Lookup(0);
+  ASSERT_NE(frame, nullptr);
+  ASSERT_TRUE((*db)->txn_manager()->pool()->PropagateFrame(frame).ok());
+  (*db)->Crash();
+
+  obs::FlightRecorder* flight = (*db)->obs()->flight();
+  ASSERT_NE(flight, nullptr);
+  EXPECT_EQ(flight->trigger_count(), 0u);
+  // Budget 0: the first recovery mutation trips the crash point, which must
+  // dump the flight recorder before the attempt unwinds.
+  auto failed = (*db)->RecoverWithInjectedFault(0);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(flight->trigger_count(), 1u);
+  EXPECT_NE(flight->last_reason().find("crash-point"), std::string::npos);
+  EXPECT_NE(flight->last_dump().find("\"threads\""), std::string::npos);
+  // Convergence: a clean retry still recovers.
+  (*db)->Crash();
+  ASSERT_TRUE((*db)->Recover().ok());
+}
+
+TEST(ObsWiringTest, TraceRingOverflowSurfacesDroppedCounter) {
+  DatabaseOptions options = SmallDb();
+  options.obs.trace_capacity = 4;  // Tiny ring: guaranteed overflow.
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  std::vector<uint8_t> bytes((*db)->user_page_size(), 0xAA);
+  for (int i = 0; i < 3; ++i) {
+    auto txn = (*db)->Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE((*db)->WritePage(*txn, static_cast<PageId>(i), bytes).ok());
+    ASSERT_TRUE((*db)->Commit(*txn).ok());
+  }
+  const obs::TraceBuffer* trace = (*db)->obs()->trace();
+  EXPECT_GT(trace->dropped(), 0u);
+  EXPECT_EQ((*db)->SnapshotMetrics().CounterValue("obs.trace_dropped"),
+            trace->dropped());
 }
 
 }  // namespace
