@@ -25,6 +25,10 @@ Result<std::unique_ptr<Database>> Database::Open(
   }
 
   std::unique_ptr<Database> db(new Database(opts));
+  if (opts.recovery.recovery_threads > 1) {
+    db->recovery_pool_ =
+        std::make_unique<exec::WorkerPool>(opts.recovery.recovery_threads);
+  }
   auto array = DiskArray::Create(opts.array);
   if (!array.ok()) {
     return array.status();
@@ -46,12 +50,16 @@ Result<std::unique_ptr<Database>> Database::Open(
   db->checkpointer_ = std::make_unique<Checkpointer>(db->txn_manager_.get(),
                                                      db->log_.get());
   db->archive_ = std::make_unique<ArchiveManager>(
-      db->txn_manager_.get(), db->parity_.get(), db->log_.get());
+      db->txn_manager_.get(), db->parity_.get(), db->log_.get(),
+      db->recovery_pool_.get());
   // Attach observability last, after formatting: format I/O is not workload
   // I/O, and the obs counters should match the freshly reset array counters.
   if (opts.obs.enable_metrics || opts.obs.enable_trace ||
       opts.obs.enable_spans) {
     db->obs_ = std::make_unique<obs::ObsHub>(opts.obs);
+    if (db->recovery_pool_ != nullptr) {
+      db->recovery_pool_->AttachObs(db->obs_.get());
+    }
     db->array_->AttachObs(db->obs_.get());
     db->parity_->AttachObs(db->obs_.get());
     db->log_->AttachObs(db->obs_.get());
@@ -106,6 +114,7 @@ void Database::Crash() {
 Result<CrashRecoveryReport> Database::Recover() {
   CrashRecovery recovery(txn_manager_.get(), parity_.get(), log_.get());
   recovery.AttachObs(obs_.get());
+  recovery.SetWorkerPool(recovery_pool_.get());
   return recovery.Recover();
 }
 
@@ -113,6 +122,7 @@ Result<CrashRecoveryReport> Database::RecoverWithInjectedFault(
     uint64_t actions) {
   CrashRecovery recovery(txn_manager_.get(), parity_.get(), log_.get());
   recovery.AttachObs(obs_.get());
+  recovery.SetWorkerPool(recovery_pool_.get());
   recovery.InjectFaultAfterActions(actions);
   return recovery.Recover();
 }
@@ -167,7 +177,7 @@ Status Database::BulkLoad(const std::vector<std::vector<uint8_t>>& user_pages) {
 }
 
 Result<MediaRecoveryReport> Database::RebuildDisk(DiskId disk) {
-  MediaRecovery recovery(parity_.get());
+  MediaRecovery recovery(parity_.get(), recovery_pool_.get());
   recovery.AttachObs(obs_.get());
   auto report = recovery.RebuildDisk(disk);
   if (report.ok()) {

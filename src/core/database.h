@@ -10,6 +10,7 @@
 #include "buffer/buffer_pool.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "exec/worker_pool.h"
 #include "lock/lock_manager.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -48,6 +49,10 @@ struct DatabaseOptions {
   // Retry / escalation reaction to I/O errors. The defaults retry
   // transients but never escalate, matching pre-policy behaviour.
   IoPolicy io;
+  // Parallel recovery (DESIGN.md section 13). recovery_threads=1 (the
+  // default) keeps every recovery path bit-for-bit identical to the serial
+  // algorithms: no pool is created and each loop runs inline.
+  exec::RecoveryOptions recovery;
 };
 
 // The public facade of the library: a single-node database engine whose
@@ -112,7 +117,7 @@ class Database {
   // Background parity scrub: verify all groups, repair clean ones that
   // fail the XOR check.
   Result<ScrubReport> Scrub() {
-    ParityScrubber scrubber(parity_.get());
+    ParityScrubber scrubber(parity_.get(), recovery_pool_.get());
     return scrubber.ScrubAll();
   }
 
@@ -196,6 +201,9 @@ class Database {
 
   DatabaseOptions options_;
   std::unique_ptr<obs::ObsHub> obs_;
+  // Shared worker pool behind every parallel recovery path (crash recovery,
+  // media rebuild, scrub, archive restore). Null when recovery_threads <= 1.
+  std::unique_ptr<exec::WorkerPool> recovery_pool_;
   std::unique_ptr<DiskArray> array_;
   std::unique_ptr<TwinParityManager> parity_;
   std::unique_ptr<LogManager> log_;

@@ -1,0 +1,154 @@
+#include "exec/worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "obs/span.h"
+
+namespace rda::exec {
+
+// One ParallelFor in flight. Lives on the shared queue until every chunk
+// is claimed; the submitting thread keeps it alive past that via its
+// shared_ptr, so a worker popping an exhausted job never races teardown.
+struct WorkerPool::Job {
+  uint64_t count = 0;
+  uint32_t chunks = 0;
+  // The caller's fn, borrowed for the job's lifetime (ParallelFor returns
+  // only after `finished`, so the pointer cannot dangle).
+  const ShardFn* fn = nullptr;
+  std::atomic<uint32_t> next_chunk{0};
+  // Set after any failure; chunks poll it between indexes (best-effort
+  // early exit, mirroring the serial loop's stop-on-first-error).
+  std::atomic<bool> cancel{false};
+  std::mutex mu;  // Guards the completion/error fields below.
+  std::condition_variable done_cv;
+  uint32_t done_chunks = 0;
+  bool finished = false;
+  uint32_t error_chunk = UINT32_MAX;
+  Status error;
+};
+
+WorkerPool::WorkerPool(uint32_t width) : width_(std::max<uint32_t>(width, 1)) {
+  threads_.reserve(width_ - 1);
+  for (uint32_t i = 0; i + 1 < width_; ++i) {
+    threads_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) {
+    thread.join();
+  }
+}
+
+void WorkerPool::AttachObs(obs::ObsHub* hub) {
+  parallel_fors_counter_ = obs::GetCounter(hub, "exec.parallel_fors");
+  chunks_counter_ = obs::GetCounter(hub, "exec.chunks");
+  spans_ = obs::SpansOf(hub);
+}
+
+void WorkerPool::WorkerMain() {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // Shutdown with nothing left to help with.
+      }
+      job = queue_.front();
+      if (job->next_chunk.load(std::memory_order_relaxed) >= job->chunks) {
+        // Fully claimed: whoever holds its chunks will finish them; the
+        // queue slot is just stale.
+        queue_.pop_front();
+        continue;
+      }
+    }
+    RunChunks(job);
+  }
+}
+
+void WorkerPool::RunChunks(const std::shared_ptr<Job>& job) {
+  while (true) {
+    const uint32_t chunk =
+        job->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job->chunks) {
+      return;
+    }
+    obs::Inc(chunks_counter_);
+    // Deterministic contiguous partition (see the class comment).
+    const uint64_t begin = job->count * chunk / job->chunks;
+    const uint64_t end = job->count * (chunk + 1) / job->chunks;
+    Status status;
+    for (uint64_t i = begin; i < end; ++i) {
+      if (job->cancel.load(std::memory_order_relaxed)) {
+        break;
+      }
+      status = (*job->fn)(i);
+      if (!status.ok()) {
+        job->cancel.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(job->mu);
+    if (!status.ok() && chunk < job->error_chunk) {
+      job->error_chunk = chunk;
+      job->error = status;
+    }
+    if (++job->done_chunks == job->chunks) {
+      job->finished = true;
+      job->done_cv.notify_all();
+    }
+  }
+}
+
+Status WorkerPool::ParallelFor(uint64_t count, const ShardFn& fn) {
+  if (count == 0) {
+    return Status::Ok();
+  }
+  const uint32_t chunks =
+      static_cast<uint32_t>(std::min<uint64_t>(width_, count));
+  if (chunks <= 1) {
+    // Inline serial path: identical to the plain loop, including stopping
+    // at the first error.
+    for (uint64_t i = 0; i < count; ++i) {
+      RDA_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::Ok();
+  }
+
+  obs::Inc(parallel_fors_counter_);
+  obs::ScopedSpan span(spans_, obs::SpanKind::kExecParallelFor,
+                       /*histogram=*/nullptr, static_cast<int64_t>(count));
+  auto job = std::make_shared<Job>();
+  job->count = count;
+  job->chunks = chunks;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(job);
+  }
+  work_cv_.notify_all();
+  RunChunks(job);  // The caller works too; it can finish the job alone.
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->done_cv.wait(lock, [&job] { return job->finished; });
+  return job->error_chunk == UINT32_MAX ? Status::Ok() : job->error;
+}
+
+Status RunSharded(WorkerPool* pool, uint64_t count,
+                  const WorkerPool::ShardFn& fn) {
+  if (pool == nullptr || pool->width() <= 1) {
+    for (uint64_t i = 0; i < count; ++i) {
+      RDA_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::Ok();
+  }
+  return pool->ParallelFor(count, fn);
+}
+
+}  // namespace rda::exec

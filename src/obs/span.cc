@@ -57,6 +57,8 @@ const char* SpanKindName(SpanKind kind) {
       return "parity.rebuild";
     case SpanKind::kRecoveryPhase:
       return "recovery.phase";
+    case SpanKind::kExecParallelFor:
+      return "exec.parallel_for";
   }
   return "unknown";
 }

@@ -31,6 +31,7 @@ enum class SpanKind : uint8_t {
   kParityUndo = 12,        // Unlogged or logged undo of one page.
   kParityRebuild = 13,     // Reconstruction of one group member.
   kRecoveryPhase = 14,     // One RecoveryPhase, detail = phase value.
+  kExecParallelFor = 15,   // One WorkerPool::ParallelFor, detail = count.
 };
 
 // Dotted display name ("txn.commit", "wal.group_lead", ...), shared by the

@@ -649,6 +649,14 @@ Status TwinParityManager::ApplyLoggedUndo(PageId page,
 
 Result<std::vector<uint8_t>> TwinParityManager::ReconstructDataPayload(
     PageId page) {
+  ScratchPool::ScratchImage image = scratch_.Acquire();
+  RDA_RETURN_IF_ERROR(ReconstructDataPayloadInto(page, &*image));
+  // The payload escapes the scratch scope; the pool re-allocates lazily.
+  return image.TakePayload();
+}
+
+Status TwinParityManager::ReconstructDataPayloadInto(PageId page,
+                                                     PageImage* out) {
   if (!directory_valid()) {
     return Status::FailedPrecondition("parity directory not available");
   }
@@ -661,9 +669,7 @@ Result<std::vector<uint8_t>> TwinParityManager::ReconstructDataPayload(
   // reads fall back ON. A faulted sibling or parity page here is a second
   // fault in the group — genuinely unrecoverable under single parity, so
   // the typed error must surface instead of recursing.
-  PageImage parity;
-  RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, &parity));
-  std::vector<uint8_t> payload = std::move(parity.payload);
+  RDA_RETURN_IF_ERROR(array_->ReadParity(group, twin, out));
   ScratchPool::ScratchImage data = scratch_.Acquire();
   for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
     const PageId sibling = layout.PageAt(group, i);
@@ -671,7 +677,7 @@ Result<std::vector<uint8_t>> TwinParityManager::ReconstructDataPayload(
       continue;
     }
     RDA_RETURN_IF_ERROR(array_->ReadData(sibling, &*data));
-    XorPage(&payload, data->payload);
+    XorPage(&out->payload, data->payload);
   }
   obs::Inc(degraded_reads_counter_);
   if (trace_ != nullptr) {
@@ -682,7 +688,7 @@ Result<std::vector<uint8_t>> TwinParityManager::ReconstructDataPayload(
     event.group = group;
     trace_->Record(event);
   }
-  return payload;
+  return Status::Ok();
 }
 
 Result<TwinParityManager::GroupRebuildOutcome>
@@ -700,17 +706,20 @@ TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
   const uint32_t consistent_twin =
       state.dirty ? state.working_twin : state.valid_twin;
 
-  // Lost data page?
+  // Lost data page?  Reconstructed into a scratch buffer and written back
+  // by const reference, so a full-disk rebuild recycles the same pooled
+  // pages group after group instead of allocating per group.
   for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
     const PageId page = layout.PageAt(group, i);
     if (layout.DataLocation(page).disk != disk) {
       continue;
     }
-    RDA_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                         ReconstructDataPayload(page));
-    PageImage image(0);
-    image.payload = std::move(payload);
-    RDA_RETURN_IF_ERROR(array_->WriteData(page, std::move(image)));
+    ScratchPool::ScratchImage rebuilt = scratch_.Acquire();
+    RDA_RETURN_IF_ERROR(ReconstructDataPayloadInto(page, &*rebuilt));
+    // The reconstruction leaves the parity twin's header behind; a data
+    // page carries no out-of-band state.
+    rebuilt->header = PageHeader{};
+    RDA_RETURN_IF_ERROR(array_->WriteData(page, *rebuilt));
     ++outcome.data_rebuilt;
     return outcome;
   }
@@ -722,32 +731,32 @@ TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
     }
     if (t == consistent_twin) {
       // Recompute the consistent parity from the (surviving) data pages.
-      PageImage parity(array_->page_size());
+      ScratchPool::ScratchImage parity = scratch_.Acquire();
       ScratchPool::ScratchImage data = scratch_.Acquire();
       for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
         RDA_RETURN_IF_ERROR(
             ReadDataHealed(layout.PageAt(group, i), &*data));
-        XorPage(&parity.payload, data->payload);
+        XorPage(&parity->payload, data->payload);
       }
       if (state.dirty) {
-        parity.header.parity_state = ParityState::kWorking;
-        parity.header.txn_id = state.dirty_txn;
-        parity.header.dirty_page = state.dirty_page;
+        parity->header.parity_state = ParityState::kWorking;
+        parity->header.txn_id = state.dirty_txn;
+        parity->header.dirty_page = state.dirty_page;
       } else {
-        parity.header.parity_state = ParityState::kCommitted;
+        parity->header.parity_state = ParityState::kCommitted;
       }
-      parity.header.timestamp = NextTimestamp();
-      RDA_RETURN_IF_ERROR(array_->WriteParity(group, t, parity));
+      parity->header.timestamp = NextTimestamp();
+      RDA_RETURN_IF_ERROR(array_->WriteParity(group, t, *parity));
       SyncTwinShadow(group, t,
-                     static_cast<uint8_t>(parity.header.parity_state));
+                     static_cast<uint8_t>(parity->header.parity_state));
       ++outcome.parity_rebuilt;
       return outcome;
     }
     if (!state.dirty) {
       // Stale obsolete twin: its content is not needed; reset it.
-      PageImage obsolete(array_->page_size());
-      obsolete.header.parity_state = ParityState::kObsolete;
-      RDA_RETURN_IF_ERROR(array_->WriteParity(group, t, obsolete));
+      ScratchPool::ScratchImage obsolete = scratch_.Acquire();
+      obsolete->header.parity_state = ParityState::kObsolete;
+      RDA_RETURN_IF_ERROR(array_->WriteParity(group, t, *obsolete));
       SyncTwinShadow(group, t, static_cast<uint8_t>(ParityState::kObsolete));
       ++outcome.obsolete_reset;
       return outcome;
@@ -872,27 +881,35 @@ Result<bool> TwinParityManager::VerifyGroupParity(GroupId group) {
   return expected.payload == parity.payload;
 }
 
-Status TwinParityManager::ReinitializeParityFromData() {
+Status TwinParityManager::ReinitializeParityFromData(exec::WorkerPool* pool) {
   const Layout& layout = array_->layout();
-  ScratchPool::ScratchImage data = scratch_.Acquire();
-  for (GroupId g = 0; g < array_->num_groups(); ++g) {
-    PageImage parity(array_->page_size());
-    for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
-      RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(g, i), &*data));
-      XorPage(&parity.payload, data->payload);
-    }
-    parity.header.parity_state = ParityState::kCommitted;
-    parity.header.timestamp = NextTimestamp();
-    RDA_RETURN_IF_ERROR(array_->WriteParity(g, 0, parity));
-    SyncTwinShadow(g, 0, static_cast<uint8_t>(ParityState::kCommitted));
-    if (layout.parity_copies() == 2) {
-      PageImage obsolete(array_->page_size());
-      obsolete.header.parity_state = ParityState::kObsolete;
-      RDA_RETURN_IF_ERROR(array_->WriteParity(g, 1, obsolete));
-      SyncTwinShadow(g, 1, static_cast<uint8_t>(ParityState::kObsolete));
-    }
-    directory_.MarkClean(g, 0);
-  }
+  // Groups touch disjoint parity slots, directory entries and twin-shadow
+  // elements, so the reinitialization fans out group-by-group with no shared
+  // mutable state beyond the (thread-safe) scratch pool and disk mutexes.
+  RDA_RETURN_IF_ERROR(exec::RunSharded(
+      pool, array_->num_groups(), [&](uint64_t index) -> Status {
+        const GroupId g = static_cast<GroupId>(index);
+        ScratchPool::ScratchImage data = scratch_.Acquire();
+        ScratchPool::ScratchImage parity = scratch_.Acquire();
+        for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
+          RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(g, i), &*data));
+          XorPage(&parity->payload, data->payload);
+        }
+        parity->header.parity_state = ParityState::kCommitted;
+        parity->header.timestamp = NextTimestamp();
+        RDA_RETURN_IF_ERROR(array_->WriteParity(g, 0, *parity));
+        SyncTwinShadow(g, 0, static_cast<uint8_t>(ParityState::kCommitted));
+        if (layout.parity_copies() == 2) {
+          // Reuse the data scratch as the zeroed obsolete image.
+          std::fill(data->payload.begin(), data->payload.end(), 0);
+          data->header = PageHeader{};
+          data->header.parity_state = ParityState::kObsolete;
+          RDA_RETURN_IF_ERROR(array_->WriteParity(g, 1, *data));
+          SyncTwinShadow(g, 1, static_cast<uint8_t>(ParityState::kObsolete));
+        }
+        directory_.MarkClean(g, 0);
+        return Status::Ok();
+      }));
   directory_valid_.store(true, std::memory_order_release);
   return Status::Ok();
 }

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "exec/worker_pool.h"
 #include "obs/obs.h"
 #include "parity/dirty_set.h"
 #include "storage/data_page_meta.h"
@@ -189,6 +190,12 @@ class TwinParityManager {
   // (the working twin of a dirty group, else the valid twin).
   Result<std::vector<uint8_t>> ReconstructDataPayload(PageId page);
 
+  // Allocation-free variant: reconstructs into `*out` (typically a
+  // ScratchPool image — its page-sized buffer is reused by the parity read
+  // and the XOR accumulation). The media-rebuild path loops this over every
+  // lost page, so per-group buffer churn matters there.
+  Status ReconstructDataPayloadInto(PageId page, PageImage* out);
+
   // Self-healing data read: like array()->ReadData, but a persistent
   // sector-level fault (kIoError surviving the retry policy, or a checksum
   // kCorruption) on a LIVE disk is served by group reconstruction and
@@ -228,8 +235,10 @@ class TwinParityManager {
   // Recomputes every group's parity from the on-disk data pages, installs
   // it as committed parity in twin 0 (twin 1 reset to obsolete) and resets
   // the directory to all-clean. Used by catastrophic (archive) restore,
-  // where the parity pages themselves are untrustworthy.
-  Status ReinitializeParityFromData();
+  // where the parity pages themselves are untrustworthy. Groups are
+  // independent (distinct directory/shadow slots, distinct pages), so with
+  // a pool they fan out in contiguous bands; null keeps the serial loop.
+  Status ReinitializeParityFromData(exec::WorkerPool* pool = nullptr);
 
   // Rebuilds the volatile directory after a crash by reading both twin
   // headers of every group (the S/N-term of the paper's c'_s): valid twin =

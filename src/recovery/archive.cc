@@ -68,22 +68,26 @@ Result<CrashRecoveryReport> ArchiveManager::RestoreFromArchive() {
   {
     obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kArchiveRestore,
                            transfers_now, &restore_phases);
-    for (PageId page = 0; page < array->num_data_pages(); ++page) {
-      PageImage image(0);
-      image.payload = snapshot_[page];
-      RDA_RETURN_IF_ERROR(array->WriteData(page, image));
-    }
+    // Distinct pages live on distinct slots, so the snapshot rewrite fans
+    // out over the pool with no coordination beyond the per-disk mutexes.
+    RDA_RETURN_IF_ERROR(exec::RunSharded(
+        pool_, array->num_data_pages(), [&](uint64_t page) -> Status {
+          PageImage image(0);
+          image.payload = snapshot_[page];
+          return array->WriteData(static_cast<PageId>(page), image);
+        }));
   }
   {
     obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kParityReinit,
                            transfers_now, &restore_phases);
-    RDA_RETURN_IF_ERROR(parity_->ReinitializeParityFromData());
+    RDA_RETURN_IF_ERROR(parity_->ReinitializeParityFromData(pool_));
   }
 
   // Roll forward the work committed since the archive; restart recovery's
   // pageLSN checks make replaying from the (truncated) log start safe.
   CrashRecovery recovery(txn_manager_, parity_, log_);
   recovery.AttachObs(hub_);
+  recovery.SetWorkerPool(pool_);
   RDA_ASSIGN_OR_RETURN(CrashRecoveryReport report, recovery.Recover());
   report.phases.insert(report.phases.begin(), restore_phases.begin(),
                        restore_phases.end());

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "exec/worker_pool.h"
 #include "obs/obs.h"
 #include "parity/twin_parity_manager.h"
 #include "recovery/crash_recovery.h"
@@ -23,9 +24,11 @@ namespace rda {
 // truncated.
 class ArchiveManager {
  public:
+  // With a pool, the restore's page rewrite, parity reinitialization and
+  // nested crash recovery all fan out over it; null keeps them serial.
   ArchiveManager(TransactionManager* txn_manager, TwinParityManager* parity,
-                 LogManager* log)
-      : txn_manager_(txn_manager), parity_(parity), log_(log) {}
+                 LogManager* log, exec::WorkerPool* pool = nullptr)
+      : txn_manager_(txn_manager), parity_(parity), log_(log), pool_(pool) {}
 
   ArchiveManager(const ArchiveManager&) = delete;
   ArchiveManager& operator=(const ArchiveManager&) = delete;
@@ -58,6 +61,7 @@ class ArchiveManager {
   TransactionManager* txn_manager_;
   TwinParityManager* parity_;
   LogManager* log_;
+  exec::WorkerPool* pool_ = nullptr;
   std::vector<std::vector<uint8_t>> snapshot_;
   Lsn archive_lsn_ = kInvalidLsn;
   obs::ObsHub* hub_ = nullptr;

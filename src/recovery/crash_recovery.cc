@@ -16,19 +16,24 @@ Status CrashRecovery::ConsumeFaultBudget() {
   if (!fault_armed_) {
     return Status::Ok();
   }
-  if (fault_budget_ == 0) {
-    // Crash-point trip: capture the per-thread span/event timeline before
-    // the recovery attempt unwinds.
-    obs::TriggerFlight(obs::FlightOf(hub_),
-                       "injected crash-point tripped during recovery");
-    return Status::Aborted("injected crash during recovery");
+  // Concurrent recovery shards race for the remaining units, so each one is
+  // claimed with CAS; whoever finds the budget empty trips the crash point.
+  uint64_t budget = fault_budget_.load(std::memory_order_relaxed);
+  while (budget > 0) {
+    if (fault_budget_.compare_exchange_weak(budget, budget - 1,
+                                            std::memory_order_relaxed)) {
+      return Status::Ok();
+    }
   }
-  --fault_budget_;
-  return Status::Ok();
+  // Crash-point trip: capture the per-thread span/event timeline before
+  // the recovery attempt unwinds.
+  obs::TriggerFlight(obs::FlightOf(hub_),
+                     "injected crash-point tripped during recovery");
+  return Status::Aborted("injected crash during recovery");
 }
 
 Status CrashRecovery::RedoAfterImage(const LogRecord& record,
-                                     CrashRecoveryReport* report) {
+                                     uint64_t* applied, uint64_t* skipped) {
   PageImage current;
   RDA_RETURN_IF_ERROR(parity_->ReadDataHealed(record.page, &current));
   const DataPageMeta disk_meta = LoadDataMeta(current.payload);
@@ -42,7 +47,7 @@ Status CrashRecovery::RedoAfterImage(const LogRecord& record,
     // alone.
     const DataPageMeta captured = LoadDataMeta(record.after);
     if (captured.page_lsn <= disk_meta.page_lsn) {
-      ++report->redo_skipped;
+      ++*skipped;
       return Status::Ok();
     }
     restored.payload = record.after;
@@ -50,7 +55,7 @@ Status CrashRecovery::RedoAfterImage(const LogRecord& record,
   } else {
     // Record-granular image: page-level LSN gating, replay in log order.
     if (record.lsn <= disk_meta.page_lsn) {
-      ++report->redo_skipped;
+      ++*skipped;
       return Status::Ok();
     }
     restored.payload = current.payload;
@@ -67,7 +72,7 @@ Status CrashRecovery::RedoAfterImage(const LogRecord& record,
   RDA_RETURN_IF_ERROR(parity_->Propagate(record.page, kInvalidTxnId,
                                          PropagationKind::kPlain,
                                          &current.payload, restored));
-  ++report->redo_applied;
+  ++*applied;
   return Status::Ok();
 }
 
@@ -86,8 +91,15 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
     RDA_RETURN_IF_ERROR(parity_->RebuildDirectory());
   }
 
-  // Phase 2: analysis.
+  // Phase 2: analysis — one forward scan that classifies transactions AND
+  // pre-buckets the after-images for the sharded REDO of phase 5. Shard =
+  // page id mod shard count, so every image of one page lands on one shard
+  // and (the scan being forward) stays in LSN order within it. One shard
+  // reproduces the serial replay exactly.
+  const uint32_t redo_shard_count =
+      pool_ != nullptr ? std::max<uint32_t>(pool_->width(), 1) : 1;
   std::vector<LogRecord> records;
+  std::vector<std::vector<uint32_t>> redo_shards(redo_shard_count);
   std::unordered_set<TxnId> winners;
   std::unordered_set<TxnId> losers;
   TxnId max_txn = 0;
@@ -97,7 +109,27 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
     RDA_RETURN_IF_ERROR(log_->Scan(0, &records));
     std::unordered_set<TxnId> seen;
     std::unordered_set<TxnId> finished;  // Committed or abort-complete.
-    for (const LogRecord& record : records) {
+    // Pre-size the transaction sets from the latest checkpoint's active-txn
+    // list plus the rebuilt dirty set, instead of rehashing as the scan
+    // grows them record by record.
+    size_t checkpoint_active = 0;
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+      if (it->type == LogRecordType::kCheckpoint) {
+        checkpoint_active = it->active_txns.size();
+        break;
+      }
+    }
+    const size_t txn_hint =
+        checkpoint_active + parity_->directory().DirtyCount() + 16;
+    seen.reserve(txn_hint);
+    finished.reserve(txn_hint);
+    winners.reserve(txn_hint);
+    losers.reserve(txn_hint);
+    for (auto& shard : redo_shards) {
+      shard.reserve(records.size() / redo_shard_count + 1);
+    }
+    for (uint32_t index = 0; index < records.size(); ++index) {
+      const LogRecord& record = records[index];
       if (record.txn != kInvalidTxnId) {
         seen.insert(record.txn);
         max_txn = std::max(max_txn, record.txn);
@@ -109,6 +141,9 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
           break;
         case LogRecordType::kAbortComplete:
           finished.insert(record.txn);
+          break;
+        case LogRecordType::kAfterImage:
+          redo_shards[record.page % redo_shard_count].push_back(index);
           break;
         default:
           break;
@@ -218,34 +253,54 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
     }
   }
 
-  // Phase 4c: parity-undo every dirty group owned by a loser.
+  // Phase 4c: parity-undo every dirty group owned by a loser. Each undo
+  // touches only its own group (directory entry, twins, data page) under
+  // that group's latch, so the dirty groups fan out across the pool.
   {
     obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kParityUndo,
                            transfers_now, &report.phases);
+    std::vector<std::pair<GroupId, TxnId>> undo_groups;
     for (const GroupId group : parity_->directory().AllDirtyGroups()) {
       const GroupState& state = parity_->directory().Get(group);
-      if (!losers.contains(state.dirty_txn)) {
-        continue;
+      if (losers.contains(state.dirty_txn)) {
+        undo_groups.emplace_back(group, state.dirty_txn);
       }
-      RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
-      RDA_RETURN_IF_ERROR(
-          parity_->UndoUnloggedUpdate(group, state.dirty_txn).status());
-      ++report.parity_undos;
     }
+    RDA_RETURN_IF_ERROR(exec::RunSharded(
+        pool_, undo_groups.size(), [&](uint64_t i) -> Status {
+          RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+          return parity_
+              ->UndoUnloggedUpdate(undo_groups[i].first, undo_groups[i].second)
+              .status();
+        }));
+    report.parity_undos += undo_groups.size();
   }
 
-  // Phase 5: REDO committed after-images in LSN order (records is already
-  // LSN-ordered). The pageLSN check skips work already on disk.
+  // Phase 5: REDO committed after-images. Analysis pre-bucketed them so
+  // each shard replays a disjoint page set in LSN order; the pageLSN check
+  // skips work already on disk. Shards tally separately and the totals are
+  // summed in shard order, so the report is deterministic.
   {
     obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kRedo, transfers_now,
                            &report.phases);
-    for (const LogRecord& record : records) {
-      if (record.type != LogRecordType::kAfterImage ||
-          !winners.contains(record.txn)) {
-        continue;
-      }
-      RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
-      RDA_RETURN_IF_ERROR(RedoAfterImage(record, &report));
+    std::vector<uint64_t> applied(redo_shards.size(), 0);
+    std::vector<uint64_t> skipped(redo_shards.size(), 0);
+    RDA_RETURN_IF_ERROR(exec::RunSharded(
+        pool_, redo_shards.size(), [&](uint64_t shard) -> Status {
+          for (const uint32_t index : redo_shards[shard]) {
+            const LogRecord& record = records[index];
+            if (!winners.contains(record.txn)) {
+              continue;
+            }
+            RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+            RDA_RETURN_IF_ERROR(
+                RedoAfterImage(record, &applied[shard], &skipped[shard]));
+          }
+          return Status::Ok();
+        }));
+    for (size_t shard = 0; shard < redo_shards.size(); ++shard) {
+      report.redo_applied += applied[shard];
+      report.redo_skipped += skipped[shard];
     }
   }
 

@@ -1,10 +1,13 @@
 #ifndef RDA_RECOVERY_CRASH_RECOVERY_H_
 #define RDA_RECOVERY_CRASH_RECOVERY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "common/status.h"
 #include "common/types.h"
+#include "exec/worker_pool.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "parity/twin_parity_manager.h"
@@ -61,6 +64,12 @@ class CrashRecovery {
   // and kPhaseBegin/kPhaseEnd trace events). Null detaches.
   void AttachObs(obs::ObsHub* hub) { hub_ = hub; }
 
+  // Fans the REDO and parity-UNDO phases out over `pool` (DESIGN.md §13:
+  // REDO is sharded by page id so each page's after-images replay in LSN
+  // order on one shard; parity undo runs per dirty group under the group
+  // latches). Null (the default) keeps every phase on the serial path.
+  void SetWorkerPool(exec::WorkerPool* pool) { pool_ = pool; }
+
   // Robustness hook: make Recover() fail with kAborted after `actions`
   // mutating recovery steps (finalizations, undos, redo applications),
   // simulating a crash in the middle of recovery.
@@ -70,13 +79,17 @@ class CrashRecovery {
   }
 
  private:
-  // Consumes one unit of the fault budget; fails when it runs out.
+  // Consumes one unit of the fault budget; fails when it runs out. Safe to
+  // call from concurrent recovery shards (the budget is claimed with CAS).
   Status ConsumeFaultBudget();
 
   bool fault_armed_ = false;
-  uint64_t fault_budget_ = 0;
+  std::atomic<uint64_t> fault_budget_{0};
 
-  Status RedoAfterImage(const LogRecord& record, CrashRecoveryReport* report);
+  // Applies (or LSN-skips) one committed after-image; tallies into the
+  // caller's per-shard counters.
+  Status RedoAfterImage(const LogRecord& record, uint64_t* applied,
+                        uint64_t* skipped);
 
   // Array + log transfers so far (phase deltas are charged per phase).
   uint64_t TransfersNow() const;
@@ -85,6 +98,7 @@ class CrashRecovery {
   TwinParityManager* parity_;
   LogManager* log_;
   obs::ObsHub* hub_ = nullptr;
+  exec::WorkerPool* pool_ = nullptr;
 };
 
 }  // namespace rda

@@ -1,6 +1,10 @@
 #include "recovery/media_recovery.h"
 
 #include <algorithm>
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/scoped.h"
 
@@ -24,39 +28,57 @@ Result<MediaRecoveryReport> MediaRecovery::RebuildDisk(DiskId disk) {
   RDA_RETURN_IF_ERROR(array->ReplaceDisk(disk));
 
   obs::TraceBuffer* trace = obs::TraceOf(hub_);
-  for (GroupId group = 0; group < array->num_groups(); ++group) {
-    auto outcome_or = parity_->RebuildGroupMember(group, disk);
-    if (!outcome_or.ok()) {
-      // A second disk failing while this one is mid-rebuild exceeds the
-      // single-parity redundancy: the remaining groups cannot be
-      // reconstructed. Report that as the typed data loss it is, rather
-      // than a generic I/O error (the caller decides whether an archive
-      // restore can still save the day).
-      if (!outcome_or.status().IsDataLoss() && array->NumFailedDisks() > 0) {
-        return Status::DataLoss(
-            "second disk failure during rebuild of disk " +
-            std::to_string(disk) + " at group " + std::to_string(group) +
-            ": " + outcome_or.status().message());
-      }
-      return outcome_or.status();
-    }
-    TwinParityManager::GroupRebuildOutcome outcome =
-        std::move(outcome_or).value();
+  const GroupId num_groups = array->num_groups();
+  // Striped rebuild: groups fan out over the pool in contiguous bands, each
+  // rebuilt independently under its group latch. Per-group outcomes land in
+  // disjoint slots and are aggregated afterwards in ascending group order,
+  // so the report (and the undo_coverage_lost list) is identical at every
+  // thread count; only `progress` (pages rebuilt so far, for the trace
+  // feed) is a racy running total.
+  std::vector<TwinParityManager::GroupRebuildOutcome> outcomes(num_groups);
+  std::atomic<uint64_t> progress{0};
+  RDA_RETURN_IF_ERROR(exec::RunSharded(
+      pool_, num_groups, [&](uint64_t index) -> Status {
+        const GroupId group = static_cast<GroupId>(index);
+        auto outcome_or = parity_->RebuildGroupMember(group, disk);
+        if (!outcome_or.ok()) {
+          // A second disk failing while this one is mid-rebuild exceeds the
+          // single-parity redundancy: the remaining groups cannot be
+          // reconstructed. Report that as the typed data loss it is, rather
+          // than a generic I/O error (the caller decides whether an archive
+          // restore can still save the day).
+          if (!outcome_or.status().IsDataLoss() &&
+              array->NumFailedDisks() > 0) {
+            return Status::DataLoss(
+                "second disk failure during rebuild of disk " +
+                std::to_string(disk) + " at group " + std::to_string(group) +
+                ": " + outcome_or.status().message());
+          }
+          return outcome_or.status();
+        }
+        outcomes[group] = std::move(outcome_or).value();
+        const TwinParityManager::GroupRebuildOutcome& outcome =
+            outcomes[group];
+        const uint64_t pages = outcome.data_rebuilt + outcome.parity_rebuilt;
+        if (trace != nullptr && pages != 0) {
+          obs::TraceEvent event;
+          event.subsystem = obs::Subsystem::kRecovery;
+          event.kind = obs::EventKind::kRebuildProgress;
+          event.group = group;
+          event.detail =
+              progress.fetch_add(pages, std::memory_order_relaxed) + pages;
+          event.value = disk;
+          obs::Emit(trace, event);
+        }
+        return Status::Ok();
+      }));
+  for (GroupId group = 0; group < num_groups; ++group) {
+    const TwinParityManager::GroupRebuildOutcome& outcome = outcomes[group];
     report.data_pages_rebuilt += outcome.data_rebuilt;
     report.parity_pages_rebuilt += outcome.parity_rebuilt;
     report.obsolete_twins_reset += outcome.obsolete_reset;
     if (outcome.undo_lost) {
       report.undo_coverage_lost.push_back(outcome.lost_txn);
-    }
-    if (trace != nullptr &&
-        (outcome.data_rebuilt | outcome.parity_rebuilt) != 0) {
-      obs::TraceEvent event;
-      event.subsystem = obs::Subsystem::kRecovery;
-      event.kind = obs::EventKind::kRebuildProgress;
-      event.group = group;
-      event.detail = report.data_pages_rebuilt + report.parity_pages_rebuilt;
-      event.value = disk;
-      obs::Emit(trace, event);
     }
   }
   std::sort(report.undo_coverage_lost.begin(),

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "exec/worker_pool.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "parity/twin_parity_manager.h"
@@ -35,7 +36,14 @@ struct MediaRecoveryReport {
 // parity); lost parity twins are recomputed from data.
 class MediaRecovery {
  public:
-  explicit MediaRecovery(TwinParityManager* parity) : parity_(parity) {}
+  // With a pool, the rebuild is striped: each worker owns a contiguous
+  // band of parity groups (WorkerPool's block partition), and groups are
+  // rebuilt independently under their group latches through ScratchPool
+  // buffers — no shared mutable state per band. A null pool (the default)
+  // keeps the serial ascending-group loop.
+  explicit MediaRecovery(TwinParityManager* parity,
+                         exec::WorkerPool* pool = nullptr)
+      : parity_(parity), pool_(pool) {}
 
   MediaRecovery(const MediaRecovery&) = delete;
   MediaRecovery& operator=(const MediaRecovery&) = delete;
@@ -50,6 +58,7 @@ class MediaRecovery {
 
  private:
   TwinParityManager* parity_;
+  exec::WorkerPool* pool_ = nullptr;
   obs::ObsHub* hub_ = nullptr;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "exec/worker_pool.h"
 #include "parity/twin_parity_manager.h"
 
 namespace rda {
@@ -27,7 +28,13 @@ struct ScrubReport {
 // but never touched: their working parity is live undo state.
 class ParityScrubber {
  public:
-  explicit ParityScrubber(TwinParityManager* parity) : parity_(parity) {}
+  // With a pool, the verify pass scans the array in contiguous bands of
+  // groups (one per worker), each verified/repaired under its group latch;
+  // per-group verdicts are merged in ascending group order, so the report
+  // is identical at every thread count. Null pool = the serial loop.
+  explicit ParityScrubber(TwinParityManager* parity,
+                          exec::WorkerPool* pool = nullptr)
+      : parity_(parity), pool_(pool) {}
 
   ParityScrubber(const ParityScrubber&) = delete;
   ParityScrubber& operator=(const ParityScrubber&) = delete;
@@ -36,6 +43,7 @@ class ParityScrubber {
 
  private:
   TwinParityManager* parity_;
+  exec::WorkerPool* pool_ = nullptr;
 };
 
 }  // namespace rda

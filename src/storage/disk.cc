@@ -1,7 +1,9 @@
 #include "storage/disk.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/crc32.h"
@@ -30,7 +32,8 @@ Disk::Disk(Disk&& other) noexcept
       counters_(other.counters_),
       model_(other.model_),
       busy_ms_(other.busy_ms_),
-      head_slot_(other.head_slot_) {}
+      head_slot_(other.head_slot_),
+      real_delay_us_(other.real_delay_us_) {}
 
 Disk& Disk::operator=(Disk&& other) noexcept {
   id_ = other.id_;
@@ -44,6 +47,7 @@ Disk& Disk::operator=(Disk&& other) noexcept {
   model_ = other.model_;
   busy_ms_ = other.busy_ms_;
   head_slot_ = other.head_slot_;
+  real_delay_us_ = other.real_delay_us_;
   return *this;
 }
 
@@ -68,6 +72,11 @@ void Disk::AccountAccess(SlotId slot) const {
                 model_.rotation_ms + model_.transfer_ms;
   }
   head_slot_ = slot;
+  if (real_delay_us_ > 0) {
+    // The mutex stays held: a drive serves one request at a time, so the
+    // delay serializes THIS disk while other disks keep serving.
+    std::this_thread::sleep_for(std::chrono::microseconds(real_delay_us_));
+  }
 }
 
 Status Disk::Read(SlotId slot, PageImage* out) const {

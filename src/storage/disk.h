@@ -100,6 +100,15 @@ class Disk {
     std::lock_guard<std::mutex> lock(mu_);
     model_ = model;
   }
+  // Real (wall-clock) service delay per access, slept while the drive holds
+  // its request slot. 0 — the default — keeps accesses instantaneous; the
+  // busy-ms accounting model above is unaffected either way. With a nonzero
+  // delay, accesses to different disks overlap in real time, which is what
+  // makes parallel recovery's I/O overlap measurable on any host.
+  void set_real_access_delay_us(uint32_t us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    real_delay_us_ = us;
+  }
   // Charges extra service time (retry backoff) to this disk.
   void AddServiceDelay(double ms) const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -152,6 +161,7 @@ class Disk {
   ServiceTimeModel model_;
   mutable double busy_ms_ = 0;
   mutable SlotId head_slot_ = 0;  // Current head position.
+  uint32_t real_delay_us_ = 0;    // Wall-clock sleep per access (0 = none).
 };
 
 }  // namespace rda

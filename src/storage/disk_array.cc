@@ -37,8 +37,14 @@ Result<std::unique_ptr<DiskArray>> DiskArray::Create(const Options& options) {
       break;
     }
   }
-  return std::unique_ptr<DiskArray>(
+  std::unique_ptr<DiskArray> array(
       new DiskArray(std::move(layout), options.page_size));
+  if (options.real_access_delay_us > 0) {
+    for (Disk& disk : array->disks_) {
+      disk.set_real_access_delay_us(options.real_access_delay_us);
+    }
+  }
+  return array;
 }
 
 DiskArray::DiskArray(std::unique_ptr<Layout> layout, size_t page_size)

@@ -39,6 +39,10 @@ class DiskArray {
     // whole groups.
     uint32_t min_data_pages = 64;
     size_t page_size = 512;
+    // Real wall-clock sleep per disk access (see Disk). 0 = instantaneous
+    // (the default, and the only setting unit tests use); benches set it to
+    // make cross-disk I/O overlap measurable in wall time.
+    uint32_t real_access_delay_us = 0;
   };
 
   static Result<std::unique_ptr<DiskArray>> Create(const Options& options);

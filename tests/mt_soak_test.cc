@@ -336,6 +336,46 @@ TEST(MtSoakGroupCommitTest, ConcurrentCommittersShareFlushes) {
   EXPECT_TRUE(*parity_ok);
 }
 
+// Striped media rebuild under TSan: a concurrent workload produces the
+// database, then every disk is failed and rebuilt with a 4-wide worker
+// pool. The rebuild workers share the parity manager, scratch pool, dirty
+// set and obs hub — exactly the state the banded partition claims needs no
+// coordination — so a data race here is a sharding-rule violation. A pooled
+// crash recovery over the same state rides along for the REDO/undo shards.
+TEST(MtSoakRebuildTest, ConcurrentRebuildAndRecoveryAreRaceFree) {
+  DatabaseOptions options = MakeOptions(/*force=*/false, /*rda=*/true);
+  options.recovery.recovery_threads = 4;
+  options.obs.enable_metrics = true;
+  options.obs.enable_trace = true;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+
+  ConcurrentWorkload workload;
+  workload.threads = 4;
+  workload.txns_per_thread = 20;
+  workload.ops_per_txn = 3;
+  workload.pages = kPages;
+  workload.seed = 11;
+  auto result = (*db)->txn_manager()->RunConcurrent(workload);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  for (DiskId disk = 0; disk < (*db)->array()->num_disks(); ++disk) {
+    ASSERT_TRUE((*db)->FailDisk(disk).ok());
+    auto report = (*db)->RebuildDisk(disk);
+    ASSERT_TRUE(report.ok()) << "disk " << disk << ": "
+                             << report.status().ToString();
+  }
+  auto parity_ok = (*db)->VerifyAllParity();
+  ASSERT_TRUE(parity_ok.ok());
+  EXPECT_TRUE(*parity_ok);
+
+  (*db)->Crash();
+  ASSERT_TRUE((*db)->Recover().ok());
+  auto scrub = (*db)->Scrub();
+  ASSERT_TRUE(scrub.ok());
+  EXPECT_TRUE(scrub->repaired.empty());
+}
+
 // Concurrent span emission: four threads pour ScopedSpans into one shared
 // collector while a reader thread snapshots the rings the whole time. The
 // seqlock protocol must keep this data-race free (this file runs under the

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "exec/worker_pool.h"
+#include "obs/obs.h"
+
+namespace rda {
+namespace exec {
+namespace {
+
+TEST(WorkerPoolTest, EveryIndexRunsExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.width(), 4u);
+  constexpr uint64_t kCount = 1000;
+  std::vector<std::atomic<uint32_t>> hits(kCount);
+  Status status = pool.ParallelFor(kCount, [&](uint64_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  });
+  ASSERT_TRUE(status.ok());
+  for (uint64_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(WorkerPoolTest, ZeroCountIsANoOp) {
+  WorkerPool pool(4);
+  bool called = false;
+  Status status = pool.ParallelFor(0, [&](uint64_t) {
+    called = true;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_FALSE(called);
+}
+
+TEST(WorkerPoolTest, CountSmallerThanWidth) {
+  WorkerPool pool(8);
+  std::vector<std::atomic<uint32_t>> hits(3);
+  ASSERT_TRUE(pool.ParallelFor(3, [&](uint64_t i) {
+                    hits[i].fetch_add(1, std::memory_order_relaxed);
+                    return Status::Ok();
+                  })
+                  .ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(hits[i].load(), 1u);
+  }
+}
+
+TEST(WorkerPoolTest, WidthOneRunsInlineAndInOrder) {
+  WorkerPool pool(1);
+  std::vector<uint64_t> order;
+  ASSERT_TRUE(pool.ParallelFor(16, [&](uint64_t i) {
+                    order.push_back(i);  // No synchronization: must be inline.
+                    return Status::Ok();
+                  })
+                  .ok());
+  ASSERT_EQ(order.size(), 16u);
+  for (uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(WorkerPoolTest, SingleFailureIsReportedDeterministically) {
+  WorkerPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    Status status = pool.ParallelFor(100, [&](uint64_t i) {
+      if (i == 63) {
+        return Status::IoError("index 63 exploded");
+      }
+      return Status::Ok();
+    });
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.message(), "index 63 exploded") << "round " << round;
+  }
+}
+
+TEST(WorkerPoolTest, ErrorCancelsRemainingWorkBestEffort) {
+  WorkerPool pool(2);
+  std::atomic<uint64_t> executed{0};
+  Status status = pool.ParallelFor(100000, [&](uint64_t i) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    if (i == 0) {
+      return Status::Aborted("stop");
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(status.IsAborted());
+  // Cancellation is best-effort; it must at least beat running everything.
+  EXPECT_LT(executed.load(), 100000u);
+}
+
+TEST(WorkerPoolTest, PoolIsReusableAcrossManyJobs) {
+  WorkerPool pool(3);
+  std::atomic<uint64_t> total{0};
+  for (int job = 0; job < 50; ++job) {
+    ASSERT_TRUE(pool.ParallelFor(40, [&](uint64_t) {
+                      total.fetch_add(1, std::memory_order_relaxed);
+                      return Status::Ok();
+                    })
+                    .ok());
+  }
+  EXPECT_EQ(total.load(), 50u * 40u);
+}
+
+TEST(WorkerPoolTest, ConcurrentCallersShareThePoolWithoutDeadlock) {
+  WorkerPool pool(4);
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 6; ++c) {
+    callers.emplace_back([&pool, &total] {
+      for (int job = 0; job < 20; ++job) {
+        Status status = pool.ParallelFor(64, [&](uint64_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+          return Status::Ok();
+        });
+        ASSERT_TRUE(status.ok());
+      }
+    });
+  }
+  for (auto& t : callers) {
+    t.join();
+  }
+  EXPECT_EQ(total.load(), 6u * 20u * 64u);
+}
+
+TEST(WorkerPoolTest, ParallelForEmitsObsCounterAndSpan) {
+  obs::ObsOptions options;
+  options.enable_metrics = true;
+  options.enable_spans = true;
+  obs::ObsHub hub(options);
+  WorkerPool pool(4);
+  pool.AttachObs(&hub);
+  ASSERT_TRUE(
+      pool.ParallelFor(32, [](uint64_t) { return Status::Ok(); }).ok());
+  auto snapshot = hub.metrics()->Snapshot();
+  EXPECT_GE(snapshot.CounterValue("exec.parallel_fors"), 1u);
+  EXPECT_GE(snapshot.CounterValue("exec.chunks"), 1u);
+}
+
+TEST(RunShardedTest, NullPoolRunsSeriallyInOrder) {
+  std::vector<uint64_t> order;
+  ASSERT_TRUE(RunSharded(nullptr, 8, [&](uint64_t i) {
+                order.push_back(i);
+                return Status::Ok();
+              })
+                  .ok());
+  ASSERT_EQ(order.size(), 8u);
+  for (uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(RunShardedTest, SerialPathStopsAtFirstError) {
+  uint64_t calls = 0;
+  Status status = RunSharded(nullptr, 8, [&](uint64_t i) {
+    ++calls;
+    if (i == 2) {
+      return Status::IoError("boom");
+    }
+    return Status::Ok();
+  });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(calls, 3u);  // 0, 1, 2 — nothing after the failure.
+}
+
+TEST(RunShardedTest, PooledPathMatchesSerialResults) {
+  WorkerPool pool(4);
+  constexpr uint64_t kCount = 256;
+  std::vector<uint64_t> serial(kCount), pooled(kCount);
+  ASSERT_TRUE(RunSharded(nullptr, kCount, [&](uint64_t i) {
+                serial[i] = i * i;
+                return Status::Ok();
+              })
+                  .ok());
+  ASSERT_TRUE(RunSharded(&pool, kCount, [&](uint64_t i) {
+                pooled[i] = i * i;  // Disjoint slots: no synchronization.
+                return Status::Ok();
+              })
+                  .ok());
+  EXPECT_EQ(serial, pooled);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace rda
