@@ -52,6 +52,15 @@ Result<std::unique_ptr<Database>> Database::Open(
   db->archive_ = std::make_unique<ArchiveManager>(
       db->txn_manager_.get(), db->parity_.get(), db->log_.get(),
       db->recovery_pool_.get());
+  db->maintenance_ = std::make_unique<MaintenanceService>(db->parity_.get(),
+                                                          opts.maintenance);
+  Database* raw = db.get();
+  // Completed background rebuilds report transactions whose unlogged-undo
+  // coverage the failed disk destroyed; fold them into the abort blocklist.
+  db->maintenance_->SetRebuildDoneCallback(
+      [raw](const MediaRecoveryReport& report) {
+        raw->MergeUndoLost(report.undo_coverage_lost);
+      });
   // Attach observability last, after formatting: format I/O is not workload
   // I/O, and the obs counters should match the freshly reset array counters.
   if (opts.obs.enable_metrics || opts.obs.enable_trace ||
@@ -66,6 +75,13 @@ Result<std::unique_ptr<Database>> Database::Open(
     db->txn_manager_->AttachObs(db->obs_.get());  // Also attaches the pool.
     db->checkpointer_->AttachObs(db->obs_.get());
     db->archive_->AttachObs(db->obs_.get());
+    db->maintenance_->AttachObs(db->obs_.get());
+  }
+  if (opts.maintenance.enabled) {
+    MaintenanceService* svc = db->maintenance_.get();
+    db->array_->SetEscalationListener(
+        [svc](DiskId disk) { svc->OnEscalation(disk); });
+    db->maintenance_->Start();
   }
   return db;
 }
@@ -95,23 +111,73 @@ Status Database::WriteRecord(TxnId txn, PageId page, RecordSlot slot,
 }
 
 Status Database::Abort(TxnId txn) {
-  if (undo_lost_txns_.contains(txn)) {
-    return Status::DataLoss(
-        "undo coverage for this transaction was destroyed by a media "
-        "failure; it can only commit");
+  {
+    std::lock_guard<std::mutex> lock(undo_lost_mu_);
+    if (undo_lost_txns_.contains(txn)) {
+      return Status::DataLoss(
+          "undo coverage for this transaction was destroyed by a media "
+          "failure; it can only commit");
+    }
   }
   return txn_manager_->Abort(txn);
 }
 
+void Database::MergeUndoLost(const std::vector<TxnId>& txns) {
+  if (txns.empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(undo_lost_mu_);
+  for (const TxnId txn : txns) {
+    undo_lost_txns_.insert(txn);
+  }
+}
+
 void Database::Crash() {
+  // Quiesce maintenance I/O first: a sweep mid-group would otherwise race
+  // the volatile-state teardown below. The interrupted rebuild's persistent
+  // flag (DiskArray::DiskRebuilding) survives for Recover() to act on.
+  maintenance_->CancelAndDrain();
   txn_manager_->LoseVolatileState();
   parity_->LoseVolatileState();
   log_->LoseVolatileState();
-  undo_lost_txns_.clear();
+  {
+    std::lock_guard<std::mutex> lock(undo_lost_mu_);
+    undo_lost_txns_.clear();
+  }
   updates_since_checkpoint_ = 0;
 }
 
+Status Database::FinishInterruptedRebuilds() {
+  for (const DiskId disk : array_->RebuildingDisks()) {
+    // The replacement medium reads stale zeros for every group the
+    // interrupted sweep had not reached; only parity can tell which. Fail
+    // the disk so every read goes through reconstruction, then redo the
+    // rebuild from scratch (idempotent: already-rebuilt groups produce the
+    // same bytes again).
+    if (!array_->DiskFailed(disk)) {
+      RDA_RETURN_IF_ERROR(array_->FailDisk(disk));
+    }
+    // The media rebuild needs Current_Parity; rebuild the directory with
+    // the suspect disk out (its twins are selected around). CrashRecovery
+    // rebuilds it again afterwards, then on a fully healthy array.
+    RDA_RETURN_IF_ERROR(parity_->RebuildDirectory());
+    MediaRecovery recovery(parity_.get(), recovery_pool_.get());
+    recovery.AttachObs(obs_.get());
+    RDA_ASSIGN_OR_RETURN(MediaRecoveryReport report,
+                         recovery.RebuildDisk(disk));
+    MergeUndoLost(report.undo_coverage_lost);
+    // If the lost disk held a group's NEWEST committed twin, the directory
+    // rebuild above could only select the stale older survivor — data is
+    // current, parity is not. A scrub spots exactly those groups by the
+    // XOR check and recomputes their parity from data.
+    ParityScrubber scrubber(parity_.get(), recovery_pool_.get());
+    RDA_RETURN_IF_ERROR(scrubber.ScrubAll().status());
+  }
+  return Status::Ok();
+}
+
 Result<CrashRecoveryReport> Database::Recover() {
+  RDA_RETURN_IF_ERROR(FinishInterruptedRebuilds());
   CrashRecovery recovery(txn_manager_.get(), parity_.get(), log_.get());
   recovery.AttachObs(obs_.get());
   recovery.SetWorkerPool(recovery_pool_.get());
@@ -120,11 +186,24 @@ Result<CrashRecoveryReport> Database::Recover() {
 
 Result<CrashRecoveryReport> Database::RecoverWithInjectedFault(
     uint64_t actions) {
+  RDA_RETURN_IF_ERROR(FinishInterruptedRebuilds());
   CrashRecovery recovery(txn_manager_.get(), parity_.get(), log_.get());
   recovery.AttachObs(obs_.get());
   recovery.SetWorkerPool(recovery_pool_.get());
   recovery.InjectFaultAfterActions(actions);
   return recovery.Recover();
+}
+
+Result<CrashRecoveryReport> Database::RestoreFromArchive() {
+  // A background sweep mid-restore would fight the snapshot rewrite; the
+  // restore replaces every failed disk and rewrites all pages anyway, so
+  // any in-flight rebuild is moot.
+  maintenance_->CancelAndDrain();
+  {
+    std::lock_guard<std::mutex> lock(undo_lost_mu_);
+    undo_lost_txns_.clear();
+  }
+  return archive_->RestoreFromArchive();
 }
 
 Status Database::BulkLoad(const std::vector<std::vector<uint8_t>>& user_pages) {
@@ -181,33 +260,63 @@ Result<MediaRecoveryReport> Database::RebuildDisk(DiskId disk) {
   recovery.AttachObs(obs_.get());
   auto report = recovery.RebuildDisk(disk);
   if (report.ok()) {
-    for (const TxnId txn : report->undo_coverage_lost) {
-      undo_lost_txns_.insert(txn);
+    MergeUndoLost(report->undo_coverage_lost);
+  }
+  return report;
+}
+
+Result<MediaRecoveryReport> Database::RebuildDiskOnline(
+    DiskId disk, const OnlineRebuildOptions& options) {
+  MediaRecovery recovery(parity_.get(), recovery_pool_.get());
+  recovery.AttachObs(obs_.get());
+  auto report = recovery.RebuildDiskOnline(disk, options);
+  if (report.ok()) {
+    MergeUndoLost(report->undo_coverage_lost);
+  }
+  return report;
+}
+
+Result<Database::EscalationRepairReport> Database::RepairEscalations() {
+  EscalationRepairReport report;
+  // EscalatedDisks() is already ascending; one disk at a time keeps the
+  // single-failure invariant (rebuild d0 fully before touching d1). A disk
+  // whose rebuild fails stays failed and is reported, but does not rob the
+  // remaining disks of their repair attempt.
+  for (const DiskId disk : array_->EscalatedDisks()) {
+    const Status status = RebuildDisk(disk).status();
+    if (status.ok()) {
+      ++report.repaired;
+    } else {
+      report.unrepaired.push_back(disk);
+      if (report.first_error.ok()) {
+        report.first_error = status;
+      }
     }
   }
   return report;
 }
 
-Result<uint32_t> Database::RepairEscalations() {
-  uint32_t repaired = 0;
-  for (const DiskId disk : array_->EscalatedDisks()) {
-    RDA_RETURN_IF_ERROR(RebuildDisk(disk).status());
-    ++repaired;
-  }
-  return repaired;
-}
-
 Result<bool> Database::VerifyAllParity() {
-  for (GroupId group = 0; group < array_->num_groups(); ++group) {
-    auto consistent = parity_->VerifyGroupParity(group);
-    if (!consistent.ok()) {
-      return consistent.status();
-    }
-    if (!*consistent) {
-      return false;
-    }
-  }
-  return true;
+  // Sharded scan: each worker verifies a contiguous band of groups (under
+  // the group latches); one inconsistent group flips the shared verdict.
+  // Serial (null pool) and parallel runs see the same groups and return
+  // the same verdict.
+  std::atomic<bool> all_consistent{true};
+  RDA_RETURN_IF_ERROR(exec::RunSharded(
+      recovery_pool_.get(), array_->num_groups(),
+      [&](uint64_t index) -> Status {
+        if (!all_consistent.load(std::memory_order_relaxed)) {
+          return Status::Ok();  // Verdict already settled; finish fast.
+        }
+        RDA_ASSIGN_OR_RETURN(
+            const bool consistent,
+            parity_->VerifyGroupParity(static_cast<GroupId>(index)));
+        if (!consistent) {
+          all_consistent.store(false, std::memory_order_relaxed);
+        }
+        return Status::Ok();
+      }));
+  return all_consistent.load(std::memory_order_relaxed);
 }
 
 Result<std::vector<uint8_t>> Database::RawReadPage(PageId page) {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "buffer/buffer_pool.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "core/maintenance_service.h"
 #include "exec/worker_pool.h"
 #include "lock/lock_manager.h"
 #include "obs/export.h"
@@ -53,6 +55,10 @@ struct DatabaseOptions {
   // default) keeps every recovery path bit-for-bit identical to the serial
   // algorithms: no pool is created and each loop runs inline.
   exec::RecoveryOptions recovery;
+  // Background maintenance thread (DESIGN.md section 14): online media
+  // rebuild and throttled scrubs. Disabled by default; when enabled, disks
+  // escalated by the I/O policy are rebuilt online automatically.
+  MaintenanceOptions maintenance;
 };
 
 // The public facade of the library: a single-node database engine whose
@@ -62,7 +68,11 @@ struct DatabaseOptions {
 // Lifecycle of the interesting events:
 //   Begin / ReadPage / WritePage / ReadRecord / WriteRecord / Commit / Abort
 //   Crash()  -> all volatile state is gone ->  Recover()
-//   FailDisk(d)  -> degraded reads keep working ->  RebuildDisk(d)
+//   FailDisk(d)  -> degraded reads keep working
+//     -> RebuildDiskOnline(d) / MaintenanceService: transactions keep
+//        committing while the replacement disk fills group by group
+//        (touched groups are repaired on demand, ahead of the sweep)
+//     -> healthy again  (RebuildDisk(d) is the quiescent variant)
 class Database {
  public:
   static Result<std::unique_ptr<Database>> Open(const DatabaseOptions& options);
@@ -109,10 +119,8 @@ class Database {
   // Restores after a catastrophe the array cannot survive (e.g. two disks
   // lost): replaces failed media, rewrites all pages from the snapshot,
   // recomputes parity and rolls committed work forward from the log.
-  Result<CrashRecoveryReport> RestoreFromArchive() {
-    undo_lost_txns_.clear();
-    return archive_->RestoreFromArchive();
-  }
+  // Quiesces the maintenance thread first.
+  Result<CrashRecoveryReport> RestoreFromArchive();
 
   // Background parity scrub: verify all groups, repair clean ones that
   // fail the XOR check.
@@ -123,20 +131,49 @@ class Database {
 
   // --- failure injection & recovery ---
   // System crash: buffer pool, lock table, parity directory and unflushed
-  // log records are lost.
+  // log records are lost. Quiesces the maintenance thread first (its job
+  // queue is volatile state; a half-done online rebuild leaves the disk's
+  // persistent rebuilding flag set for Recover() to finish).
   void Crash();
-  // Restart after Crash(): runs the Section 4.3 algorithm.
+  // Restart after Crash(): runs the Section 4.3 algorithm. Disks that were
+  // mid-rebuild at the crash are failed (their media holds stale zeros for
+  // un-rebuilt groups) and rebuilt quiescently before normal recovery.
   Result<CrashRecoveryReport> Recover();
   // Test/robustness hook: like Recover(), but fails with kAborted after
   // `actions` recovery mutations — simulating a crash DURING recovery.
   // Call Crash() and Recover() again afterwards; convergence is tested.
   Result<CrashRecoveryReport> RecoverWithInjectedFault(uint64_t actions);
   Status FailDisk(DiskId disk) { return array_->FailDisk(disk); }
+  // Quiescent rebuild: replaces the disk and reconstructs every group in
+  // one sweep. Correct only when no transactions run concurrently.
   Result<MediaRecoveryReport> RebuildDisk(DiskId disk);
+  // Online rebuild: replaces the disk and reconstructs group by group under
+  // the group latches while transactions keep running. Foreground access to
+  // a not-yet-rebuilt group repairs it on demand; the sweep is optionally
+  // throttled / pausable / cancellable via `options`. This is the
+  // synchronous form of what the MaintenanceService runs in the background.
+  Result<MediaRecoveryReport> RebuildDiskOnline(
+      DiskId disk, const OnlineRebuildOptions& options = {});
+
+  // Outcome of one RepairEscalations() pass. A disk whose rebuild fails no
+  // longer aborts the pass: later escalated disks still get their turn, the
+  // stragglers are reported, and the first error is preserved typed (e.g.
+  // kDataLoss when two disks are down and only the archive can help).
+  struct EscalationRepairReport {
+    uint32_t repaired = 0;
+    std::vector<DiskId> unrepaired;    // Ascending disk order.
+    Status first_error = Status::Ok();
+  };
   // Rebuilds every disk the I/O policy escalated (error budget exhausted):
-  // replace + full media rebuild, one disk at a time. Returns the number
-  // of disks repaired. Safe to call periodically; a no-op when none.
-  Result<uint32_t> RepairEscalations();
+  // replace + full media rebuild, one disk at a time in ascending disk
+  // order. Safe to call periodically; a no-op when none. With the
+  // maintenance service enabled this polling is unnecessary — escalations
+  // queue an online rebuild automatically.
+  Result<EscalationRepairReport> RepairEscalations();
+
+  // The background maintenance service (never null; idle unless
+  // options.maintenance.enabled or Start() is called explicitly).
+  MaintenanceService* maintenance() { return maintenance_.get(); }
 
   // --- inspection ---
   // True iff every parity group's consistent twin equals XOR(data pages).
@@ -198,6 +235,12 @@ class Database {
   explicit Database(const DatabaseOptions& options);
 
   Status MaybeAutoCheckpoint();
+  // Recover() prologue: any disk whose persistent rebuilding flag is set
+  // crashed mid-rebuild — its medium holds stale zeros wherever the sweep
+  // had not reached. Fail it (so the directory rebuild reconstructs through
+  // the survivors) and redo the rebuild quiescently.
+  Status FinishInterruptedRebuilds();
+  void MergeUndoLost(const std::vector<TxnId>& txns);
 
   DatabaseOptions options_;
   std::unique_ptr<obs::ObsHub> obs_;
@@ -212,7 +255,14 @@ class Database {
   std::unique_ptr<Checkpointer> checkpointer_;
   std::unique_ptr<ArchiveManager> archive_;
   std::atomic<uint64_t> updates_since_checkpoint_{0};
+  // Transactions whose unlogged-undo coverage a media failure destroyed.
+  // Guarded by undo_lost_mu_: the maintenance thread's rebuild-done
+  // callback merges into it while the foreground calls Abort().
+  mutable std::mutex undo_lost_mu_;
   std::unordered_set<TxnId> undo_lost_txns_;
+  // Declared last: destroyed first, so the worker thread is joined while
+  // every component it touches is still alive.
+  std::unique_ptr<MaintenanceService> maintenance_;
 };
 
 }  // namespace rda

@@ -1,0 +1,172 @@
+#ifndef RDA_CORE_MAINTENANCE_SERVICE_H_
+#define RDA_CORE_MAINTENANCE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "exec/token_bucket.h"
+#include "obs/obs.h"
+#include "recovery/media_recovery.h"
+#include "recovery/scrubber.h"
+
+namespace rda {
+
+// Knobs of the background maintenance thread (DatabaseOptions::maintenance).
+struct MaintenanceOptions {
+  // Off by default: the service is created but Start() is never called, so
+  // existing single-threaded tests and benches see zero behaviour change.
+  bool enabled = false;
+  // Token-bucket rate limits in pages/sec for background work; 0 = run at
+  // full speed. Foreground on-demand repairs are never throttled.
+  uint64_t rebuild_pages_per_sec = 0;
+  uint64_t scrub_pages_per_sec = 0;
+  // Automatically queue an online rebuild when the I/O policy escalates a
+  // disk (error-budget exhaustion) — replaces RepairEscalations() polling.
+  bool auto_rebuild_on_escalation = true;
+};
+
+// The availability ladder the paper's Section 1 promises: a disk failure
+// degrades the array but never stops it, a rebuild runs in the background,
+// and the system returns to healthy without a quiescent window.
+enum class HealthState : uint8_t {
+  kHealthy = 0,     // All disks live, nothing rebuilding.
+  kDegraded = 1,    // A disk is failed (reads reconstruct through parity).
+  kRebuilding = 2,  // An online rebuild session / job is in flight.
+};
+
+const char* HealthStateName(HealthState state);
+
+// Progress snapshot (all fields are consistent under the service mutex).
+struct MaintenanceProgress {
+  HealthState health = HealthState::kHealthy;
+  bool running = false;      // Service thread started and not stopped.
+  bool busy = false;         // A job is executing right now.
+  bool paused = false;
+  size_t jobs_queued = 0;
+  // Online-rebuild session view (zero / invalid when none is active).
+  bool rebuild_active = false;
+  DiskId rebuild_disk = kInvalidDiskId;
+  uint32_t rebuild_groups_total = 0;
+  uint32_t rebuild_groups_remaining = 0;
+  uint64_t on_demand_repairs = 0;
+  uint64_t write_promotions = 0;
+  // Lifetime job counters.
+  uint64_t rebuilds_completed = 0;
+  uint64_t rebuilds_failed = 0;
+  uint64_t scrubs_completed = 0;
+  uint64_t jobs_cancelled = 0;
+};
+
+// Background maintenance thread owned by Database: runs online disk
+// rebuilds and parity scrubs off a small dedup'd job queue, throttled by
+// token buckets so maintenance I/O does not starve foreground commits.
+// Escalations reported by the DiskArray's I/O policy feed the queue
+// directly (OnEscalation is async-signal-ish: non-blocking enqueue + wake).
+class MaintenanceService {
+ public:
+  MaintenanceService(TwinParityManager* parity,
+                     const MaintenanceOptions& options);
+  ~MaintenanceService();  // Stop()s.
+
+  MaintenanceService(const MaintenanceService&) = delete;
+  MaintenanceService& operator=(const MaintenanceService&) = delete;
+
+  // Starts / stops the worker thread. Stop cancels the current job, drains
+  // the queue and joins; both are idempotent.
+  void Start();
+  void Stop();
+
+  // Queue a job. RequestRebuild dedups per disk; returns false if the job
+  // was already queued / running or the service is stopped. Safe from any
+  // thread, including the array's escalation callback path.
+  bool RequestRebuild(DiskId disk);
+  bool RequestScrub();
+  // The DiskArray escalation listener (registered by Database). Honors
+  // options.auto_rebuild_on_escalation.
+  void OnEscalation(DiskId disk);
+
+  // Pause/resume the current sweep (the job keeps its queue slot; foreground
+  // on-demand repairs continue). CancelCurrent stops the in-flight job only;
+  // CancelAndDrain also empties the queue and waits until the worker is
+  // idle — Database::Crash uses it to quiesce maintenance I/O first.
+  void Pause();
+  void Resume();
+  void CancelCurrent();
+  void CancelAndDrain();
+
+  // Both recompute health first, so a poll observes degraded -> rebuilding
+  // transitions that happen inside a long-running job.
+  MaintenanceProgress Progress();
+  HealthState health();
+
+  // Called (from the worker thread) with each completed rebuild report —
+  // Database merges undo_coverage_lost into its lost-transaction set.
+  void SetRebuildDoneCallback(
+      std::function<void(const MediaRecoveryReport&)> callback);
+
+  // Wires "maintenance.*" gauges/counters, kMaintenanceJob spans and
+  // kHealthChange trace events (flight dump on entering kDegraded).
+  void AttachObs(obs::ObsHub* hub);
+
+ private:
+  struct Job {
+    enum class Kind : uint8_t { kRebuild, kScrub } kind = Kind::kScrub;
+    DiskId disk = kInvalidDiskId;
+  };
+
+  void WorkerLoop();
+  void RunJob(const Job& job);
+  // Recomputes health from the array + session state and emits the
+  // transition (gauge, trace event, flight on degraded). Callable from any
+  // thread; serialized by health_mu_.
+  void UpdateHealth();
+
+  TwinParityManager* parity_;
+  const MaintenanceOptions options_;
+  exec::TokenBucket rebuild_bucket_;
+  exec::TokenBucket scrub_bucket_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // Worker wait / drain wait.
+  std::deque<Job> queue_;             // Guarded by mu_.
+  bool running_ = false;              // Guarded by mu_.
+  bool busy_ = false;                 // Guarded by mu_.
+  bool stop_requested_ = false;       // Guarded by mu_.
+  std::thread worker_;
+
+  std::atomic<bool> cancel_current_{false};
+  std::atomic<bool> paused_{false};
+
+  std::atomic<uint64_t> rebuilds_completed_{0};
+  std::atomic<uint64_t> rebuilds_failed_{0};
+  std::atomic<uint64_t> scrubs_completed_{0};
+  std::atomic<uint64_t> jobs_cancelled_{0};
+
+  std::mutex callback_mu_;
+  std::function<void(const MediaRecoveryReport&)> rebuild_done_;
+
+  mutable std::mutex health_mu_;
+  HealthState health_ = HealthState::kHealthy;  // Guarded by health_mu_.
+
+  // Observability (null = disabled).
+  obs::ObsHub* hub_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::SpanCollector* spans_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  obs::Gauge* health_gauge_ = nullptr;
+  obs::Counter* rebuilds_counter_ = nullptr;
+  obs::Counter* scrubs_counter_ = nullptr;
+  obs::Counter* enqueued_counter_ = nullptr;
+  obs::Counter* cancelled_counter_ = nullptr;
+};
+
+}  // namespace rda
+
+#endif  // RDA_CORE_MAINTENANCE_SERVICE_H_

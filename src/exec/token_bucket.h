@@ -1,0 +1,83 @@
+#ifndef RDA_EXEC_TOKEN_BUCKET_H_
+#define RDA_EXEC_TOKEN_BUCKET_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace rda::exec {
+
+// A small token-bucket rate limiter for background maintenance I/O: one
+// token per page touched. Rate 0 means unlimited (Acquire is a no-op), so
+// callers can thread a bucket unconditionally. The bucket holds at most one
+// second of tokens, which bounds the burst after an idle period.
+//
+// Acquire blocks in short naps (so a cancel flag is observed within ~10ms)
+// until the tokens are available; it never fails except on cancellation.
+// Thread-safe; intended for a single consumer but correct for several.
+class TokenBucket {
+ public:
+  explicit TokenBucket(uint64_t tokens_per_sec)
+      : rate_(tokens_per_sec),
+        capacity_(std::max<uint64_t>(tokens_per_sec, 1)),
+        tokens_(static_cast<double>(capacity_)),
+        last_refill_(Clock::now()) {}
+
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
+
+  uint64_t rate() const { return rate_; }
+
+  // Blocks until `tokens` are available and consumes them. Returns false
+  // only when `cancel` (optional) became true while waiting. Requests
+  // larger than the bucket capacity are allowed: the caller goes into debt
+  // and pays it off before the next Acquire returns.
+  bool Acquire(uint64_t tokens, const std::atomic<bool>* cancel = nullptr) {
+    if (rate_ == 0 || tokens == 0) {
+      return true;
+    }
+    for (;;) {
+      if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        Refill();
+        if (tokens_ >= static_cast<double>(tokens) ||
+            static_cast<double>(tokens) > static_cast<double>(capacity_)) {
+          // Oversized requests drive the balance negative instead of
+          // stalling forever on a bucket that can never hold them.
+          tokens_ -= static_cast<double>(tokens);
+          return true;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // Caller holds mu_.
+  void Refill() {
+    const Clock::time_point now = Clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - last_refill_).count();
+    last_refill_ = now;
+    tokens_ = std::min(tokens_ + elapsed * static_cast<double>(rate_),
+                       static_cast<double>(capacity_));
+  }
+
+  const uint64_t rate_;
+  const uint64_t capacity_;
+  std::mutex mu_;
+  double tokens_;  // Guarded by mu_; may go negative (oversized requests).
+  Clock::time_point last_refill_;  // Guarded by mu_.
+};
+
+}  // namespace rda::exec
+
+#endif  // RDA_EXEC_TOKEN_BUCKET_H_

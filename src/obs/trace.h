@@ -52,6 +52,12 @@ enum class EventKind : uint8_t {
   kSectorRepair = 15,
   // A disk force-failed after exhausting its error budget: value = disk id.
   kEscalation = 16,
+  // Maintenance health-state transition (from_state/to_state carry
+  // HealthState numeric values; value = disk id when one is implicated).
+  kHealthChange = 17,
+  // A foreground access reconstructed a not-yet-rebuilt group during an
+  // online rebuild: group set, value = disk under rebuild.
+  kOnDemandRebuild = 18,
 };
 
 // Figure 3 group states (from_state/to_state of kGroupTransition).

@@ -132,6 +132,10 @@ void TwinParityManager::AttachObs(obs::ObsHub* hub) {
   corruption_repairs_counter_ =
       obs::GetCounter(hub, "parity.corruption_repairs");
   latch_waits_counter_ = obs::GetCounter(hub, "parity.latch_waits");
+  online_on_demand_counter_ =
+      obs::GetCounter(hub, "parity.online_on_demand_rebuilds");
+  online_write_promotions_counter_ =
+      obs::GetCounter(hub, "parity.online_write_promotions");
   spans_ = obs::SpansOf(hub);
   propagate_hist_ = obs::GetHistogram(
       hub, "parity.propagate_us",
@@ -168,6 +172,9 @@ void TwinParityManager::NoteSectorRepair(const Status& cause, PageId page,
 
 Status TwinParityManager::ReadDataHealed(PageId page, PageImage* out) {
   auto latch = LockGroupOfPage(page);
+  // Online rebuild: a fresh replaced medium reads stale zeros SUCCESSFULLY,
+  // so the group must be rebuilt before the raw read below can be trusted.
+  RDA_RETURN_IF_ERROR(EnsureGroupRebuilt(array_->layout().GroupOf(page)));
   Status status = array_->ReadData(page, out);
   if (status.ok() || !directory_valid()) {
     return status;
@@ -205,6 +212,7 @@ Status TwinParityManager::ReadDataHealed(PageId page, PageImage* out) {
 Status TwinParityManager::ReadParityHealed(GroupId group, uint32_t twin,
                                            PageImage* out) {
   auto latch = LockGroup(group);
+  RDA_RETURN_IF_ERROR(EnsureGroupRebuilt(group));
   Status status = array_->ReadParity(group, twin, out);
   if (status.ok() || !directory_valid()) {
     return status;
@@ -353,16 +361,59 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
   }
   const GroupId group = array_->layout().GroupOf(page);
   auto latch = LockGroup(group);
+
+  // Online rebuild: a write whose data page sits on the disk under rebuild
+  // is promoted — the new image is persisted below anyway, so rebuilding
+  // the old content first would be wasted work. The pending bit is cleared
+  // up front (the nested healed reads re-enter EnsureGroupRebuilt, which
+  // must see the group as handled) and restored by the guard if the
+  // propagation fails before the data write lands. Every other pending
+  // group is rebuilt on demand before its parity is touched.
+  struct PendingGuard {
+    std::atomic<uint8_t>* slot = nullptr;
+    ~PendingGuard() {
+      if (slot != nullptr) {
+        slot->store(1, std::memory_order_relaxed);
+      }
+    }
+  } promotion;
+  std::vector<uint8_t> old_from_parity;
+  if (rebuild_active_.load(std::memory_order_acquire) &&
+      rebuild_pending_ != nullptr &&
+      rebuild_pending_[group].load(std::memory_order_relaxed) != 0 &&
+      !array_->DiskFailed(rebuild_disk_)) {
+    if (array_->layout().DataLocation(page).disk == rebuild_disk_) {
+      rebuild_pending_[group].store(0, std::memory_order_relaxed);
+      promotion.slot = &rebuild_pending_[group];
+      if (old_payload == nullptr) {
+        // The fresh medium holds stale zeros; the logical old content lives
+        // only in parity space. (The reconstruction's raw reads never touch
+        // `page` itself — group members sit on distinct disks.)
+        RDA_ASSIGN_OR_RETURN(old_from_parity, ReconstructDataPayload(page));
+        old_payload = &old_from_parity;
+      }
+    } else {
+      RDA_RETURN_IF_ERROR(EnsureGroupRebuilt(group));
+    }
+  }
   const GroupState& state = directory_.Get(group);
 
   // Validate the caller's decision against the Figure 3 rule.
   const bool unlogged = kind == PropagationKind::kUnloggedFirst ||
                         kind == PropagationKind::kUnloggedRepeat;
   if (unlogged) {
-    if (Classify(page, txn) != kind) {
-      return Status::FailedPrecondition(
-          "unlogged propagation not permitted for page " +
-          std::to_string(page));
+    const PropagationKind verdict = Classify(page, txn);
+    if (verdict != kind) {
+      if (verdict != PropagationKind::kUnloggedFirst &&
+          verdict != PropagationKind::kUnloggedRepeat) {
+        return Status::FailedPrecondition(
+            "unlogged propagation not permitted for page " +
+            std::to_string(page));
+      }
+      // The on-demand rebuild above may have finalized an undo-lost dirty
+      // group between the caller's Classify and this call; both unlogged
+      // kinds keep full undo coverage, so adopt the fresh verdict.
+      kind = verdict;
     }
   } else if (state.dirty && kind == PropagationKind::kPlain) {
     // A plain write into a dirty group (e.g. checkpoint propagation of
@@ -469,7 +520,14 @@ Status TwinParityManager::Propagate(PageId page, TxnId txn,
     return Status::IoError("write not durable: data disk and parity disk "
                            "both unavailable");
   }
-  return array_->WriteData(page, new_image);
+  Status write = array_->WriteData(page, new_image);
+  if (promotion.slot != nullptr && write.ok()) {
+    // The new image is durable on the replaced medium: the group needs no
+    // background rebuild. Disarm the guard and account the promotion.
+    promotion.slot = nullptr;
+    NotePendingCleared(group, /*on_demand=*/false);
+  }
+  return write;
 }
 
 Status TwinParityManager::FinalizeCommit(GroupId group, TxnId txn) {
@@ -477,6 +535,7 @@ Status TwinParityManager::FinalizeCommit(GroupId group, TxnId txn) {
     return Status::FailedPrecondition("parity directory not available");
   }
   auto latch = LockGroup(group);
+  RDA_RETURN_IF_ERROR(EnsureGroupRebuilt(group));
   const GroupState state = directory_.Get(group);
   if (!state.dirty) {
     return Status::Ok();  // Already finalized (idempotent for recovery).
@@ -533,6 +592,7 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
     return Status::FailedPrecondition("parity directory not available");
   }
   auto latch = LockGroup(group);
+  RDA_RETURN_IF_ERROR(EnsureGroupRebuilt(group));
   const GroupState state = directory_.Get(group);
   if (!state.dirty || state.dirty_txn != txn) {
     return Status::FailedPrecondition("group " + std::to_string(group) +
@@ -663,6 +723,7 @@ Status TwinParityManager::ReconstructDataPayloadInto(PageId page,
   const Layout& layout = array_->layout();
   const GroupId group = layout.GroupOf(page);
   auto latch = LockGroup(group);
+  RDA_RETURN_IF_ERROR(EnsureGroupRebuilt(group));
   const GroupState& state = directory_.Get(group);
   const uint32_t twin = state.dirty ? state.working_twin : state.valid_twin;
   // Raw (unhealed) reads on purpose: reconstruction is what the healed
@@ -790,6 +851,180 @@ TwinParityManager::RebuildGroupMember(GroupId group, DiskId disk) {
   return outcome;  // This group lost nothing.
 }
 
+Result<TwinParityManager::OnlineRebuildInfo>
+TwinParityManager::BeginOnlineRebuild(DiskId disk) {
+  if (!directory_valid()) {
+    return Status::FailedPrecondition("parity directory not available");
+  }
+  if (rebuild_active_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("an online rebuild is already active");
+  }
+  if (!array_->DiskFailed(disk)) {
+    return Status::FailedPrecondition("disk " + std::to_string(disk) +
+                                      " has not failed");
+  }
+  if (array_->NumFailedDisks() != 1) {
+    return Status::FailedPrecondition(
+        "online rebuild requires exactly one failed disk");
+  }
+  const Layout& layout = array_->layout();
+  const uint32_t groups = array_->num_groups();
+  if (rebuild_pending_ == nullptr) {
+    rebuild_pending_ = std::make_unique<std::atomic<uint8_t>[]>(groups);
+  }
+  OnlineRebuildInfo info;
+  for (GroupId g = 0; g < groups; ++g) {
+    auto latch = LockGroup(g);
+    bool member = false;
+    for (uint32_t i = 0; i < layout.data_pages_per_group() && !member; ++i) {
+      member = layout.DataLocation(layout.PageAt(g, i)).disk == disk;
+    }
+    for (uint32_t t = 0; t < layout.parity_copies() && !member; ++t) {
+      member = layout.ParityLocation(g, t).disk == disk;
+    }
+    if (member) {
+      const GroupState& state = directory_.Get(g);
+      if (state.dirty &&
+          layout.ParityLocation(g, state.valid_twin).disk == disk) {
+        // The before-image parity of this in-flight unlogged update sits on
+        // the dead disk: its undo coverage is lost, exactly as the
+        // quiescent rebuild reports. (New dirtiness cannot join this list —
+        // after Begin every pending group is rebuilt before it is touched.)
+        info.undo_coverage_lost.push_back(state.dirty_txn);
+      }
+      ++info.groups_total;
+    }
+    rebuild_pending_[g].store(member ? 1 : 0, std::memory_order_relaxed);
+  }
+  info.groups_pending = info.groups_total;
+  std::sort(info.undo_coverage_lost.begin(), info.undo_coverage_lost.end());
+  info.undo_coverage_lost.erase(std::unique(info.undo_coverage_lost.begin(),
+                                            info.undo_coverage_lost.end()),
+                                info.undo_coverage_lost.end());
+  rebuild_disk_ = disk;
+  rebuild_groups_total_.store(info.groups_total, std::memory_order_relaxed);
+  rebuild_groups_remaining_.store(info.groups_total,
+                                  std::memory_order_relaxed);
+  rebuild_on_demand_.store(0, std::memory_order_relaxed);
+  rebuild_write_promotions_.store(0, std::memory_order_relaxed);
+  array_->SetRebuilding(disk, true);
+  // Publish the session BEFORE installing the fresh medium: between the two
+  // the disk still reads as failed, so EnsureGroupRebuilt stands down and
+  // the degraded-mode machinery serves — the zeroed medium is never visible
+  // without the hook armed.
+  rebuild_active_.store(true, std::memory_order_release);
+  Status replaced = array_->ReplaceDisk(disk);
+  if (!replaced.ok()) {
+    rebuild_active_.store(false, std::memory_order_release);
+    array_->SetRebuilding(disk, false);
+    rebuild_disk_ = kInvalidDiskId;
+    return replaced;
+  }
+  return info;
+}
+
+Result<TwinParityManager::GroupRebuildOutcome>
+TwinParityManager::RebuildGroupIfPending(GroupId group, bool* did_work) {
+  *did_work = false;
+  GroupRebuildOutcome none;
+  if (!rebuild_active_.load(std::memory_order_acquire) ||
+      rebuild_pending_ == nullptr ||
+      rebuild_pending_[group].load(std::memory_order_relaxed) == 0) {
+    return none;  // Lock-free skip: someone already handled this group.
+  }
+  auto latch = LockGroup(group);
+  if (rebuild_pending_[group].load(std::memory_order_relaxed) == 0) {
+    return none;  // Lost the race under the latch.
+  }
+  if (array_->DiskFailed(rebuild_disk_)) {
+    return Status::IoError("disk " + std::to_string(rebuild_disk_) +
+                           " failed during its online rebuild");
+  }
+  rebuild_pending_[group].store(0, std::memory_order_relaxed);
+  Result<GroupRebuildOutcome> outcome = RebuildGroupMember(group,
+                                                           rebuild_disk_);
+  if (!outcome.ok()) {
+    rebuild_pending_[group].store(1, std::memory_order_relaxed);
+    return outcome.status();
+  }
+  rebuild_groups_remaining_.fetch_sub(1, std::memory_order_relaxed);
+  *did_work = true;
+  return outcome;
+}
+
+Status TwinParityManager::EndOnlineRebuild() {
+  if (!rebuild_active_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("no online rebuild is active");
+  }
+  const uint32_t remaining =
+      rebuild_groups_remaining_.load(std::memory_order_relaxed);
+  if (remaining != 0) {
+    return Status::FailedPrecondition(
+        std::to_string(remaining) + " groups still pending rebuild of disk " +
+        std::to_string(rebuild_disk_));
+  }
+  const DiskId disk = rebuild_disk_;
+  rebuild_active_.store(false, std::memory_order_release);
+  rebuild_disk_ = kInvalidDiskId;
+  array_->SetRebuilding(disk, false);
+  return Status::Ok();
+}
+
+bool TwinParityManager::OnlineGroupPending(GroupId group) const {
+  return rebuild_active_.load(std::memory_order_acquire) &&
+         rebuild_pending_ != nullptr && group < array_->num_groups() &&
+         rebuild_pending_[group].load(std::memory_order_relaxed) != 0;
+}
+
+Status TwinParityManager::EnsureGroupRebuilt(GroupId group) {
+  if (!rebuild_active_.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  auto latch = LockGroup(group);
+  if (rebuild_pending_ == nullptr ||
+      rebuild_pending_[group].load(std::memory_order_relaxed) == 0) {
+    return Status::Ok();
+  }
+  if (array_->DiskFailed(rebuild_disk_)) {
+    // Pre-replace window, or the new medium failed again: the group stays
+    // pending and the degraded-mode machinery serves the access.
+    return Status::Ok();
+  }
+  // Clear the bit BEFORE rebuilding: the latch is recursive and
+  // RebuildGroupMember re-enters the healed readers, which re-enter this
+  // hook — the bit is the recursion brake. Restored on failure so the
+  // stale zeroed medium is never silently trusted.
+  rebuild_pending_[group].store(0, std::memory_order_relaxed);
+  Result<GroupRebuildOutcome> outcome = RebuildGroupMember(group,
+                                                           rebuild_disk_);
+  if (!outcome.ok()) {
+    rebuild_pending_[group].store(1, std::memory_order_relaxed);
+    return outcome.status();
+  }
+  NotePendingCleared(group, /*on_demand=*/true);
+  return Status::Ok();
+}
+
+void TwinParityManager::NotePendingCleared(GroupId group, bool on_demand) {
+  rebuild_groups_remaining_.fetch_sub(1, std::memory_order_relaxed);
+  if (on_demand) {
+    rebuild_on_demand_.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(online_on_demand_counter_);
+  } else {
+    rebuild_write_promotions_.fetch_add(1, std::memory_order_relaxed);
+    obs::Inc(online_write_promotions_counter_);
+  }
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.subsystem = obs::Subsystem::kParity;
+    event.kind = obs::EventKind::kOnDemandRebuild;
+    event.group = group;
+    event.detail = on_demand ? 1 : 2;  // 1 = repair-on-access, 2 = promotion.
+    event.value = static_cast<int64_t>(rebuild_disk_);
+    trace_->Record(event);
+  }
+}
+
 Status TwinParityManager::WriteFullGroup(
     GroupId group, const std::vector<std::vector<uint8_t>>& payloads) {
   if (!directory_valid()) {
@@ -800,6 +1035,7 @@ Status TwinParityManager::WriteFullGroup(
     return Status::InvalidArgument("full-stripe write needs every page");
   }
   auto latch = LockGroup(group);
+  RDA_RETURN_IF_ERROR(EnsureGroupRebuilt(group));
   const GroupState& state = directory_.Get(group);
   if (state.dirty) {
     return Status::FailedPrecondition(
@@ -832,6 +1068,7 @@ Status TwinParityManager::ScrubGroup(GroupId group) {
     return Status::FailedPrecondition("parity directory not available");
   }
   auto latch = LockGroup(group);
+  RDA_RETURN_IF_ERROR(EnsureGroupRebuilt(group));
   const GroupState& state = directory_.Get(group);
   if (state.dirty) {
     return Status::FailedPrecondition("cannot scrub a dirty group");
@@ -867,6 +1104,7 @@ Result<bool> TwinParityManager::VerifyGroupParity(GroupId group) {
     return Status::FailedPrecondition("parity directory not available");
   }
   auto latch = LockGroup(group);
+  RDA_RETURN_IF_ERROR(EnsureGroupRebuilt(group));
   const GroupState& state = directory_.Get(group);
   const uint32_t twin = state.dirty ? state.working_twin : state.valid_twin;
   PageImage expected(array_->page_size());
@@ -927,10 +1165,17 @@ Status TwinParityManager::RebuildDirectory() {
       Status read = array_->ReadParity(g, t, &twins[t]);
       if (!read.ok()) {
         const DiskId disk = array_->layout().ParityLocation(g, t).disk;
-        if (copies == 2 && HealableFault(read, disk)) {
+        // A twin on a FAILED disk (recovering from a crash mid-rebuild with
+        // the half-written medium re-failed) is handled like a faulted
+        // sector — select from the survivor — except no error is charged:
+        // the disk is already out.
+        if (copies == 2 &&
+            (HealableFault(read, disk) || array_->DiskFailed(disk))) {
           faulted[t] = true;
           fault_cause[t] = read;
-          array_->RecordSectorError(disk);
+          if (!array_->DiskFailed(disk)) {
+            array_->RecordSectorError(disk);
+          }
           continue;
         }
         return read;
@@ -1012,6 +1257,13 @@ void TwinParityManager::LoseVolatileState() {
   directory_ = DirtySet(array_->num_groups());
   directory_valid_.store(false, std::memory_order_release);
   timestamp_.store(0, std::memory_order_relaxed);
+  // The progress bitmap is volatile too: an interrupted online rebuild is
+  // detected after restart through the array's persistent rebuilding flag
+  // (DiskArray::RebuildingDisks), not through this session state.
+  rebuild_active_.store(false, std::memory_order_release);
+  rebuild_disk_ = kInvalidDiskId;
+  rebuild_groups_total_.store(0, std::memory_order_relaxed);
+  rebuild_groups_remaining_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rda

@@ -184,6 +184,65 @@ class TwinParityManager {
   // twin is reset.
   Result<GroupRebuildOutcome> RebuildGroupMember(GroupId group, DiskId disk);
 
+  // --- online rebuild session (DESIGN.md section 14) ---
+  //
+  // An online rebuild replaces the quiescent RebuildDisk stop-the-world
+  // window with a per-group "pending" bitmap: BeginOnlineRebuild installs
+  // the fresh medium and marks every group with a member on the disk as
+  // pending; from then on EVERY group-scoped entry point first ensures the
+  // group is rebuilt (on-demand reconstruct-and-persist under the group
+  // latch), so foreground traffic never observes the zeroed medium while
+  // the background sweep drains the bitmap group by group.
+
+  // Snapshot returned by BeginOnlineRebuild.
+  struct OnlineRebuildInfo {
+    uint32_t groups_total = 0;    // Groups with a member on the disk.
+    uint32_t groups_pending = 0;  // == groups_total at Begin time.
+    // Dirty groups whose valid (before-image) twin lived on the disk: their
+    // in-flight unlogged updates lose undo coverage, exactly like the
+    // quiescent rebuild reports.
+    std::vector<TxnId> undo_coverage_lost;
+  };
+
+  // Starts an online rebuild of `disk` (must be the only failed disk):
+  // builds the pending bitmap, replaces the disk, flags it as rebuilding on
+  // the array and activates the on-demand hook. Foreground traffic may run
+  // concurrently from the moment this returns.
+  Result<OnlineRebuildInfo> BeginOnlineRebuild(DiskId disk);
+
+  // Rebuilds `group` if it is still pending (the background sweep's unit of
+  // work). *did_work is set false when another path (on-demand repair, a
+  // foreground write promotion, a racing sweeper) got there first — then
+  // the returned outcome is empty. Safe to call concurrently with traffic.
+  Result<GroupRebuildOutcome> RebuildGroupIfPending(GroupId group,
+                                                    bool* did_work);
+
+  // Ends the session. Fails with kFailedPrecondition while groups are still
+  // pending; on success clears the array's rebuilding flag.
+  Status EndOnlineRebuild();
+
+  bool OnlineRebuildActive() const {
+    return rebuild_active_.load(std::memory_order_acquire);
+  }
+  DiskId online_rebuild_disk() const { return rebuild_disk_; }
+  uint32_t OnlineRebuildGroupsTotal() const {
+    return rebuild_groups_total_.load(std::memory_order_relaxed);
+  }
+  uint32_t OnlineRebuildGroupsRemaining() const {
+    return rebuild_groups_remaining_.load(std::memory_order_relaxed);
+  }
+  // Lock-free peek (the sweep uses it to skip already-rebuilt groups
+  // without taking the latch); the authoritative check under the latch
+  // happens inside RebuildGroupIfPending.
+  bool OnlineGroupPending(GroupId group) const;
+  // Session counters (reset at Begin, retained after End for inspection).
+  uint64_t OnlineOnDemandRepairs() const {
+    return rebuild_on_demand_.load(std::memory_order_relaxed);
+  }
+  uint64_t OnlineWritePromotions() const {
+    return rebuild_write_promotions_.load(std::memory_order_relaxed);
+  }
+
   // Degraded-mode read: reconstructs (without writing) the payload of
   // `page` — whose disk may have failed — by XORing the other data pages of
   // its group with the parity twin that is consistent with on-disk data
@@ -279,6 +338,20 @@ class TwinParityManager {
   Status ReadOldPayload(PageId page, const std::vector<uint8_t>* hint,
                         std::vector<uint8_t>* out);
 
+  // On-demand arm of the online rebuild: if a session is active and `group`
+  // is still pending, rebuilds it under the group latch before the caller
+  // touches any of its pages. Clears the pending bit BEFORE rebuilding (the
+  // latch is recursive and RebuildGroupMember re-enters the healed readers,
+  // which re-enter this hook); restores it if the rebuild fails. No-op when
+  // the rebuilding disk is (still or again) failed — the degraded-mode
+  // machinery serves then.
+  Status EnsureGroupRebuilt(GroupId group);
+  // Shared by EnsureGroupRebuilt and the foreground write promotion: marks
+  // `group` no longer pending. Caller holds the group latch and has
+  // verified the bit was set. `on_demand` picks which session counter and
+  // trace event to emit.
+  void NotePendingCleared(GroupId group, bool on_demand);
+
   // True when `status` is the class of error repair-on-read can heal: a
   // persistent sector fault on a disk that is still alive.
   bool HealableFault(const Status& status, DiskId disk) const;
@@ -340,6 +413,19 @@ class TwinParityManager {
   // maintained whether or not observability is attached.
   std::vector<std::array<uint8_t, 2>> twin_shadow_;
 
+  // Online-rebuild session state. The bitmap entries are atomic so the
+  // background sweep can peek without latches (TSan-clean); every logical
+  // transition — pending set at Begin, cleared by rebuild/promotion —
+  // happens under the owning group's latch. rebuild_active_ is published
+  // with release order after the bitmap and disk id are in place.
+  std::atomic<bool> rebuild_active_{false};
+  DiskId rebuild_disk_ = kInvalidDiskId;
+  std::unique_ptr<std::atomic<uint8_t>[]> rebuild_pending_;
+  std::atomic<uint32_t> rebuild_groups_total_{0};
+  std::atomic<uint32_t> rebuild_groups_remaining_{0};
+  std::atomic<uint64_t> rebuild_on_demand_{0};
+  std::atomic<uint64_t> rebuild_write_promotions_{0};
+
   // Observability (null = disabled).
   obs::TraceBuffer* trace_ = nullptr;
   obs::Counter* unlogged_first_counter_ = nullptr;
@@ -353,6 +439,8 @@ class TwinParityManager {
   obs::Counter* latent_repairs_counter_ = nullptr;
   obs::Counter* corruption_repairs_counter_ = nullptr;
   obs::Counter* latch_waits_counter_ = nullptr;
+  obs::Counter* online_on_demand_counter_ = nullptr;
+  obs::Counter* online_write_promotions_counter_ = nullptr;
   // Latency spans (propagate/undo/rebuild) and the propagate-latency
   // histogram feeding the percentile reports.
   obs::SpanCollector* spans_ = nullptr;

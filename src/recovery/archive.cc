@@ -54,11 +54,13 @@ Result<CrashRecoveryReport> ArchiveManager::RestoreFromArchive() {
   };
   std::vector<obs::PhaseCost> restore_phases;
 
-  // Fresh media for every failed disk.
+  // Fresh media for every failed disk. The restore rewrites every page and
+  // recomputes all parity below, so any interrupted-rebuild flag is moot.
   for (DiskId disk = 0; disk < array->num_disks(); ++disk) {
     if (array->DiskFailed(disk)) {
       RDA_RETURN_IF_ERROR(array->ReplaceDisk(disk));
     }
+    array->SetRebuilding(disk, false);
   }
   // All volatile state is void after a catastrophe.
   txn_manager_->LoseVolatileState();

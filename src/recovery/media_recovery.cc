@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -25,6 +27,11 @@ Result<MediaRecoveryReport> MediaRecovery::RebuildDisk(DiskId disk) {
   obs::ScopedPhase phase(
       hub_, obs::RecoveryPhase::kMediaRebuild,
       [array] { return array->counters().total(); }, &report.phases);
+  // Flag the disk as rebuilding across the replace->reconstruct window: the
+  // fresh medium reads stale zeros successfully, so if this quiescent
+  // rebuild is interrupted (crash, second failure) the flag tells recovery
+  // the medium cannot be trusted yet.
+  array->SetRebuilding(disk, true);
   RDA_RETURN_IF_ERROR(array->ReplaceDisk(disk));
 
   obs::TraceBuffer* trace = obs::TraceOf(hub_);
@@ -87,6 +94,111 @@ Result<MediaRecoveryReport> MediaRecovery::RebuildDisk(DiskId disk) {
       std::unique(report.undo_coverage_lost.begin(),
                   report.undo_coverage_lost.end()),
       report.undo_coverage_lost.end());
+  array->SetRebuilding(disk, false);
+  return report;
+}
+
+Result<MediaRecoveryReport> MediaRecovery::RebuildDiskOnline(
+    DiskId disk, const OnlineRebuildOptions& options) {
+  DiskArray* array = parity_->array();
+  MediaRecoveryReport report;
+  report.disk = disk;
+  if (parity_->OnlineRebuildActive()) {
+    if (parity_->online_rebuild_disk() != disk) {
+      return Status::FailedPrecondition(
+          "an online rebuild of disk " +
+          std::to_string(parity_->online_rebuild_disk()) +
+          " is already active");
+    }
+    // Resume after a cancelled sweep: the session (and its bitmap) is still
+    // live; the undo_coverage_lost list was reported by the first call.
+  } else {
+    RDA_ASSIGN_OR_RETURN(TwinParityManager::OnlineRebuildInfo info,
+                         parity_->BeginOnlineRebuild(disk));
+    report.undo_coverage_lost = std::move(info.undo_coverage_lost);
+  }
+
+  obs::ScopedPhase phase(
+      hub_, obs::RecoveryPhase::kMediaRebuild,
+      [array] { return array->counters().total(); }, &report.phases);
+  obs::TraceBuffer* trace = obs::TraceOf(hub_);
+  const GroupId num_groups = array->num_groups();
+  const uint64_t tokens_per_group =
+      array->layout().data_pages_per_group() + 1;
+  uint64_t progress = 0;
+  bool cancelled = false;
+  // Serial sweep on purpose: the rebuild is the background citizen here —
+  // foreground transactions own the parallelism. Each group is one latch
+  // acquisition, one token-bucket charge, one reconstruct-and-persist.
+  for (GroupId group = 0; group < num_groups; ++group) {
+    while (options.pause != nullptr &&
+           options.pause->load(std::memory_order_acquire)) {
+      if (options.cancel != nullptr &&
+          options.cancel->load(std::memory_order_acquire)) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_acquire)) {
+      cancelled = true;
+      break;
+    }
+    if (!parity_->OnlineGroupPending(group)) {
+      continue;  // Already served on demand (or not a member group).
+    }
+    if (options.throttle != nullptr &&
+        !options.throttle->Acquire(tokens_per_group, options.cancel)) {
+      cancelled = true;  // Cancelled while waiting for rate-limit tokens.
+      break;
+    }
+    bool did_work = false;
+    auto outcome_or = parity_->RebuildGroupIfPending(group, &did_work);
+    if (!outcome_or.ok()) {
+      if (!outcome_or.status().IsDataLoss() && array->NumFailedDisks() > 0) {
+        return Status::DataLoss(
+            "second disk failure during online rebuild of disk " +
+            std::to_string(disk) + " at group " + std::to_string(group) +
+            ": " + outcome_or.status().message());
+      }
+      return outcome_or.status();
+    }
+    if (!did_work) {
+      continue;
+    }
+    const TwinParityManager::GroupRebuildOutcome& outcome = *outcome_or;
+    report.data_pages_rebuilt += outcome.data_rebuilt;
+    report.parity_pages_rebuilt += outcome.parity_rebuilt;
+    report.obsolete_twins_reset += outcome.obsolete_reset;
+    if (outcome.undo_lost) {
+      report.undo_coverage_lost.push_back(outcome.lost_txn);
+    }
+    ++report.groups_background;
+    const uint64_t pages = outcome.data_rebuilt + outcome.parity_rebuilt;
+    if (trace != nullptr && pages != 0) {
+      obs::TraceEvent event;
+      event.subsystem = obs::Subsystem::kRecovery;
+      event.kind = obs::EventKind::kRebuildProgress;
+      event.group = group;
+      progress += pages;
+      event.detail = static_cast<int64_t>(progress);
+      event.value = disk;
+      obs::Emit(trace, event);
+    }
+  }
+  std::sort(report.undo_coverage_lost.begin(),
+            report.undo_coverage_lost.end());
+  report.undo_coverage_lost.erase(
+      std::unique(report.undo_coverage_lost.begin(),
+                  report.undo_coverage_lost.end()),
+      report.undo_coverage_lost.end());
+  report.groups_on_demand = parity_->OnlineOnDemandRepairs();
+  report.write_promotions = parity_->OnlineWritePromotions();
+  if (cancelled || parity_->OnlineRebuildGroupsRemaining() != 0) {
+    report.completed = false;  // Session stays active for a later resume.
+    return report;
+  }
+  RDA_RETURN_IF_ERROR(parity_->EndOnlineRebuild());
   return report;
 }
 

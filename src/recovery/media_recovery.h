@@ -3,8 +3,11 @@
 
 #include <vector>
 
+#include <atomic>
+
 #include "common/status.h"
 #include "common/types.h"
+#include "exec/token_bucket.h"
 #include "exec/worker_pool.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -28,6 +31,29 @@ struct MediaRecoveryReport {
   // Cost of the rebuild as a single kMediaRebuild phase (page transfers +
   // wall clock). Always filled, whether or not observability is attached.
   std::vector<obs::PhaseCost> phases;
+  // --- online-rebuild extras (zero for the quiescent path) ---
+  // Groups the background sweep reconstructed itself.
+  uint32_t groups_background = 0;
+  // Groups foreground traffic had already repaired on demand / promoted by
+  // the time the sweep reached them (totals over the whole session).
+  uint64_t groups_on_demand = 0;
+  uint64_t write_promotions = 0;
+  // False when the sweep returned early (cancelled) with groups still
+  // pending; the session stays active and a later sweep resumes it.
+  bool completed = true;
+};
+
+// Knobs of the online (non-quiescent) rebuild sweep. All optional; null
+// means unlimited rate / never cancelled / never paused.
+struct OnlineRebuildOptions {
+  // Token bucket charged data_pages_per_group + 1 tokens per group band, so
+  // rebuild I/O can be capped in pages/sec without starving foreground
+  // commits. Not owned.
+  exec::TokenBucket* throttle = nullptr;
+  // Checked between groups; true stops the sweep (report.completed=false).
+  const std::atomic<bool>* cancel = nullptr;
+  // While true the sweep naps between groups (cancel still honoured).
+  const std::atomic<bool>* pause = nullptr;
 };
 
 // Media recovery (the classic redundant-array pay-off the paper builds on):
@@ -51,6 +77,15 @@ class MediaRecovery {
   // Replaces `disk` with a fresh medium and reconstructs every page it
   // held. Requires that no other disk is failed (single-failure model).
   Result<MediaRecoveryReport> RebuildDisk(DiskId disk);
+
+  // Online rebuild: begins (or resumes) a TwinParityManager online-rebuild
+  // session for `disk` and sweeps the pending groups serially while
+  // foreground transactions keep committing — every group is reconstructed
+  // under its own latch, and foreground accesses repair not-yet-swept
+  // groups on demand. Ends the session when the bitmap drains; a cancel
+  // leaves it active for a later resume (report.completed = false).
+  Result<MediaRecoveryReport> RebuildDiskOnline(
+      DiskId disk, const OnlineRebuildOptions& options = {});
 
   // Hooks rebuilds into the observability hub (kMediaRebuild phase cost
   // and kRebuildProgress trace events). Null detaches.

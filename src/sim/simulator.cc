@@ -150,8 +150,11 @@ Result<SimResult> Simulator::Run() {
     // End-of-run maintenance, AFTER the workload counters were captured
     // (rebuild I/O is not workload I/O): any disk the error budget
     // escalated is rebuilt so the run hands back a healthy array.
-    RDA_ASSIGN_OR_RETURN(result_.escalations_repaired,
-                         db_->RepairEscalations());
+    RDA_ASSIGN_OR_RETURN(auto repairs, db_->RepairEscalations());
+    if (!repairs.unrepaired.empty()) {
+      return repairs.first_error;
+    }
+    result_.escalations_repaired = repairs.repaired;
   }
 
   // Publish the headline numbers as gauges so one metrics export carries

@@ -55,6 +55,7 @@ DiskArray::DiskArray(std::unique_ptr<Layout> layout, size_t page_size)
   }
   sector_error_counts_.assign(disks_.size(), 0);
   escalated_.assign(disks_.size(), false);
+  rebuilding_.assign(disks_.size(), false);
 }
 
 Status DiskArray::CheckPage(PageId page) const {
@@ -335,6 +336,43 @@ void DiskArray::RecordSectorError(DiskId disk) {
                                   " escalated after exhausting its error "
                                   "budget");
   (void)FailDisk(disk);
+  std::function<void(DiskId)> listener;
+  {
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    listener = escalation_listener_;
+  }
+  if (listener) {
+    listener(disk);
+  }
+}
+
+void DiskArray::SetEscalationListener(std::function<void(DiskId)> listener) {
+  std::lock_guard<std::mutex> lock(policy_mu_);
+  escalation_listener_ = std::move(listener);
+}
+
+void DiskArray::SetRebuilding(DiskId disk, bool rebuilding) {
+  if (disk >= disks_.size()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(policy_mu_);
+  rebuilding_[disk] = rebuilding;
+}
+
+bool DiskArray::DiskRebuilding(DiskId disk) const {
+  std::lock_guard<std::mutex> lock(policy_mu_);
+  return disk < rebuilding_.size() && rebuilding_[disk];
+}
+
+std::vector<DiskId> DiskArray::RebuildingDisks() const {
+  std::lock_guard<std::mutex> lock(policy_mu_);
+  std::vector<DiskId> out;
+  for (DiskId d = 0; d < rebuilding_.size(); ++d) {
+    if (rebuilding_[d]) {
+      out.push_back(d);
+    }
+  }
+  return out;
 }
 
 std::vector<DiskId> DiskArray::EscalatedDisks() const {

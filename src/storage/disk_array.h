@@ -2,6 +2,7 @@
 #define RDA_STORAGE_DISK_ARRAY_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -102,6 +103,24 @@ class DiskArray {
   // Disks force-failed by budget exhaustion and not yet replaced.
   std::vector<DiskId> EscalatedDisks() const;
 
+  // Escalation listener: invoked (outside all array locks) right after
+  // RecordSectorError force-fails a disk. The MaintenanceService registers
+  // a non-blocking enqueue here so escalations trigger automatic rebuilds
+  // instead of requiring a RepairEscalations() poll. Null detaches.
+  void SetEscalationListener(std::function<void(DiskId)> listener);
+
+  // --- online-rebuild bookkeeping (DESIGN.md section 14) ---
+  //
+  // A disk is marked "rebuilding" from the moment its fresh zeroed medium
+  // is installed until the rebuild (online or quiescent) finishes. The flag
+  // outlives a crash of the volatile layers, letting Recover() detect an
+  // interrupted rebuild and finish it: a half-rebuilt medium reads stale
+  // zeros *successfully*, so it must never be trusted silently.
+  void SetRebuilding(DiskId disk, bool rebuilding);
+  bool DiskRebuilding(DiskId disk) const;
+  // Disks currently flagged as rebuilding, ascending.
+  std::vector<DiskId> RebuildingDisks() const;
+
   const Layout& layout() const { return *layout_; }
   size_t page_size() const { return page_size_; }
   uint32_t num_data_pages() const { return layout_->num_data_pages(); }
@@ -162,6 +181,8 @@ class DiskArray {
   std::vector<std::unique_ptr<FaultInjector>> injectors_;
   std::vector<uint32_t> sector_error_counts_;
   std::vector<bool> escalated_;
+  std::vector<bool> rebuilding_;
+  std::function<void(DiskId)> escalation_listener_;
 
   // Observability (null = disabled). The counter pointers are resolved once
   // in AttachObs so the I/O hot path pays only a null test.

@@ -364,7 +364,9 @@ TEST_F(DegradedTest, ErrorBudgetEscalationHealedByRepairEscalations) {
 
   auto repaired = db_->RepairEscalations();
   ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
-  EXPECT_EQ(*repaired, 1u);
+  EXPECT_EQ(repaired->repaired, 1u);
+  EXPECT_TRUE(repaired->unrepaired.empty());
+  EXPECT_TRUE(repaired->first_error.ok());
   EXPECT_FALSE(db_->array()->DiskFailed(suspect));
   EXPECT_TRUE(db_->array()->EscalatedDisks().empty());
   EXPECT_EQ(DiskByte(0), 0xd0);
