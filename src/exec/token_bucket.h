@@ -15,15 +15,21 @@ namespace rda::exec {
 // callers can thread a bucket unconditionally. The bucket holds at most one
 // second of tokens, which bounds the burst after an idle period.
 //
+// The bucket starts EMPTY: a consumer created right before a burst of work
+// (the online-rebuild sweep) pays the configured rate from its very first
+// Acquire instead of getting a free capacity-sized burst exactly when the
+// foreground is most exposed. Callers that want pre-charged tokens (none in
+// this repo) can say so explicitly via `initial_tokens`.
+//
 // Acquire blocks in short naps (so a cancel flag is observed within ~10ms)
 // until the tokens are available; it never fails except on cancellation.
 // Thread-safe; intended for a single consumer but correct for several.
 class TokenBucket {
  public:
-  explicit TokenBucket(uint64_t tokens_per_sec)
+  explicit TokenBucket(uint64_t tokens_per_sec, uint64_t initial_tokens = 0)
       : rate_(tokens_per_sec),
         capacity_(std::max<uint64_t>(tokens_per_sec, 1)),
-        tokens_(static_cast<double>(capacity_)),
+        tokens_(static_cast<double>(std::min(initial_tokens, capacity_))),
         last_refill_(Clock::now()) {}
 
   TokenBucket(const TokenBucket&) = delete;

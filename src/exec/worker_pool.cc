@@ -24,8 +24,13 @@ struct WorkerPool::Job {
   std::condition_variable done_cv;
   uint32_t done_chunks = 0;
   bool finished = false;
+  // Real errors and cancellation-class (kAborted) statuses aggregate
+  // separately: a chunk that merely observed an external cancel must never
+  // mask the lowest-chunk real error it raced with.
   uint32_t error_chunk = UINT32_MAX;
   Status error;
+  uint32_t abort_chunk = UINT32_MAX;
+  Status abort_status;
 };
 
 WorkerPool::WorkerPool(uint32_t width) : width_(std::max<uint32_t>(width, 1)) {
@@ -96,9 +101,16 @@ void WorkerPool::RunChunks(const std::shared_ptr<Job>& job) {
       }
     }
     std::lock_guard<std::mutex> lock(job->mu);
-    if (!status.ok() && chunk < job->error_chunk) {
-      job->error_chunk = chunk;
-      job->error = status;
+    if (!status.ok()) {
+      if (status.IsAborted()) {
+        if (chunk < job->abort_chunk) {
+          job->abort_chunk = chunk;
+          job->abort_status = status;
+        }
+      } else if (chunk < job->error_chunk) {
+        job->error_chunk = chunk;
+        job->error = status;
+      }
     }
     if (++job->done_chunks == job->chunks) {
       job->finished = true;
@@ -137,7 +149,15 @@ Status WorkerPool::ParallelFor(uint64_t count, const ShardFn& fn) {
   RunChunks(job);  // The caller works too; it can finish the job alone.
   std::unique_lock<std::mutex> lock(job->mu);
   job->done_cv.wait(lock, [&job] { return job->finished; });
-  return job->error_chunk == UINT32_MAX ? Status::Ok() : job->error;
+  // A real error (whatever its chunk) outranks any kAborted: cancellation
+  // statuses only surface when nothing actually failed.
+  if (job->error_chunk != UINT32_MAX) {
+    return job->error;
+  }
+  if (job->abort_chunk != UINT32_MAX) {
+    return job->abort_status;
+  }
+  return Status::Ok();
 }
 
 Status RunSharded(WorkerPool* pool, uint64_t count,

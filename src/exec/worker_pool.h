@@ -43,6 +43,9 @@ struct RecoveryOptions {
 // failing chunk — with a single failing index this is deterministically
 // that index's error; with several, cancellation may let an earlier chunk
 // skip past its own failure, so any one of the observed errors surfaces.
+// kAborted statuses (the cancellation class — e.g. a throttle observing an
+// external cancel flag) aggregate separately and NEVER outrank a real
+// error: when a chunk error and a cancel race, the caller sees the error.
 // At width 1 (or count <= 1) the loop runs inline and stops at the first
 // error, exactly like the serial code it replaces.
 class WorkerPool {

@@ -1,0 +1,73 @@
+#ifndef RDA_FUZZ_ORACLE_H_
+#define RDA_FUZZ_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/database.h"
+#include "txn/transaction_manager.h"
+
+namespace rda::fuzz {
+
+// The fuzzer's model of what the database MUST contain: the last committed
+// uniform fill byte per page (page logging) or per (page, slot) record
+// (record logging). Pages/records never written are implicitly zero — the
+// formatted state — and are checked too, so lost updates AND resurrected
+// ones are caught.
+class ShadowModel {
+ public:
+  ShadowModel(LoggingMode mode, uint32_t records_per_page)
+      : mode_(mode), records_per_page_(records_per_page) {}
+
+  void CommitPage(PageId page, uint8_t value) { committed_[page] = value; }
+  void CommitRecord(PageId page, RecordSlot slot, uint8_t value) {
+    committed_[Key(page, slot)] = value;
+  }
+
+  uint8_t ExpectedPage(PageId page) const { return Lookup(page); }
+  uint8_t ExpectedRecord(PageId page, RecordSlot slot) const {
+    return Lookup(Key(page, slot));
+  }
+
+  LoggingMode mode() const { return mode_; }
+  uint32_t records_per_page() const { return records_per_page_; }
+
+ private:
+  uint64_t Key(PageId page, RecordSlot slot) const {
+    return static_cast<uint64_t>(page) * records_per_page_ + slot;
+  }
+  uint8_t Lookup(uint64_t key) const {
+    auto it = committed_.find(key);
+    return it == committed_.end() ? 0 : it->second;
+  }
+
+  LoggingMode mode_;
+  uint32_t records_per_page_;
+  std::unordered_map<uint64_t, uint8_t> committed_;
+};
+
+// Runs every invariant the fuzzer knows against a QUIESCED database that
+// just finished recovery (or a full schedule). Returns the first violation
+// as a non-Ok status whose message names the invariant:
+//
+//  1. Durability: every page/record equals the shadow model's committed
+//     value — on disk (RawReadPage) for page logging, so torn or
+//     half-propagated pages cannot hide behind the buffer pool; through a
+//     reader transaction for record logging.
+//  2. Uniformity: a page's whole user region carries one fill byte — a torn
+//     page that survived recovery is a mix and fails even when its first
+//     byte looks right.
+//  3. Parity: Database::VerifyAllParity (XOR of every group checks out).
+//  4. Twin structure: TwinParityManager::CheckInvariants (headers vs
+//     directory vs shadow, Figure 7 selection, rebuild bitmap conservation).
+//  5. WAL coherence: no page carries a pageLSN above the stable log's
+//     flushed watermark, and commit durability never leads it.
+//  6. Counter conservation: obs storage.reads/writes equal the per-disk
+//     sums, and the obs XOR counter equals the array's own accounting.
+Status CheckOracle(Database* db, const ShadowModel& shadow);
+
+}  // namespace rda::fuzz
+
+#endif  // RDA_FUZZ_ORACLE_H_

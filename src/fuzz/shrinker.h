@@ -1,0 +1,34 @@
+#ifndef RDA_FUZZ_SHRINKER_H_
+#define RDA_FUZZ_SHRINKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "fuzz/runner.h"
+#include "fuzz/schedule.h"
+
+namespace rda::fuzz {
+
+struct ShrinkResult {
+  Schedule minimized;      // Smallest schedule that still fails.
+  std::string violation;   // The minimized schedule's oracle diagnosis.
+  uint32_t runs = 0;       // Schedule executions spent shrinking.
+};
+
+// Greedy delta-debugging over the schedule's structure: repeatedly tries to
+// drop crash points, drop faults, zero out mid-recovery fault injection,
+// halve/decrement the step count, and collapse threads to 1 — accepting any
+// candidate that still fails the oracle — until a full pass makes no
+// progress or `max_runs` executions are spent. Every accepted candidate is
+// a real replay, so the result is guaranteed to reproduce.
+//
+// Returns FailedPrecondition when `failing` does not actually fail (nothing
+// to shrink), or the harness error if a replay could not run at all.
+Result<ShrinkResult> Shrink(const Schedule& failing,
+                            const FuzzOptions& options = {},
+                            uint32_t max_runs = 300);
+
+}  // namespace rda::fuzz
+
+#endif  // RDA_FUZZ_SHRINKER_H_

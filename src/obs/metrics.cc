@@ -64,6 +64,24 @@ double QuantileFromBuckets(const std::vector<double>& bounds,
     return 0;
   }
   q = std::min(std::max(q, 0.0), 1.0);
+  // A single observation needs no interpolation: the tracked max IS the
+  // value, so every quantile equals it (max_value 0 means "not tracked" —
+  // the interpolation below is then the best available estimate).
+  if (total == 1 && max_value > 0) {
+    return max_value;
+  }
+  // No observation exceeds the tracked max, so the upper edge of the LAST
+  // non-empty bucket — the one holding the max — is min(bound, max), not
+  // the raw bucket bound. Without this clamp q=1 (and anything
+  // interpolating into that bucket) overshoots whenever the observed max
+  // falls below the last finite bound.
+  size_t last_nonempty = buckets.size();
+  for (size_t i = buckets.size(); i-- > 0;) {
+    if (buckets[i] > 0) {
+      last_nonempty = i;
+      break;
+    }
+  }
   const double target = q * static_cast<double>(total);
   double cumulative = 0;
   for (size_t i = 0; i < buckets.size(); ++i) {
@@ -78,15 +96,21 @@ double QuantileFromBuckets(const std::vector<double>& bounds,
     const double lower = i == 0 ? 0.0 : bounds[i - 1];
     // Overflow bucket: the observed maximum is the only honest upper edge.
     double upper = i < bounds.size() ? bounds[i] : std::max(max_value, lower);
+    if (i == last_nonempty && max_value > 0) {
+      upper = std::max(lower, std::min(upper, max_value));
+    }
     const double fraction =
         (target - cumulative) / static_cast<double>(buckets[i]);
     return lower + fraction * (upper - lower);
   }
   // q == 1 with rounding dust: the last non-empty bucket's upper edge.
-  for (size_t i = buckets.size(); i-- > 0;) {
-    if (buckets[i] > 0) {
-      return i < bounds.size() ? bounds[i] : max_value;
+  if (last_nonempty < buckets.size()) {
+    double upper = last_nonempty < bounds.size() ? bounds[last_nonempty]
+                                                 : max_value;
+    if (max_value > 0) {
+      upper = std::min(upper, max_value);
     }
+    return upper;
   }
   return 0;
 }

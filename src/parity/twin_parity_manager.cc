@@ -665,9 +665,47 @@ Result<ParityUndoResult> TwinParityManager::UndoUnloggedUpdate(GroupId group,
     RDA_RETURN_IF_ERROR(
         array_->WriteParity(group, state.working_twin, *working));
   } else {
-    // The data page no longer carries the transaction's stamp: the restore
-    // already happened (crash during a previous undo). Re-invalidate the
-    // working twin only.
+    // The data page no longer carries the transaction's stamp: its content
+    // was already restored. Two distinct histories lead here and they leave
+    // OPPOSITE twins covering the on-disk group:
+    //  - a crash interrupted a previous parity undo after its data write —
+    //    the VALID twin covers the restored group;
+    //  - a logged before-image undo rewrote the dirty page while the group
+    //    was dirty (a transaction that first stole with a logged
+    //    before-image, then re-stole unlogged in a later epoch) — that
+    //    rewrite XORs its delta into BOTH twins, so the WORKING twin covers
+    //    the group and the valid twin is stale by (committed xor restored).
+    // The stamp alone cannot distinguish them: audit the group's data XOR
+    // and refresh the valid twin if it no longer covers the data, or the
+    // group would be marked clean around permanently corrupt parity.
+    ScratchPool::ScratchImage actual = scratch_.Acquire();
+    ScratchPool::ScratchImage member = scratch_.Acquire();
+    bool xor_known = true;
+    for (uint32_t i = 0; i < array_->layout().data_pages_per_group(); ++i) {
+      const PageId member_page = array_->layout().PageAt(group, i);
+      if (!LocationHealthy(array_->layout().DataLocation(member_page)) ||
+          !ReadDataHealed(member_page, &*member).ok()) {
+        xor_known = false;  // Degraded member: nothing to audit against.
+        break;
+      }
+      XorPage(&actual->payload, member->payload);
+    }
+    if (xor_known) {
+      ScratchPool::ScratchImage valid = scratch_.Acquire();
+      RDA_RETURN_IF_ERROR(
+          ReadParityHealed(group, state.valid_twin, &*valid));
+      if (valid->payload != actual->payload) {
+        actual->header.parity_state = ParityState::kCommitted;
+        actual->header.txn_id = kInvalidTxnId;
+        actual->header.dirty_page = kInvalidPageId;
+        actual->header.timestamp = NextTimestamp();
+        RDA_RETURN_IF_ERROR(
+            array_->WriteParity(group, state.valid_twin, *actual));
+        TraceTwinTransition(group, state.valid_twin,
+                            static_cast<uint8_t>(ParityState::kCommitted),
+                            state.dirty_page, txn);
+      }
+    }
     ScratchPool::ScratchImage working = scratch_.Acquire();
     RDA_RETURN_IF_ERROR(
         ReadParityHealed(group, state.working_twin, &*working));
@@ -1250,6 +1288,130 @@ Status TwinParityManager::RebuildDirectory() {
       std::max(timestamp_.load(std::memory_order_relaxed), max_seen),
       std::memory_order_relaxed);
   directory_valid_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+Status TwinParityManager::CheckInvariants() {
+  if (!directory_valid()) {
+    return Status::FailedPrecondition("parity directory not available");
+  }
+  const Layout& layout = array_->layout();
+  const uint32_t copies = layout.parity_copies();
+  const bool rebuilding = OnlineRebuildActive();
+  auto violation = [](GroupId g, const std::string& what) {
+    return Status::Corruption("parity invariant violated in group " +
+                              std::to_string(g) + ": " + what);
+  };
+  uint32_t pending_bits = 0;
+  const ParityTimestamp counter = timestamp_.load(std::memory_order_relaxed);
+  for (GroupId g = 0; g < array_->num_groups(); ++g) {
+    auto latch = LockGroup(g);
+    if (rebuilding && OnlineGroupPending(g)) {
+      // The fresh medium under this group has not been reconstructed yet;
+      // its twin headers are legitimately blank. Counted for conservation.
+      ++pending_bits;
+      continue;
+    }
+    const GroupState& state = directory_.Get(g);
+    PageImage twins[2];
+    bool readable[2] = {false, false};
+    for (uint32_t t = 0; t < copies; ++t) {
+      const DiskId disk = layout.ParityLocation(g, t).disk;
+      if (array_->DiskFailed(disk)) {
+        continue;  // Nothing to cross-check; degraded mode covers it.
+      }
+      Status read = array_->ReadParity(g, t, &twins[t]);
+      if (!read.ok()) {
+        if (HealableFault(read, disk)) {
+          continue;  // A latent/corrupt sector, not an inconsistency.
+        }
+        return read;
+      }
+      readable[t] = true;
+      const PageHeader& h = twins[t].header;
+      if (h.timestamp > counter) {
+        return violation(g, "twin " + std::to_string(t) + " timestamp " +
+                                std::to_string(h.timestamp) +
+                                " ahead of the in-memory counter " +
+                                std::to_string(counter));
+      }
+      if (static_cast<uint8_t>(h.parity_state) != twin_shadow_[g][t]) {
+        return violation(
+            g, "twin " + std::to_string(t) + " on-disk state " +
+                   std::to_string(static_cast<int>(h.parity_state)) +
+                   " != volatile shadow " +
+                   std::to_string(static_cast<int>(twin_shadow_[g][t])));
+      }
+    }
+    if (state.dirty) {
+      if (copies < 2) {
+        return violation(g, "dirty with a single parity copy");
+      }
+      if (state.working_twin == state.valid_twin) {
+        return violation(g, "working and valid twin coincide");
+      }
+      if (state.dirty_page == kInvalidPageId ||
+          state.dirty_txn == kInvalidTxnId) {
+        return violation(g, "dirty without a covered page/transaction");
+      }
+      if (readable[state.working_twin]) {
+        const PageHeader& w = twins[state.working_twin].header;
+        if (w.parity_state != ParityState::kWorking) {
+          return violation(g, "working twin header not kWorking");
+        }
+        if (w.dirty_page != state.dirty_page || w.txn_id != state.dirty_txn) {
+          return violation(g, "working twin header covers (page " +
+                                  std::to_string(w.dirty_page) + ", txn " +
+                                  std::to_string(w.txn_id) +
+                                  ") but the directory says (page " +
+                                  std::to_string(state.dirty_page) +
+                                  ", txn " +
+                                  std::to_string(state.dirty_txn) + ")");
+        }
+      }
+      if (readable[state.valid_twin] &&
+          twins[state.valid_twin].header.parity_state !=
+              ParityState::kCommitted) {
+        return violation(g, "dirty group's before-image twin not committed");
+      }
+    } else {
+      if (readable[state.valid_twin] &&
+          twins[state.valid_twin].header.parity_state !=
+              ParityState::kCommitted) {
+        return violation(g, "clean group's valid twin not committed");
+      }
+      if (copies == 2) {
+        const uint32_t other = OtherTwin(state.valid_twin);
+        if (readable[other]) {
+          const PageHeader& o = twins[other].header;
+          if (o.parity_state == ParityState::kWorking) {
+            return violation(
+                g, "directory says clean but a twin header is kWorking");
+          }
+          // Figure 7: when both twins are committed, the directory must
+          // have selected the one with the winning timestamp.
+          if (readable[state.valid_twin] &&
+              o.parity_state == ParityState::kCommitted &&
+              o.timestamp > twins[state.valid_twin].header.timestamp) {
+            return violation(g, "valid twin lost Current_Parity selection");
+          }
+        }
+      }
+    }
+  }
+  if (rebuilding) {
+    const uint32_t remaining =
+        rebuild_groups_remaining_.load(std::memory_order_relaxed);
+    const uint32_t total =
+        rebuild_groups_total_.load(std::memory_order_relaxed);
+    if (pending_bits != remaining || remaining > total ||
+        total > array_->num_groups()) {
+      return Status::Corruption(
+          "online-rebuild bitmap conservation violated: " +
+          std::to_string(pending_bits) + " pending bits, counter says " +
+          std::to_string(remaining) + "/" + std::to_string(total));
+    }
+  }
   return Status::Ok();
 }
 

@@ -299,6 +299,22 @@ class TwinParityManager {
   // a pool they fan out in contiguous bands; null keeps the serial loop.
   Status ReinitializeParityFromData(exec::WorkerPool* pool = nullptr);
 
+  // Deep structural self-check of the twin/parity machinery, used by the
+  // fuzzer's invariant oracle (and available to tests). For every group it
+  // cross-checks the on-disk twin headers against the volatile directory
+  // and the twin-state shadow: a clean group's valid twin must be committed
+  // with the winning (Figure 7) timestamp and its sibling must not be
+  // working; a dirty group's working twin header must name exactly the
+  // (dirty_page, dirty_txn) the directory caches over a committed valid
+  // twin; no header timestamp may exceed the in-memory counter. It also
+  // checks online-rebuild bitmap conservation (set bits ==
+  // groups_remaining <= groups_total). Twins on failed disks, groups still
+  // pending in an active rebuild session, and sector-faulted twin reads are
+  // skipped (they are healable, not inconsistent). Read-only — never
+  // repairs. Caller must be quiesced; returns the first violation found as
+  // kCorruption (kFailedPrecondition if the directory is invalid).
+  Status CheckInvariants();
+
   // Rebuilds the volatile directory after a crash by reading both twin
   // headers of every group (the S/N-term of the paper's c'_s): valid twin =
   // committed twin with the highest timestamp; a working twin marks the

@@ -1,6 +1,8 @@
 #include "recovery/crash_recovery.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -11,6 +13,13 @@
 #include "wal/log_record.h"
 
 namespace rda {
+
+namespace {
+bool RecoveryTraceEnabled() {
+  static const bool enabled = std::getenv("RDA_RECOVERY_TRACE") != nullptr;
+  return enabled;
+}
+}  // namespace
 
 Status CrashRecovery::ConsumeFaultBudget() {
   if (!fault_armed_) {
@@ -44,9 +53,24 @@ Status CrashRecovery::RedoAfterImage(const LogRecord& record,
     // Whole-page image: the captured payload embeds the pageLSN it
     // represents, so the skip test compares captured vs on-disk pageLSN —
     // a FORCEd page whose latest image already reached the disk is left
-    // alone.
+    // alone. Equal stamps do NOT imply equal content: the stamp is
+    // next_lsn() at write time, and a buffered rewrite that follows an
+    // unlogged steal (which appends nothing) carries the same stamp as the
+    // stolen version already on disk. Break the tie on the data bytes.
     const DataPageMeta captured = LoadDataMeta(record.after);
-    if (captured.page_lsn <= disk_meta.page_lsn) {
+    if (captured.page_lsn < disk_meta.page_lsn ||
+        (captured.page_lsn == disk_meta.page_lsn &&
+         std::equal(record.after.begin() + kDataRegionOffset,
+                    record.after.end(),
+                    current.payload.begin() + kDataRegionOffset))) {
+      if (RecoveryTraceEnabled()) {
+        std::fprintf(stderr,
+                     "redo SKIP page=%llu lsn=%llu cap_lsn=%llu disk_lsn=%llu\n",
+                     (unsigned long long)record.page,
+                     (unsigned long long)record.lsn,
+                     (unsigned long long)captured.page_lsn,
+                     (unsigned long long)disk_meta.page_lsn);
+      }
       ++*skipped;
       return Status::Ok();
     }
@@ -54,7 +78,27 @@ Status CrashRecovery::RedoAfterImage(const LogRecord& record,
     meta = captured;
   } else {
     // Record-granular image: page-level LSN gating, replay in log order.
-    if (record.lsn <= disk_meta.page_lsn) {
+    // Equality does not prove the image landed: a page stamp is next_lsn()
+    // at write time, and when the stamped write stays buffered past an
+    // unlogged steal, the commit's after-image append consumes exactly that
+    // LSN — same number, older bytes on disk. Skip on equality only when
+    // the slot already holds the image (the idempotent re-recovery case).
+    bool already_applied = false;
+    if (record.lsn == disk_meta.page_lsn) {
+      RecordPageView disk_view(&current.payload,
+                               txn_manager_->config().record_size);
+      std::vector<uint8_t> disk_slot;
+      RDA_RETURN_IF_ERROR(disk_view.Read(record.slot, &disk_slot));
+      already_applied = disk_slot == record.after;
+    }
+    if (record.lsn < disk_meta.page_lsn || already_applied) {
+      if (RecoveryTraceEnabled()) {
+        std::fprintf(stderr,
+                     "redo SKIP page=%llu slot=%u lsn=%llu disk_lsn=%llu\n",
+                     (unsigned long long)record.page, (unsigned)record.slot,
+                     (unsigned long long)record.lsn,
+                     (unsigned long long)disk_meta.page_lsn);
+      }
       ++*skipped;
       return Status::Ok();
     }
@@ -72,6 +116,11 @@ Status CrashRecovery::RedoAfterImage(const LogRecord& record,
   RDA_RETURN_IF_ERROR(parity_->Propagate(record.page, kInvalidTxnId,
                                          PropagationKind::kPlain,
                                          &current.payload, restored));
+  if (RecoveryTraceEnabled()) {
+    std::fprintf(stderr, "redo APPLY page=%llu slot=%u lsn=%llu granular=%d\n",
+                 (unsigned long long)record.page, (unsigned)record.slot,
+                 (unsigned long long)record.lsn, (int)record.record_granular);
+  }
   ++*applied;
   return Status::Ok();
 }
@@ -102,6 +151,9 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
   std::vector<std::vector<uint32_t>> redo_shards(redo_shard_count);
   std::unordered_set<TxnId> winners;
   std::unordered_set<TxnId> losers;
+  // Per transaction, the LSN at which each page's unlogged window opened
+  // (from its kChainHead marker). Consulted by the undo phases below.
+  std::unordered_map<TxnId, std::unordered_map<PageId, Lsn>> window_start;
   TxnId max_txn = 0;
   {
     obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kAnalysis, transfers_now,
@@ -144,6 +196,14 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
           break;
         case LogRecordType::kAfterImage:
           redo_shards[record.page % redo_shard_count].push_back(index);
+          break;
+        case LogRecordType::kChainHead:
+          // Unlogged-window open marker: one per group dirtying. Its LSN
+          // splits the transaction's before-images of that page into
+          // pre-window (deferred past the parity undo, phase 4d) and
+          // in-window (phase 4b). Later markers overwrite earlier ones —
+          // only the window still open at the crash matters.
+          window_start[record.txn][record.chain_head] = record.lsn;
           break;
         default:
           break;
@@ -213,10 +273,37 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
     }
   }
 
-  // Phase 4b: logged before-images of losers, reverse LSN order. These go
-  // FIRST: a before-image from a later steal can contain the loser's own
-  // bytes from an earlier unlogged steal; the parity undo below cancels
-  // exactly that unlogged delta, so it must run last (DESIGN.md 4.3).
+  // Phases 4b-4d: loser undo, reverse-chronological PER PAGE. A
+  // before-image from a steal INSIDE a group's unlogged window (LSN after
+  // its kChainHead marker) can contain the loser's own bytes from the
+  // unlogged steal; restoring it first re-creates exactly the state the
+  // parity undo then cancels, so those go in 4b, before the parity undo
+  // (DESIGN.md 4.3). A before-image logged BEFORE the window opened must
+  // wait until 4d: applying it first would change the data page out from
+  // under the XOR cancellation and the parity undo would "restore" garbage
+  // (base xor new xor before).
+  const auto apply_before_image = [&](const LogRecord& record) -> Status {
+    if (!record.record_granular) {
+      return parity_->ApplyLoggedUndo(record.page, record.before);
+    }
+    PageImage current;
+    RDA_RETURN_IF_ERROR(parity_->ReadDataHealed(record.page, &current));
+    std::vector<uint8_t> payload = std::move(current.payload);
+    RecordPageView view(&payload, txn_manager_->config().record_size);
+    RDA_RETURN_IF_ERROR(view.Write(record.slot, record.before));
+    DataPageMeta meta = LoadDataMeta(payload);
+    const GroupState& undo_group = parity_->directory().Get(
+        parity_->array()->layout().GroupOf(record.page));
+    if (!(undo_group.dirty && undo_group.dirty_page == record.page)) {
+      // Keep the covering transaction's stamp so the parity undo of
+      // phase 4c still recognizes its work.
+      meta.txn_id = kInvalidTxnId;
+    }
+    meta.page_lsn = 0;  // Mixed state: let REDO replay decide per record.
+    StoreDataMeta(meta, &payload);
+    return parity_->ApplyLoggedUndo(record.page, payload);
+  };
+  std::vector<const LogRecord*> pre_window;
   {
     obs::ScopedPhase phase(hub_, obs::RecoveryPhase::kLoggedUndo,
                            transfers_now, &report.phases);
@@ -226,29 +313,28 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
           !losers.contains(record.txn)) {
         continue;
       }
-      RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
-      if (!record.record_granular) {
-        RDA_RETURN_IF_ERROR(parity_->ApplyLoggedUndo(record.page,
-                                                     record.before));
-      } else {
-        PageImage current;
-        RDA_RETURN_IF_ERROR(
-            parity_->ReadDataHealed(record.page, &current));
-        std::vector<uint8_t> payload = std::move(current.payload);
-        RecordPageView view(&payload, txn_manager_->config().record_size);
-        RDA_RETURN_IF_ERROR(view.Write(record.slot, record.before));
-        DataPageMeta meta = LoadDataMeta(payload);
-        const GroupState& undo_group = parity_->directory().Get(
-            parity_->array()->layout().GroupOf(record.page));
-        if (!(undo_group.dirty && undo_group.dirty_page == record.page)) {
-          // Keep the covering transaction's stamp so the parity undo of
-          // phase 4c still recognizes its work.
-          meta.txn_id = kInvalidTxnId;
+      const GroupState& state = parity_->directory().Get(
+          parity_->array()->layout().GroupOf(record.page));
+      if (state.dirty && state.dirty_txn == record.txn &&
+          state.dirty_page == record.page) {
+        auto txn_windows = window_start.find(record.txn);
+        if (txn_windows != window_start.end()) {
+          auto window = txn_windows->second.find(record.page);
+          if (window != txn_windows->second.end() &&
+              record.lsn < window->second) {
+            pre_window.push_back(&record);  // Kept in reverse LSN order.
+            continue;
+          }
         }
-        meta.page_lsn = 0;  // Mixed state: let REDO replay decide per record.
-        StoreDataMeta(meta, &payload);
-        RDA_RETURN_IF_ERROR(parity_->ApplyLoggedUndo(record.page, payload));
       }
+      RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+      if (RecoveryTraceEnabled()) {
+        std::fprintf(stderr, "undo 4b page=%llu slot=%u lsn=%llu txn=%llu\n",
+                     (unsigned long long)record.page, (unsigned)record.slot,
+                     (unsigned long long)record.lsn,
+                     (unsigned long long)record.txn);
+      }
+      RDA_RETURN_IF_ERROR(apply_before_image(record));
       ++report.logged_undos;
     }
   }
@@ -269,11 +355,25 @@ Result<CrashRecoveryReport> CrashRecovery::Recover() {
     RDA_RETURN_IF_ERROR(exec::RunSharded(
         pool_, undo_groups.size(), [&](uint64_t i) -> Status {
           RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+          if (RecoveryTraceEnabled()) {
+            std::fprintf(stderr, "undo 4c group=%llu txn=%llu\n",
+                         (unsigned long long)undo_groups[i].first,
+                         (unsigned long long)undo_groups[i].second);
+          }
           return parity_
               ->UndoUnloggedUpdate(undo_groups[i].first, undo_groups[i].second)
               .status();
         }));
     report.parity_undos += undo_groups.size();
+
+    // Phase 4d: pre-window before-images, still in reverse LSN order. The
+    // parity undo above rewound their pages to each window's base image, so
+    // these now apply to the state they were captured against.
+    for (const LogRecord* record : pre_window) {
+      RDA_RETURN_IF_ERROR(ConsumeFaultBudget());
+      RDA_RETURN_IF_ERROR(apply_before_image(*record));
+      ++report.logged_undos;
+    }
   }
 
   // Phase 5: REDO committed after-images. Analysis pre-bucketed them so

@@ -12,7 +12,8 @@ PageId WorkloadGenerator::NextPage() {
   if (!hot_window_.empty() && rng_.Bernoulli(options_.communality)) {
     page = hot_window_[rng_.Uniform(hot_window_.size())];
   } else {
-    page = static_cast<PageId>(rng_.Uniform(options_.num_pages));
+    page = options_.base_page +
+           static_cast<PageId>(rng_.Uniform(options_.num_pages));
   }
   // Referencing a page keeps it hot.
   hot_window_.push_back(page);

@@ -29,6 +29,11 @@ struct WorkloadOptions {
   // be at most the buffer capacity B for C to approximate the hit rate.
   uint32_t hot_window = 64;
   uint64_t seed = 1;
+  // All references are offset by this page id: the generator draws from
+  // [base_page, base_page + num_pages). Lets several generators (one per
+  // worker thread in the schedule fuzzer) address disjoint partitions of
+  // one database without coordinating.
+  PageId base_page = 0;
 };
 
 // One page/record reference of a transaction script.

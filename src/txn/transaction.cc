@@ -11,10 +11,11 @@ void Transaction::NoteModifiedPage(PageId page) {
   }
 }
 
-void Transaction::NoteDirtiedGroup(GroupId group) {
+void Transaction::NoteDirtiedGroup(GroupId group, Lsn window_lsn) {
   if (std::find(dirtied_groups.begin(), dirtied_groups.end(), group) ==
       dirtied_groups.end()) {
     dirtied_groups.push_back(group);
+    dirtied_group_window_lsn.push_back(window_lsn);
   }
 }
 

@@ -71,8 +71,13 @@ class Transaction {
   PageId chain_head = kInvalidPageId;
 
   // Parity groups this transaction dirtied via unlogged propagation, in
-  // order of first dirtying.
+  // order of first dirtying, each with the LSN of the kChainHead record its
+  // kUnloggedFirst steal logged. That LSN is the group's undo-order
+  // boundary: a logged before-image of the dirty page with a SMALLER LSN
+  // predates the unlogged window and must be applied only after the parity
+  // undo has cancelled the window's delta (reverse chronology per page).
   std::vector<GroupId> dirtied_groups;
+  std::vector<Lsn> dirtied_group_window_lsn;  // Parallel to dirtied_groups.
 
   // Pages modified (page-logging granularity bookkeeping), insertion order,
   // de-duplicated.
@@ -98,7 +103,7 @@ class Transaction {
   uint64_t transfers = 0;
 
   void NoteModifiedPage(PageId page);
-  void NoteDirtiedGroup(GroupId group);
+  void NoteDirtiedGroup(GroupId group, Lsn window_lsn);
   RecordWrite* FindRecordWrite(PageId page, RecordSlot slot);
 
  private:

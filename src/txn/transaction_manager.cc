@@ -500,16 +500,40 @@ Status TransactionManager::PropagateFrame(Frame* frame) {
     if (kind == PropagationKind::kUnloggedFirst ||
         kind == PropagationKind::kUnloggedRepeat) {
       RDA_RETURN_IF_ERROR(EnsureBot(txn));
-      if (!txn->chain_head_logged) {
+      Lsn window_lsn = kInvalidLsn;
+      if (kind == PropagationKind::kUnloggedFirst) {
         // The paper pairs the chain head with the BOT record (the
-        // (l_bc + l_h) term); one small record per transaction that ever
-        // propagates without UNDO logging.
-        LogRecord head;
-        head.type = LogRecordType::kChainHead;
-        head.txn = owner;
-        head.chain_head = frame->page;
-        RDA_RETURN_IF_ERROR(log_->Append(std::move(head)).status());
-        txn->chain_head_logged = true;
+        // (l_bc + l_h) term). The kChainHead record doubles as the
+        // unlogged window's open marker: its LSN orders the window against
+        // the transaction's logged before-images (a before-image of this
+        // page with a smaller LSN predates the window and must be undone
+        // only after the parity undo — see UndoDiskState and recovery
+        // phase 4d). The marker is load-bearing only when such a
+        // before-image actually exists; otherwise recovery's no-marker
+        // default (everything in-window) is already right, so skip the
+        // append past the transaction's first chain head and keep the log
+        // at the paper's volume.
+        bool prior_before_image = false;
+        for (const LoggedUndo& undo : txn->logged_undos) {
+          if (undo.page == frame->page) {
+            prior_before_image = true;
+            break;
+          }
+        }
+        if (!txn->chain_head_logged || prior_before_image) {
+          LogRecord head;
+          head.type = LogRecordType::kChainHead;
+          head.txn = owner;
+          head.chain_head = frame->page;
+          RDA_ASSIGN_OR_RETURN(window_lsn,
+                               log_->Append(std::move(head)));
+          txn->chain_head_logged = true;
+        } else {
+          // No durable marker needed: the window boundary for the runtime
+          // abort path is simply "everything this transaction logs from
+          // here on is in-window".
+          window_lsn = log_->next_lsn();
+        }
       }
       RDA_RETURN_IF_ERROR(log_->Flush());
 
@@ -529,7 +553,7 @@ Status TransactionManager::PropagateFrame(Frame* frame) {
                                              &frame->last_propagated, image));
       if (kind == PropagationKind::kUnloggedFirst) {
         txn->NoteDirtiedGroup(
-            parity_->array()->layout().GroupOf(frame->page));
+            parity_->array()->layout().GroupOf(frame->page), window_lsn);
         txn->chain_head = frame->page;
       }
       stats_.before_images_avoided.fetch_add(1, std::memory_order_relaxed);
@@ -708,19 +732,29 @@ Status TransactionManager::Commit(TxnId txn_id) {
 Status TransactionManager::UndoDiskState(
     Transaction* txn,
     std::unordered_map<PageId, std::vector<uint8_t>>* restored_disk) {
-  // Logged before-images FIRST, in reverse LSN order. A before-image taken
-  // at a later steal may contain this transaction's own bytes from an
-  // earlier UNLOGGED steal; restoring it first re-creates exactly the state
-  // the parity undo then cancels: P xor P' equals the unlogged steal's
-  // delta, so applying the parity undo LAST lands on the pre-transaction
-  // image (see DESIGN.md 4.3).
-  for (auto it = txn->logged_undos.rbegin(); it != txn->logged_undos.rend();
-       ++it) {
-    const LoggedUndo& undo = *it;
+  // Undo must be reverse-chronological PER PAGE. Logged before-images taken
+  // INSIDE a group's unlogged window (after its kUnloggedFirst steal) go
+  // first: such an image can contain this transaction's own bytes from the
+  // unlogged steal, and restoring it re-creates exactly the state the
+  // parity undo then cancels — P xor P' equals the unlogged delta, so the
+  // parity undo lands on the window's base image (see DESIGN.md 4.3). A
+  // before-image logged BEFORE the window opened must instead be applied
+  // only AFTER the parity undo: applying it first would change the data
+  // page out from under the XOR cancellation and the parity undo would
+  // "restore" garbage (base xor new xor before).
+  std::unordered_map<PageId, Lsn> window_start;
+  for (size_t i = 0; i < txn->dirtied_groups.size(); ++i) {
+    const GroupState& state =
+        parity_->directory().Get(txn->dirtied_groups[i]);
+    if (state.dirty && state.dirty_txn == txn->id()) {
+      window_start[state.dirty_page] = txn->dirtied_group_window_lsn[i];
+    }
+  }
+  const auto apply_logged_undo = [&](const LoggedUndo& undo) -> Status {
     if (!undo.record_granular) {
       RDA_RETURN_IF_ERROR(parity_->ApplyLoggedUndo(undo.page, undo.before));
       (*restored_disk)[undo.page] = undo.before;
-      continue;
+      return Status::Ok();
     }
     // Record-granular: patch the slot inside the current on-disk payload.
     // The group latch spans the read-modify-write and the dirty-group
@@ -747,9 +781,22 @@ Status TransactionManager::UndoDiskState(
     StoreDataMeta(meta, &payload);
     RDA_RETURN_IF_ERROR(parity_->ApplyLoggedUndo(undo.page, payload));
     (*restored_disk)[undo.page] = std::move(payload);
+    return Status::Ok();
+  };
+
+  std::vector<const LoggedUndo*> pre_window;
+  for (auto it = txn->logged_undos.rbegin(); it != txn->logged_undos.rend();
+       ++it) {
+    const LoggedUndo& undo = *it;
+    auto window = window_start.find(undo.page);
+    if (window != window_start.end() && undo.lsn < window->second) {
+      pre_window.push_back(&undo);  // Kept in reverse LSN order.
+      continue;
+    }
+    RDA_RETURN_IF_ERROR(apply_logged_undo(undo));
   }
 
-  // Parity undo LAST: cancels each dirtied group's unlogged delta exactly.
+  // Parity undo: cancels each dirtied group's unlogged delta exactly.
   for (const GroupId group : txn->dirtied_groups) {
     auto group_latch = parity_->LockGroup(group);
     const GroupState& state = parity_->directory().Get(group);
@@ -761,6 +808,13 @@ Status TransactionManager::UndoDiskState(
     if (undo.payload_restored) {
       (*restored_disk)[undo.page] = std::move(undo.restored_payload);
     }
+  }
+
+  // Pre-window before-images LAST, still in reverse LSN order: the parity
+  // undo above has rewound their pages to each window's base image, so
+  // these now apply to the state they were captured against.
+  for (const LoggedUndo* undo : pre_window) {
+    RDA_RETURN_IF_ERROR(apply_logged_undo(*undo));
   }
   return Status::Ok();
 }

@@ -207,7 +207,14 @@ Status LogManager::Scan(Lsn from, std::vector<LogRecord>* out) const {
 }
 
 Status LogManager::Truncate(Lsn up_to) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // A group-commit leader may have PUBLISHED its batch (flushed_bytes_
+  // advanced) while still sleeping out the device latency: those records
+  // are stable but their commits are not yet acknowledged. Truncating into
+  // that window would erase records whose CommitFlush is still pending, so
+  // wait for the watermark — the leader's wake-up advances
+  // commit_durable_bytes_ to the published tail and clears flush_active_.
+  cv_.wait(lock, [this] { return !flush_active_; });
   const uint64_t flushed = flushed_bytes_.load(std::memory_order_relaxed);
   if (up_to < base_lsn_ || up_to > flushed) {
     return Status::InvalidArgument("truncation point outside stable log");

@@ -97,8 +97,19 @@ class LogManager {
 
   // Discards all stable records with lsn < up_to (archive truncation).
   // `up_to` must be a record boundary at or below flushed_lsn(); LSNs stay
-  // absolute — Scan afterwards yields records starting at `up_to`.
+  // absolute — Scan afterwards yields records starting at `up_to`. If a
+  // group-commit batch is in flight (published but not yet commit-durable),
+  // Truncate waits for its watermark first: records of a batch whose
+  // CommitFlush callers are still blocked are never erased.
   Status Truncate(Lsn up_to);
+
+  // High-water mark of commit durability: every commit record below it has
+  // had its batch's flush_delay_us fully paid and its CommitFlush callers
+  // released. Lags flushed_lsn() while a group-commit leader sleeps.
+  Lsn commit_durable_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return commit_durable_bytes_;
+  }
 
   // First LSN still present in the stable log (0 until truncated).
   Lsn base_lsn() const {

@@ -10,6 +10,8 @@
 #include <variant>
 
 #include "core/database.h"
+#include "fuzz/runner.h"
+#include "fuzz/schedule.h"
 
 namespace rda {
 namespace {
@@ -363,6 +365,37 @@ TEST_F(RepairCrashTest, CrashBetweenReconstructAndWriteBackDuringScrub) {
   auto again = db_->Scrub();
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again->sectors_repaired, 0u);  // Nothing left to heal.
+}
+
+// Promoted fuzzer repro (minimized by the schedule shrinker). A NOFORCE
+// checkpoint used to race the group-commit flush it overlapped with:
+// LogManager::Truncate could discard a batch the leader was still writing,
+// leaving commit records unreadable after the next crash — exactly the
+// double-crash window this schedule drives (crash mid-stream with a
+// mid-recovery crash injected, then the final crash). Pinned here so the
+// Truncate/group-commit interlock never regresses.
+TEST(FuzzRepro, CheckpointDuringGroupCommitThenDoubleCrash) {
+  auto schedule = fuzz::Schedule::Parse(
+      "rda-sched v1 seed=9177 algo=noforce,rda,page threads=1 steps=6 "
+      "crash=21:2 fault=torn@9:3");
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  auto outcome = fuzz::RunSchedule(*schedule);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->passed) << outcome->violation;
+}
+
+// Promoted fuzzer repro: a torn write landing on a stolen page right
+// before a crash, under record logging without RDA undo — recovery must
+// heal the torn image from parity before applying log undo, or the page
+// survives as a mixed fill.
+TEST(FuzzRepro, TornStolenPageHealedBeforeLogUndo) {
+  auto schedule = fuzz::Schedule::Parse(
+      "rda-sched v1 seed=311 algo=force,norda,record threads=1 steps=5 "
+      "crash=17:0 fault=torn@12:1");
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  auto outcome = fuzz::RunSchedule(*schedule);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->passed) << outcome->violation;
 }
 
 }  // namespace

@@ -306,6 +306,98 @@ TEST(MtSoakGroupCommitTest, CrashInsideLatencyWindowKeepsPublishedCommit) {
   EXPECT_EQ(records[0].txn, 7u);
 }
 
+// Truncation racing a group commit: the leader has published its batch and
+// is sleeping out the device delay when Truncate targets an LSN inside that
+// batch. Truncate must wait for the commit-durable watermark — before the
+// fix it erased records whose CommitFlush callers were still blocked.
+TEST(MtSoakGroupCommitTest, TruncateWaitsOutInFlightCommitBatch) {
+  LogManager::Options options;
+  options.flush_delay_us = 120000;
+  LogManager log(options);
+
+  // An old record, already stable: the pre-batch truncation boundary.
+  LogRecord old_commit;
+  old_commit.type = LogRecordType::kCommit;
+  old_commit.txn = 1;
+  ASSERT_TRUE(log.Append(old_commit).ok());
+  ASSERT_TRUE(log.Flush().ok());
+
+  LogRecord commit;
+  commit.type = LogRecordType::kCommit;
+  commit.txn = 2;
+  auto lsn = log.Append(commit);
+  ASSERT_TRUE(lsn.ok());
+
+  std::thread committer([&log, &lsn] {
+    ASSERT_TRUE(log.CommitFlush(*lsn).ok());
+  });
+  // Land inside the publish-before-sleep window: the batch is stable, the
+  // leader is sleeping, commit durability has not advanced yet.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (log.flushed_lsn() <= *lsn &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const Lsn batch_end = log.flushed_lsn();
+  ASSERT_GT(batch_end, *lsn);  // The leader did publish txn 2's record.
+
+  // Truncate the whole stable log, including the in-flight batch. The call
+  // must block until the leader's latency elapses: when it returns, the
+  // watermark covers everything it erased — deterministically, not by luck.
+  ASSERT_TRUE(log.Truncate(batch_end).ok());
+  EXPECT_GE(log.commit_durable_lsn(), batch_end)
+      << "Truncate returned while the batch it erased was not yet "
+         "commit-durable";
+  committer.join();
+
+  EXPECT_EQ(log.base_lsn(), batch_end);
+  std::vector<LogRecord> records;
+  ASSERT_TRUE(log.Scan(0, &records).ok());
+  EXPECT_TRUE(records.empty());  // Everything up to the boundary is gone.
+}
+
+// Concurrent truncators and committers must never lose an unacknowledged
+// commit record: every Truncate boundary observed by a committer after its
+// CommitFlush returned lies at or below the durability watermark.
+TEST(MtSoakGroupCommitTest, ConcurrentTruncateAndCommitKeepWatermarkOrder) {
+  LogManager::Options options;
+  options.flush_delay_us = 2000;
+  LogManager log(options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::thread truncator([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      // Truncate to the current flushed tail — a legal boundary. With a
+      // batch in flight this waits; it must never erase ahead of the
+      // watermark.
+      const Lsn target = log.flushed_lsn();
+      const Status status = log.Truncate(target);
+      if (!status.ok() && !status.IsInvalidArgument()) {
+        failed.store(true);
+        return;
+      }
+      if (status.ok() && log.commit_durable_lsn() < target) {
+        failed.store(true);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 40; ++i) {
+    LogRecord commit;
+    commit.type = LogRecordType::kCommit;
+    commit.txn = static_cast<TxnId>(i + 1);
+    auto lsn = log.Append(commit);
+    ASSERT_TRUE(lsn.ok());
+    ASSERT_TRUE(log.CommitFlush(*lsn).ok());
+  }
+  stop.store(true, std::memory_order_release);
+  truncator.join();
+  ASSERT_FALSE(failed.load());
+}
+
 // Group commit must actually batch: with a real flush latency and four
 // closed-loop committers, fewer flushes than commits.
 TEST(MtSoakGroupCommitTest, ConcurrentCommittersShareFlushes) {

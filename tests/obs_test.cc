@@ -85,12 +85,14 @@ TEST(QuantileTest, InterpolatesWithinBuckets) {
   const std::vector<uint64_t> buckets = {10, 10, 10, 0};
   EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 0.0, 28), 0.0);
   EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 0.5, 28), 15.0);
-  // target 27 lands 7/10 into the third bucket: 20 + 0.7 * 10.
-  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 0.9, 28), 27.0);
-  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 1.0, 28), 30.0);
+  // target 27 lands 7/10 into the third bucket, whose upper edge is the
+  // observed max (28), not the raw bound: 20 + 0.7 * 8.
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 0.9, 28), 25.6);
+  // q=1 is the observed max, never the (larger) bucket bound.
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 1.0, 28), 28.0);
   // q outside [0,1] clamps instead of extrapolating.
   EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, -1.0, 28), 0.0);
-  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 2.0, 28), 30.0);
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 2.0, 28), 28.0);
 }
 
 TEST(QuantileTest, OverflowBucketIsBoundedByObservedMax) {
@@ -101,9 +103,48 @@ TEST(QuantileTest, OverflowBucketIsBoundedByObservedMax) {
   EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 0.5, 100), 55.0);
   EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 1.0, 100),
                    100.0);
-  // A max below the last bound (all overflow values equal, say) still gives
-  // a sane edge: the bound itself.
+}
+
+TEST(QuantileTest, ObservedMaxBelowLastFiniteBoundClampsTheEdge) {
+  // 8 observations, all in (10, 100], but none larger than 40: the report
+  // must never claim a latency above 40.
+  const std::vector<double> bounds = {10, 100};
+  const std::vector<uint64_t> buckets = {0, 8, 0};
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 1.0, 40), 40.0);
+  // Interpolation inside the clamped bucket uses the honest edge too:
+  // p50 = 10 + 0.5 * (40 - 10).
+  EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 0.5, 40), 25.0);
+  // A degenerate max below the bucket's lower edge cannot drive the
+  // estimate backwards below the lower bound.
   EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, 1.0, 5), 10.0);
+}
+
+TEST(QuantileTest, SingleObservationIsItsOwnQuantile) {
+  // One observation of 3 with bounds far above it: every quantile is 3,
+  // not an interpolated point inside [0, 10].
+  const std::vector<double> bounds = {10, 100};
+  const std::vector<uint64_t> buckets = {1, 0, 0};
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(obs::QuantileFromBuckets(bounds, buckets, q, 3), 3.0)
+        << "q=" << q;
+  }
+  // Through the Histogram member too (snapshots its own max).
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("one.obs", {10, 100});
+  h->Observe(3);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 3.0);
+}
+
+TEST(QuantileTest, EdgeQuantilesAfterManyObservations) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("edge.q", {10, 100, 1000});
+  for (int i = 1; i <= 50; ++i) {
+    h->Observe(i * 2);  // 2..100: max 100 == the second bound exactly.
+  }
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 0.0);   // Lower edge of first bucket.
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 100.0); // Exactly the observed max.
+  EXPECT_LE(h->Quantile(0.99), 100.0);
 }
 
 TEST(QuantileTest, EmptyHistogramIsZeroAndMemberMatchesFree) {

@@ -13,6 +13,8 @@
 
 #include "common/random.h"
 #include "core/database.h"
+#include "fuzz/runner.h"
+#include "fuzz/schedule.h"
 
 namespace rda {
 namespace {
@@ -572,6 +574,23 @@ TEST_F(OnlineRebuildTest, WritersCommitThroughoutBackgroundRebuildSoak) {
   EXPECT_FALSE(db_->parity()->OnlineRebuildActive());
   VerifyAllPages();
   ExpectParityConsistent();
+}
+
+// Promoted fuzzer repro (minimized by the schedule shrinker). Four workers
+// commit against a throttled online rebuild; the rebuild's cancellation
+// plumbing shares WorkerPool::ParallelFor with on-demand repair, and a
+// real I/O error from one chunk used to be masked by a racing kAborted
+// from another — surfacing as a "clean" rebuild whose groups were never
+// reconstructed. The oracle's parity + twin-structure invariants catch the
+// masked error; pinned here so error-over-abort ranking never regresses.
+TEST(FuzzRepro, OnlineRebuildUnderConcurrentCommitsReportsRealErrors) {
+  auto schedule = fuzz::Schedule::Parse(
+      "rda-sched v1 seed=4242 algo=force,rda,record threads=4 steps=10 "
+      "crash=8:0 fault=failon@3:1:1500");
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+  auto outcome = fuzz::RunSchedule(*schedule);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->passed) << outcome->violation;
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
+#include "exec/token_bucket.h"
 #include "exec/worker_pool.h"
 #include "obs/obs.h"
 
@@ -92,6 +94,52 @@ TEST(WorkerPoolTest, ErrorCancelsRemainingWorkBestEffort) {
   ASSERT_TRUE(status.IsAborted());
   // Cancellation is best-effort; it must at least beat running everything.
   EXPECT_LT(executed.load(), 100000u);
+}
+
+// A chunk error racing a cancellation-class status: the low chunk observes
+// an external cancel (kAborted, like a throttle interrupted mid-wait) only
+// AFTER a higher chunk hit a real I/O error. The reported status must be
+// the real error — before the fix, lowest-chunk-wins let the spurious
+// kAborted mask it.
+TEST(WorkerPoolTest, RealErrorOutranksRacingCancelStatus) {
+  WorkerPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<bool> io_error_raised{false};
+    // 100 indexes over 4 chunks of 25: index 5 lives in chunk 0, index 63
+    // in chunk 2. Index 5 blocks until chunk 2's error exists, then returns
+    // the cancel-class status — the race is forced, not sampled. At most
+    // one claimant blocks, and the pool always has three background
+    // workers plus the caller, so chunk 2 always runs.
+    Status status = pool.ParallelFor(100, [&](uint64_t i) {
+      if (i == 63) {
+        io_error_raised.store(true, std::memory_order_release);
+        return Status::IoError("disk 2 exploded");
+      }
+      if (i == 5) {
+        while (!io_error_raised.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        return Status::Aborted("rebuild cancelled");
+      }
+      return Status::Ok();
+    });
+    ASSERT_TRUE(status.IsIoError()) << "round " << round << ": "
+                                    << status.ToString();
+    EXPECT_EQ(status.message(), "disk 2 exploded") << "round " << round;
+  }
+}
+
+// With ONLY cancellation-class failures, the deterministic lowest-chunk
+// kAborted still surfaces (cancellation is not silently swallowed).
+TEST(WorkerPoolTest, PureCancellationStillReportsAborted) {
+  WorkerPool pool(4);
+  Status status = pool.ParallelFor(100, [&](uint64_t i) {
+    if (i == 5 || i == 63) {
+      return Status::Aborted("cancelled at " + std::to_string(i));
+    }
+    return Status::Ok();
+  });
+  ASSERT_TRUE(status.IsAborted()) << status.ToString();
 }
 
 TEST(WorkerPoolTest, PoolIsReusableAcrossManyJobs) {
@@ -183,6 +231,59 @@ TEST(RunShardedTest, PooledPathMatchesSerialResults) {
               })
                   .ok());
   EXPECT_EQ(serial, pooled);
+}
+
+// --- TokenBucket ---
+
+// The burst-at-start regression: a fresh bucket must start EMPTY, so the
+// very first second of a rate-capped consumer already pays the configured
+// rate. Before the fix the constructor seeded a full capacity of tokens and
+// the first capacity-sized burst went through unthrottled.
+TEST(TokenBucketTest, StartsEmptySoTheFirstAcquirePaysTheRate) {
+  exec::TokenBucket bucket(/*tokens_per_sec=*/20);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(bucket.Acquire(10));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // 10 tokens at 20/s accrue in 500ms; anything under ~350ms means the
+  // bucket handed out tokens it had not earned yet.
+  EXPECT_GE(std::chrono::duration<double>(elapsed).count(), 0.35)
+      << "fresh bucket satisfied a half-capacity burst instantly";
+}
+
+TEST(TokenBucketTest, ExplicitInitialFillIsAvailableImmediately) {
+  exec::TokenBucket bucket(/*tokens_per_sec=*/20, /*initial_tokens=*/20);
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(bucket.Acquire(10));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 0.35)
+      << "pre-charged tokens were not usable immediately";
+}
+
+TEST(TokenBucketTest, RateZeroStaysUnlimited) {
+  exec::TokenBucket bucket(0);
+  EXPECT_TRUE(bucket.Acquire(1000000));  // Returns instantly.
+}
+
+TEST(TokenBucketTest, CancelInterruptsAnEmptyBucketWait) {
+  exec::TokenBucket bucket(/*tokens_per_sec=*/1);
+  std::atomic<bool> cancel{false};
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    cancel.store(true, std::memory_order_release);
+  });
+  // An empty 1-token/s bucket takes a full second to cover one token (an
+  // oversized request would return instantly via the debt path, so the
+  // request must fit the capacity to make Acquire actually wait); the
+  // cancel must break that wait.
+  EXPECT_FALSE(bucket.Acquire(1, &cancel));
+  canceller.join();
+}
+
+TEST(TokenBucketTest, OversizedRequestGoesIntoDebtInsteadOfStalling) {
+  exec::TokenBucket bucket(/*tokens_per_sec=*/1);
+  // 100 tokens can never fit a 1-token bucket; the documented contract is
+  // an immediate grant that drives the balance negative.
+  EXPECT_TRUE(bucket.Acquire(100));
 }
 
 }  // namespace
