@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Diff committed BENCH_*.json baselines against a fresh bench run.
+
+Guards the perf-smoke job against silent performance regressions: commit
+throughput (BENCH_perf.json end_to_end + async_io, BENCH_mt.json results +
+async_io) and crash-recovery wall time (BENCH_recovery.json) are compared
+metric-by-metric against the numbers committed at the repo root. Any
+regression beyond --threshold (default 10%) fails the job; every comparison
+is written to the diff report for the CI artifact either way.
+
+Usage:
+  compare_bench.py --baseline-dir . --current-dir build/bench \
+      [--threshold 0.10] [--report BENCH_diff.json]
+
+Missing files or metrics are reported but only fail with --strict (a new
+bench section has no baseline on its first run — that must not block the PR
+that introduces it).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+
+
+def perf_throughputs(doc):
+    """{key: txns_per_sec} for every end-to-end cell, sync and async."""
+    out = {}
+    if doc is None:
+        return out
+    for row in doc.get("end_to_end", []):
+        key = "perf/{}/{}".format(row["config"],
+                                  "rda" if row["rda"] else "plain")
+        out[key] = row["txns_per_sec"]
+    for row in doc.get("async_io", {}).get("end_to_end", []):
+        key = "perf/async/{}/{}".format(row["config"],
+                                        "rda" if row["rda"] else "plain")
+        out[key] = row["txns_per_sec"]
+    return out
+
+
+def mt_throughputs(doc):
+    out = {}
+    if doc is None:
+        return out
+    for row in doc.get("results", []):
+        key = "mt/{}/{}/{}t".format(row["config"],
+                                    "rda" if row["rda"] else "plain",
+                                    row["threads"])
+        out[key] = row["txns_per_sec"]
+    for row in doc.get("async_io", {}).get("results", []):
+        key = "mt/async/{}/{}/{}t".format(row["config"],
+                                          "rda" if row["rda"] else "plain",
+                                          row["threads"])
+        out[key] = row["txns_per_sec"]
+    return out
+
+
+def recovery_walls(doc):
+    """{key: wall_ms}; lower is better, unlike the throughput metrics."""
+    out = {}
+    if doc is None:
+        return out
+    for row in doc.get("crash_recovery", []):
+        key = "recovery/crash/{}/{}t".format(
+            "rda" if row.get("rda") else "plain", row.get("threads"))
+        out[key] = row["wall_ms"]
+    return out
+
+
+def compare(baseline, current, threshold, higher_is_better):
+    """Yields one comparison record per metric key present in either side."""
+    for key in sorted(set(baseline) | set(current)):
+        base = baseline.get(key)
+        cur = current.get(key)
+        record = {"metric": key, "baseline": base, "current": cur}
+        if base is None or cur is None:
+            record["status"] = "missing-baseline" if base is None \
+                else "missing-current"
+            yield record
+            continue
+        if base <= 0:
+            record["status"] = "skipped-zero-baseline"
+            yield record
+            continue
+        change = (cur - base) / base
+        record["change"] = round(change, 4)
+        regressed = change < -threshold if higher_is_better \
+            else change > threshold
+        record["status"] = "regressed" if regressed else "ok"
+        yield record
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--current-dir", default="build/bench",
+                        help="directory holding the fresh bench outputs")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fractional regression that fails the job")
+    parser.add_argument("--report", default="BENCH_diff.json",
+                        help="where to write the machine-readable diff")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on missing files or metrics")
+    args = parser.parse_args()
+
+    def paths(name):
+        return (os.path.join(args.baseline_dir, name),
+                os.path.join(args.current_dir, name))
+
+    base_perf, cur_perf = (load(p) for p in paths("BENCH_perf.json"))
+    base_mt, cur_mt = (load(p) for p in paths("BENCH_mt.json"))
+    base_rec, cur_rec = (load(p) for p in paths("BENCH_recovery.json"))
+
+    records = []
+    records += compare(perf_throughputs(base_perf), perf_throughputs(cur_perf),
+                       args.threshold, higher_is_better=True)
+    records += compare(mt_throughputs(base_mt), mt_throughputs(cur_mt),
+                       args.threshold, higher_is_better=True)
+    records += compare(recovery_walls(base_rec), recovery_walls(cur_rec),
+                       args.threshold, higher_is_better=False)
+    records = list(records)
+
+    regressed = [r for r in records if r["status"] == "regressed"]
+    missing = [r for r in records if r["status"].startswith("missing")]
+
+    report = {
+        "threshold": args.threshold,
+        "compared": len(records),
+        "regressed": len(regressed),
+        "missing": len(missing),
+        "comparisons": records,
+    }
+    with open(args.report, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    for r in records:
+        if r["status"] == "ok":
+            continue
+        change = r.get("change")
+        detail = "" if change is None else " ({:+.1%})".format(change)
+        print("{:18s} {}{}".format(r["status"], r["metric"], detail))
+    print("compared {} metrics: {} regressed, {} missing (threshold {:.0%})"
+          .format(len(records), len(regressed), len(missing), args.threshold))
+
+    if not records:
+        print("error: nothing to compare — check --baseline-dir/--current-dir",
+              file=sys.stderr)
+        return 2
+    if regressed:
+        for r in regressed:
+            print("FAIL: {} regressed {:+.1%} (baseline {:.1f}, current "
+                  "{:.1f})".format(r["metric"], r["change"], r["baseline"],
+                                   r["current"]), file=sys.stderr)
+        return 1
+    if args.strict and missing:
+        print("FAIL (--strict): {} metrics missing a side".format(
+            len(missing)), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

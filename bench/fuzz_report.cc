@@ -12,7 +12,12 @@
 // Writes machine-readable JSON (BENCH_fuzz.json).
 //
 // Usage: fuzz_report [output.json] [failure_dir] [seeds_per_config]
-//        (defaults: BENCH_fuzz.json, fuzz_failures, 63)
+//                    [io_width]
+//        (defaults: BENCH_fuzz.json, fuzz_failures, 63, 0)
+// io_width > 0 replays the whole sweep with the async per-disk I/O engine
+// enabled at that width — the equivalence soak for the submission-queue
+// journal (e.g. `fuzz_report async.json async_failures 250 2` is a
+// 2000-schedule async sweep).
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -111,6 +116,10 @@ int main(int argc, char** argv) {
   const uint32_t seeds_per_config =
       argc > 3 ? static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 10))
                : 63;
+  rda::fuzz::FuzzOptions run_options;
+  run_options.io_width =
+      argc > 4 ? static_cast<uint32_t>(std::strtoul(argv[4], nullptr, 10))
+               : 0;
 
   const struct {
     bool force;
@@ -139,7 +148,7 @@ int main(int argc, char** argv) {
             MakeSchedule(cls.force, cls.mode, threads, seed);
         distinct.insert(schedule.ToString());
         rda::Result<rda::fuzz::RunOutcome> outcome =
-            rda::fuzz::RunSchedule(schedule);
+            rda::fuzz::RunSchedule(schedule, run_options);
         ++runs;
         if (!outcome.ok()) {
           ++violations;
@@ -208,6 +217,7 @@ int main(int argc, char** argv) {
           .count();
   std::ofstream json(out_path);
   json << "{\n"
+       << "  \"io_width\": " << run_options.io_width << ",\n"
        << "  \"schedules\": " << runs << ",\n"
        << "  \"distinct\": " << distinct.size() << ",\n"
        << "  \"violations\": " << violations << ",\n"

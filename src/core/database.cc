@@ -35,14 +35,22 @@ Result<std::unique_ptr<Database>> Database::Open(
   }
   db->array_ = std::move(array).value();
   db->array_->SetIoPolicy(opts.io);
+  // Same-group FORCE propagations back-to-back feed the engine's
+  // coalescing; without the engine the historical order stays bit-for-bit.
+  opts.txn.elevator_force = opts.io.width > 0;
+  db->options_.txn.elevator_force = opts.txn.elevator_force;
   db->parity_ = std::make_unique<TwinParityManager>(db->array_.get());
   RDA_RETURN_IF_ERROR(db->parity_->FormatArray());
-  db->array_->ResetCounters();  // Formatting is not workload I/O.
+  // Formatting is not workload I/O: drain any journaled format writes
+  // first, or they would land after the reset and count as workload.
+  RDA_RETURN_IF_ERROR(db->array_->FlushIo());
+  db->array_->ResetCounters();
   if (opts.fault.enabled) {
     // Armed after formatting so the clean initial image is fault-free.
     db->array_->ArmFaultInjection(opts.fault);
   }
   db->log_ = std::make_unique<LogManager>(opts.log);
+  db->log_->AttachIoEngine(db->array_->io_engine());
   db->locks_ = std::make_unique<LockManager>();
   db->txn_manager_ = std::make_unique<TransactionManager>(
       opts.txn, db->parity_.get(), db->log_.get(), db->locks_.get(),
@@ -137,6 +145,10 @@ void Database::Crash() {
   // the volatile-state teardown below. The interrupted rebuild's persistent
   // flag (DiskArray::DiskRebuilding) survives for Recover() to act on.
   maintenance_->CancelAndDrain();
+  // The submission queues model an NVRAM write journal: everything
+  // journaled before the crash reaches the medium, exactly as if the
+  // writes had been synchronous. Drain before volatile teardown.
+  (void)array_->FlushIo();
   txn_manager_->LoseVolatileState();
   parity_->LoseVolatileState();
   log_->LoseVolatileState();

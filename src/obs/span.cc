@@ -223,6 +223,7 @@ ScopedSpan::~ScopedSpan() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
           .count());
   if (ring_ != nullptr) {
+    ring_->Stamp(end);  // Later siblings' constructors reuse this read.
     ring_->Exit();
     SpanRecord record;
     record.start_ns = NsSinceEpoch(start_);

@@ -78,6 +78,21 @@ class ThreadSpanRing {
     }
   }
 
+  // Owner thread only: cache of the freshest steady_clock read any span on
+  // this thread took (a ctor's fresh read or a dtor's end read). A NESTED
+  // span's constructor reuses it instead of reading the clock again —
+  // halving the enabled-span overhead — at an accuracy cost bounded by the
+  // host code run between the cached read and the nested span's entry,
+  // which for back-to-back spans is a handful of instructions. Outermost
+  // (depth 0) spans always read fresh, so the cache never drifts across a
+  // span tree boundary.
+  void Stamp(std::chrono::steady_clock::time_point now) {
+    last_stamp_ = now;
+    has_stamp_ = true;
+  }
+  bool HasStamp() const { return has_stamp_; }
+  std::chrono::steady_clock::time_point stamp() const { return last_stamp_; }
+
   // Any thread. Returns retained records oldest-first; slots caught
   // mid-write are skipped.
   std::vector<SpanRecord> Snapshot() const;
@@ -106,6 +121,9 @@ class ThreadSpanRing {
   std::unique_ptr<Slot[]> slots_;
   std::atomic<uint64_t> head_{0};  // Spans ever pushed.
   int depth_ = 0;                  // Owner-thread nesting level.
+  // Owner-thread clock cache (see Stamp); plain members on purpose.
+  std::chrono::steady_clock::time_point last_stamp_;
+  bool has_stamp_ = false;
 };
 
 // Owns one ThreadSpanRing per emitting thread. Ring() resolves the calling
@@ -165,10 +183,19 @@ class ScopedSpan {
     if (spans_ == nullptr && histogram_ == nullptr) {
       return;
     }
-    start_ = std::chrono::steady_clock::now();
     if (spans_ != nullptr) {
       ring_ = spans_->Ring();
       depth_ = ring_->Enter();
+      if (depth_ > 0 && ring_->HasStamp()) {
+        // Nested inside an already-stamped parent: reuse the thread's
+        // freshest clock read instead of taking another one.
+        start_ = ring_->stamp();
+      } else {
+        start_ = std::chrono::steady_clock::now();
+        ring_->Stamp(start_);
+      }
+    } else {
+      start_ = std::chrono::steady_clock::now();
     }
   }
 

@@ -94,6 +94,9 @@ Result<MediaRecoveryReport> MediaRecovery::RebuildDisk(DiskId disk) {
       std::unique(report.undo_coverage_lost.begin(),
                   report.undo_coverage_lost.end()),
       report.undo_coverage_lost.end());
+  // A rebuild is only done once the reconstructed pages are ON the medium,
+  // not sitting in the async engine's journal.
+  RDA_RETURN_IF_ERROR(array->FlushIo());
   array->SetRebuilding(disk, false);
   return report;
 }
@@ -198,6 +201,7 @@ Result<MediaRecoveryReport> MediaRecovery::RebuildDiskOnline(
     report.completed = false;  // Session stays active for a later resume.
     return report;
   }
+  RDA_RETURN_IF_ERROR(array->FlushIo());  // Rebuilt pages must be on medium.
   RDA_RETURN_IF_ERROR(parity_->EndOnlineRebuild());
   return report;
 }

@@ -177,9 +177,66 @@ Status DiskArray::WriteWithRetry(DiskId disk, SlotId slot, PageImage&& image) {
   return status;
 }
 
+Status DiskArray::PhysicalWriteForEngine(DiskId disk, SlotId slot,
+                                         const PageImage& image) {
+  if (disks_[disk].failed()) {
+    // The disk died between submission and drain. Its whole medium is
+    // gone, so the journaled bytes are moot — the history is "the write
+    // landed, then the disk failed", same as the synchronous race.
+    return Status::Ok();
+  }
+  const Status status = WriteWithRetry(disk, slot, image);
+  if (!status.ok()) {
+    if (disks_[disk].failed()) {
+      return Status::Ok();  // Failed mid-write: same moot-medium argument.
+    }
+    return status;
+  }
+  obs::Inc(writes_counter_);
+  if (disk < disk_write_counters_.size()) {
+    obs::Inc(disk_write_counters_[disk]);
+  }
+  return Status::Ok();
+}
+
+Status DiskArray::WriteSlot(DiskId disk, SlotId slot, const PageImage& image,
+                            bool is_parity) {
+  if (engine_ != nullptr && !disks_[disk].failed()) {
+    engine_->SubmitWriteDetached(disk, slot, PageImage(image), is_parity);
+    return Status::Ok();
+  }
+  RDA_RETURN_IF_ERROR(WriteWithRetry(disk, slot, image));
+  obs::Inc(writes_counter_);
+  if (disk < disk_write_counters_.size()) {
+    obs::Inc(disk_write_counters_[disk]);
+  }
+  return Status::Ok();
+}
+
+Status DiskArray::WriteSlot(DiskId disk, SlotId slot, PageImage&& image,
+                            bool is_parity) {
+  if (engine_ != nullptr && !disks_[disk].failed()) {
+    // Journaled-async: durable on return, physical transfer (and its
+    // counters) deferred to the drain. A failed disk falls through to the
+    // synchronous path so the caller sees the exact same error status.
+    engine_->SubmitWriteDetached(disk, slot, std::move(image), is_parity);
+    return Status::Ok();
+  }
+  RDA_RETURN_IF_ERROR(WriteWithRetry(disk, slot, std::move(image)));
+  obs::Inc(writes_counter_);
+  if (disk < disk_write_counters_.size()) {
+    obs::Inc(disk_write_counters_[disk]);
+  }
+  return Status::Ok();
+}
+
 Status DiskArray::ReadData(PageId page, PageImage* out) const {
   RDA_RETURN_IF_ERROR(CheckPage(page));
   const PhysicalLocation loc = layout_->DataLocation(page);
+  if (engine_ != nullptr && !disks_[loc.disk].failed() &&
+      engine_->ReadFromQueue(loc.disk, loc.slot, out)) {
+    return Status::Ok();  // Journal hit: a memory copy, not a transfer.
+  }
   RDA_RETURN_IF_ERROR(ReadWithRetry(loc.disk, loc.slot, out));
   obs::Inc(reads_counter_);
   if (loc.disk < disk_read_counters_.size()) {
@@ -191,29 +248,23 @@ Status DiskArray::ReadData(PageId page, PageImage* out) const {
 Status DiskArray::WriteData(PageId page, const PageImage& image) {
   RDA_RETURN_IF_ERROR(CheckPage(page));
   const PhysicalLocation loc = layout_->DataLocation(page);
-  RDA_RETURN_IF_ERROR(WriteWithRetry(loc.disk, loc.slot, image));
-  obs::Inc(writes_counter_);
-  if (loc.disk < disk_write_counters_.size()) {
-    obs::Inc(disk_write_counters_[loc.disk]);
-  }
-  return Status::Ok();
+  return WriteSlot(loc.disk, loc.slot, image, /*is_parity=*/false);
 }
 
 Status DiskArray::WriteData(PageId page, PageImage&& image) {
   RDA_RETURN_IF_ERROR(CheckPage(page));
   const PhysicalLocation loc = layout_->DataLocation(page);
-  RDA_RETURN_IF_ERROR(WriteWithRetry(loc.disk, loc.slot, std::move(image)));
-  obs::Inc(writes_counter_);
-  if (loc.disk < disk_write_counters_.size()) {
-    obs::Inc(disk_write_counters_[loc.disk]);
-  }
-  return Status::Ok();
+  return WriteSlot(loc.disk, loc.slot, std::move(image), /*is_parity=*/false);
 }
 
 Status DiskArray::ReadParity(GroupId group, uint32_t twin,
                              PageImage* out) const {
   RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
   const PhysicalLocation loc = layout_->ParityLocation(group, twin);
+  if (engine_ != nullptr && !disks_[loc.disk].failed() &&
+      engine_->ReadFromQueue(loc.disk, loc.slot, out)) {
+    return Status::Ok();
+  }
   RDA_RETURN_IF_ERROR(ReadWithRetry(loc.disk, loc.slot, out));
   obs::Inc(reads_counter_);
   if (loc.disk < disk_read_counters_.size()) {
@@ -226,24 +277,39 @@ Status DiskArray::WriteParity(GroupId group, uint32_t twin,
                               const PageImage& image) {
   RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
   const PhysicalLocation loc = layout_->ParityLocation(group, twin);
-  RDA_RETURN_IF_ERROR(WriteWithRetry(loc.disk, loc.slot, image));
-  obs::Inc(writes_counter_);
-  if (loc.disk < disk_write_counters_.size()) {
-    obs::Inc(disk_write_counters_[loc.disk]);
-  }
-  return Status::Ok();
+  return WriteSlot(loc.disk, loc.slot, image, /*is_parity=*/true);
 }
 
 Status DiskArray::WriteParity(GroupId group, uint32_t twin,
                               PageImage&& image) {
   RDA_RETURN_IF_ERROR(CheckGroup(group, twin));
   const PhysicalLocation loc = layout_->ParityLocation(group, twin);
-  RDA_RETURN_IF_ERROR(WriteWithRetry(loc.disk, loc.slot, std::move(image)));
-  obs::Inc(writes_counter_);
-  if (loc.disk < disk_write_counters_.size()) {
-    obs::Inc(disk_write_counters_[loc.disk]);
+  return WriteSlot(loc.disk, loc.slot, std::move(image), /*is_parity=*/true);
+}
+
+void DiskArray::SetIoPolicy(const IoPolicy& policy) {
+  // Stopping the old engine first drains anything journaled under the
+  // previous policy, so a width change never strands a write.
+  engine_.reset();
+  policy_ = policy;
+  if (policy.width > 0) {
+    io::IoEngineOptions engine_options;
+    engine_options.width = policy.width;
+    engine_options.queue_watermark = policy.queue_watermark;
+    engine_ = std::make_unique<io::IoEngine>(
+        static_cast<uint32_t>(disks_.size()), engine_options,
+        [this](DiskId disk, SlotId slot, const PageImage& image) {
+          return PhysicalWriteForEngine(disk, slot, image);
+        });
+    engine_->AttachObs(hub_);
   }
-  return Status::Ok();
+}
+
+Status DiskArray::FlushIo() {
+  if (engine_ == nullptr) {
+    return Status::Ok();
+  }
+  return engine_->Flush();
 }
 
 Status DiskArray::FailDisk(DiskId disk) {
@@ -251,6 +317,11 @@ Status DiskArray::FailDisk(DiskId disk) {
     return Status::InvalidArgument("no such disk");
   }
   disks_[disk].Fail();
+  if (engine_ != nullptr) {
+    // Fail() first so new submissions reject, then drop the journal: the
+    // queued bytes were headed for a medium that no longer exists.
+    engine_->PurgeDisk(disk);
+  }
   obs::TraceEvent event;
   event.subsystem = obs::Subsystem::kStorage;
   event.kind = obs::EventKind::kDiskFailed;
@@ -264,6 +335,9 @@ Status DiskArray::ReplaceDisk(DiskId disk) {
     return Status::InvalidArgument("no such disk");
   }
   disks_[disk].Replace();
+  if (engine_ != nullptr) {
+    engine_->PurgeDisk(disk);  // Nothing queued should hit the fresh medium.
+  }
   {
     std::lock_guard<std::mutex> lock(policy_mu_);
     sector_error_counts_[disk] = 0;  // New medium starts with a full budget.
@@ -418,6 +492,10 @@ void DiskArray::AccountXor(uint64_t pages) {
 }
 
 void DiskArray::AttachObs(obs::ObsHub* hub) {
+  hub_ = hub;
+  if (engine_ != nullptr) {
+    engine_->AttachObs(hub);
+  }
   trace_ = obs::TraceOf(hub);
   flight_ = obs::FlightOf(hub);
   reads_counter_ = obs::GetCounter(hub, "storage.reads");

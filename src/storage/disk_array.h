@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "io/io_engine.h"
 #include "obs/obs.h"
 #include "storage/disk.h"
 #include "storage/fault_injector.h"
@@ -51,6 +52,12 @@ class DiskArray {
   DiskArray(const DiskArray&) = delete;
   DiskArray& operator=(const DiskArray&) = delete;
 
+  // Stops the engine FIRST: its destructor drains any still-journaled
+  // writes through PhysicalWriteForEngine, which touches injectors_ and
+  // the per-disk counters — members that implicit destruction would have
+  // torn down before engine_ (declaration order puts them after it).
+  ~DiskArray() { engine_.reset(); }
+
   // Raw data-page I/O. Fails with kIoError if the owning disk has failed
   // (degraded-mode reconstruction is the recovery layer's job). Transient
   // I/O errors on a live disk are retried under the IoPolicy before the
@@ -75,9 +82,19 @@ class DiskArray {
 
   // --- sector-fault plumbing (DESIGN.md section 10) ---
 
-  // Retry/escalation behaviour of the raw I/O above.
-  void SetIoPolicy(const IoPolicy& policy) { policy_ = policy; }
+  // Retry/escalation behaviour of the raw I/O above, plus the async-engine
+  // knobs: policy.width > 0 starts the per-disk submission-queue engine
+  // (all writes become journaled-async, reads consult the journal first);
+  // width 0 stops it and restores the synchronous path bit-for-bit.
+  void SetIoPolicy(const IoPolicy& policy);
   const IoPolicy& io_policy() const { return policy_; }
+
+  // The async engine, or null when policy.width == 0.
+  io::IoEngine* io_engine() { return engine_.get(); }
+  // Drains every submission queue (no-op without an engine). Returns the
+  // first sticky drain error. Called before crash teardown, counter
+  // resets, and at the end of rebuild/scrub sweeps.
+  Status FlushIo();
   // Snapshot by value: the stats are mutated under the policy mutex by
   // concurrent I/O threads.
   IoPolicyStats policy_stats() const {
@@ -156,6 +173,18 @@ class DiskArray {
 
   Status CheckPage(PageId page) const;
   Status CheckGroup(GroupId group, uint32_t twin) const;
+  // The engine's drain callback: one physical slot write through the retry
+  // machinery, bumping the transfer counters exactly like the sync path.
+  Status PhysicalWriteForEngine(DiskId disk, SlotId slot,
+                                const PageImage& image);
+  // Shared body of the Write{Data,Parity} overloads once the location is
+  // resolved: journals into the engine when one is running, otherwise the
+  // synchronous write-with-retry plus counter bumps. The const overload
+  // copies only when journaling (the sync path hands the ref through).
+  Status WriteSlot(DiskId disk, SlotId slot, const PageImage& image,
+                   bool is_parity);
+  Status WriteSlot(DiskId disk, SlotId slot, PageImage&& image,
+                   bool is_parity);
   // Retry loops around one disk access. Stats are mutable so the const
   // read path can account; the actual disk state never changes on retry.
   Status ReadWithRetry(DiskId disk, SlotId slot, PageImage* out) const;
@@ -172,6 +201,7 @@ class DiskArray {
   size_t page_size_;
   std::vector<Disk> disks_;
   std::atomic<uint64_t> xor_computations_{0};
+  std::unique_ptr<io::IoEngine> engine_;
 
   IoPolicy policy_;
   // Guards the retry/escalation bookkeeping below (off the clean-path I/O:
@@ -185,7 +215,9 @@ class DiskArray {
   std::function<void(DiskId)> escalation_listener_;
 
   // Observability (null = disabled). The counter pointers are resolved once
-  // in AttachObs so the I/O hot path pays only a null test.
+  // in AttachObs so the I/O hot path pays only a null test. The hub is kept
+  // so an engine started by a later SetIoPolicy call can attach too.
+  obs::ObsHub* hub_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;
   obs::FlightRecorder* flight_ = nullptr;  // Dumped on escalation.
   obs::Counter* reads_counter_ = nullptr;

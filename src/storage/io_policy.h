@@ -30,6 +30,16 @@ struct IoPolicy {
   // tolerated per disk before it is escalated to Fail(). 0 = never
   // escalate.
   uint32_t disk_error_budget = 0;
+
+  // --- asynchronous I/O engine (DESIGN.md section 16) ---
+
+  // Worker threads of the per-disk submission-queue engine. 0 (the
+  // default) disables the engine entirely: every write is synchronous and
+  // the array behaves bit-for-bit like the pre-engine code.
+  uint32_t width = 0;
+  // Pending writes on one disk that wake its drain worker. Larger values
+  // widen the coalescing window; Flush() always drains regardless.
+  uint32_t queue_watermark = 32;
 };
 
 // Array-level accounting of the policy's work. Mirrored into the obs

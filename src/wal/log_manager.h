@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "io/io_engine.h"
 #include "obs/obs.h"
 #include "storage/io_stats.h"
 #include "wal/log_record.h"
@@ -137,6 +138,14 @@ class LogManager {
   // group-commit batch-size histogram). Null detaches.
   void AttachObs(obs::ObsHub* hub);
 
+  // Lends the array's async engine to the log: FlushLocked fans the
+  // per-copy stable appends out across the engine's job lanes (one lane per
+  // duplexed copy) and waits for all of them before returning, so log
+  // duplexing overlaps without a second thread pool. Safe because workers
+  // never take mu_ and the futures are collected with mu_ held. Null
+  // detaches (serial appends, the pre-engine behavior).
+  void AttachIoEngine(io::IoEngine* engine) { engine_ = engine; }
+
  private:
   // Moves the current buffer to the stable copies, entirely under mu_ (the
   // caller holds it). Publication is immediate; any simulated latency is
@@ -195,6 +204,7 @@ class LogManager {
   obs::Histogram* follower_wait_hist_ = nullptr;
   obs::Histogram* flush_hist_ = nullptr;  // Plain Flush() wall time.
   obs::SpanCollector* spans_ = nullptr;
+  io::IoEngine* engine_ = nullptr;  // Borrowed from the array; may be null.
 };
 
 }  // namespace rda

@@ -1,0 +1,336 @@
+// The asynchronous per-disk I/O engine (DESIGN.md section 16): journal
+// semantics of the raw IoEngine (elevator order, last-writer-wins
+// coalescing, shared completion futures, purge-on-failure, job lanes), the
+// DiskArray integration (journal-hit reads, deferred transfer counters,
+// width-0 pass-through), and end-to-end durability of an async Database
+// across Crash()+Recover().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "io/io_engine.h"
+#include "storage/disk_array.h"
+
+namespace rda {
+namespace {
+
+constexpr size_t kPageSize = 128;
+
+PageImage MakeImage(uint8_t fill) {
+  PageImage image(kPageSize);
+  std::fill(image.payload.begin(), image.payload.end(), fill);
+  return image;
+}
+
+io::IoEngineOptions ManualDrainOptions() {
+  io::IoEngineOptions options;
+  options.width = 1;
+  // Watermark far above anything a test submits: workers never drain on
+  // their own, so every physical write happens inside an explicit Flush()
+  // on the calling thread — deterministic order, no races on captures.
+  options.queue_watermark = 1u << 20;
+  return options;
+}
+
+TEST(IoEngineTest, FlushDrainsInElevatorOrderPerDisk) {
+  std::vector<std::pair<DiskId, SlotId>> order;
+  io::IoEngine engine(2, ManualDrainOptions(),
+                      [&order](DiskId disk, SlotId slot, const PageImage&) {
+                        order.emplace_back(disk, slot);
+                        return Status::Ok();
+                      });
+  engine.SubmitWrite(0, 7, MakeImage(1), false);
+  engine.SubmitWrite(1, 4, MakeImage(2), false);
+  engine.SubmitWrite(0, 2, MakeImage(3), false);
+  engine.SubmitWrite(0, 5, MakeImage(4), false);
+  engine.SubmitWrite(1, 1, MakeImage(5), false);
+  EXPECT_EQ(engine.QueueDepth(), 5u);
+  ASSERT_TRUE(engine.Flush().ok());
+  // Slot-ascending per disk, disks in id order (Flush walks 0, then 1).
+  const std::vector<std::pair<DiskId, SlotId>> expected = {
+      {0, 2}, {0, 5}, {0, 7}, {1, 1}, {1, 4}};
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(engine.QueueDepth(), 0u);
+  EXPECT_EQ(engine.stats().physical_writes, 5u);
+}
+
+TEST(IoEngineTest, RewritesOfQueuedSlotCoalesceLastWriterWins) {
+  std::vector<uint8_t> landed;
+  io::IoEngine engine(1, ManualDrainOptions(),
+                      [&landed](DiskId, SlotId, const PageImage& image) {
+                        landed.push_back(image.payload[0]);
+                        return Status::Ok();
+                      });
+  auto first = engine.SubmitWrite(0, 3, MakeImage(10), false);
+  auto second = engine.SubmitWrite(0, 3, MakeImage(20), false);
+  auto third = engine.SubmitWrite(0, 3, MakeImage(30), false);
+  ASSERT_TRUE(engine.Flush().ok());
+  // One physical transfer carrying the last submission's bytes...
+  ASSERT_EQ(landed.size(), 1u);
+  EXPECT_EQ(landed[0], 30);
+  // ...whose completion all three submitters share.
+  EXPECT_TRUE(first.get().ok());
+  EXPECT_TRUE(second.get().ok());
+  EXPECT_TRUE(third.get().ok());
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted_writes, 3u);
+  EXPECT_EQ(stats.coalesced_writes, 2u);
+  EXPECT_EQ(stats.physical_writes, 1u);
+}
+
+TEST(IoEngineTest, CoalescedParitySlotWritesCountAsBatchedRmw) {
+  io::IoEngine engine(1, ManualDrainOptions(),
+                      [](DiskId, SlotId, const PageImage&) {
+                        return Status::Ok();
+                      });
+  engine.SubmitWrite(0, 9, MakeImage(1), /*is_parity=*/true);
+  engine.SubmitWrite(0, 9, MakeImage(2), /*is_parity=*/true);
+  engine.SubmitWrite(0, 9, MakeImage(3), /*is_parity=*/true);
+  engine.SubmitWrite(0, 4, MakeImage(4), /*is_parity=*/false);
+  engine.SubmitWrite(0, 4, MakeImage(5), /*is_parity=*/false);
+  ASSERT_TRUE(engine.Flush().ok());
+  const auto stats = engine.stats();
+  // Each merged parity-slot submission is one read-modify-write the batch
+  // absorbed; the data-slot merge is a plain coalesce.
+  EXPECT_EQ(stats.batched_parity_rmw, 2u);
+  EXPECT_EQ(stats.coalesced_writes, 3u);
+  EXPECT_EQ(stats.physical_writes, 2u);
+}
+
+TEST(IoEngineTest, ReadFromQueueServesPendingImageWithoutTransfer) {
+  uint64_t physical = 0;
+  io::IoEngine engine(1, ManualDrainOptions(),
+                      [&physical](DiskId, SlotId, const PageImage&) {
+                        ++physical;
+                        return Status::Ok();
+                      });
+  engine.SubmitWrite(0, 6, MakeImage(42), false);
+  PageImage out;
+  ASSERT_TRUE(engine.ReadFromQueue(0, 6, &out));
+  EXPECT_EQ(out.payload[0], 42);
+  EXPECT_FALSE(engine.ReadFromQueue(0, 7, &out));  // Nothing queued there.
+  EXPECT_EQ(physical, 0u);  // The hit was a memory copy, not a transfer.
+  EXPECT_EQ(engine.stats().cache_hits, 1u);
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_FALSE(engine.ReadFromQueue(0, 6, &out));  // Drained: on medium now.
+}
+
+TEST(IoEngineTest, PurgeDropsQueuedWritesAndCompletesTheirFutures) {
+  uint64_t physical = 0;
+  io::IoEngine engine(2, ManualDrainOptions(),
+                      [&physical](DiskId, SlotId, const PageImage&) {
+                        ++physical;
+                        return Status::Ok();
+                      });
+  auto doomed = engine.SubmitWrite(0, 1, MakeImage(1), false);
+  engine.SubmitWrite(1, 1, MakeImage(2), false);
+  engine.PurgeDisk(0);
+  // The dropped write's history is "landed, then the medium died": Ok.
+  EXPECT_TRUE(doomed.get().ok());
+  ASSERT_TRUE(engine.Flush().ok());
+  EXPECT_EQ(physical, 1u);  // Only the surviving disk's write transferred.
+  EXPECT_EQ(engine.stats().purged_writes, 1u);
+}
+
+TEST(IoEngineTest, JobLanesRunSubmittedClosures) {
+  io::IoEngineOptions options;
+  options.width = 2;
+  options.queue_watermark = 1u << 20;
+  io::IoEngine engine(2, options, [](DiskId, SlotId, const PageImage&) {
+    return Status::Ok();
+  });
+  std::atomic<int> ran{0};
+  auto a = engine.SubmitJob(0, [&ran] {
+    ran.fetch_add(1);
+    return Status::Ok();
+  });
+  auto b = engine.SubmitJob(1, [&ran] {
+    ran.fetch_add(1);
+    return Status::IoError("synthetic");
+  });
+  EXPECT_TRUE(a.get().ok());
+  EXPECT_FALSE(b.get().ok());
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(IoEngineTest, DestructorDrainsTheJournal) {
+  uint64_t physical = 0;
+  {
+    io::IoEngine engine(1, ManualDrainOptions(),
+                        [&physical](DiskId, SlotId, const PageImage&) {
+                          ++physical;
+                          return Status::Ok();
+                        });
+    engine.SubmitWrite(0, 1, MakeImage(1), false);
+    engine.SubmitWrite(0, 2, MakeImage(2), false);
+  }
+  EXPECT_EQ(physical, 2u);  // The journal is non-volatile; nothing strands.
+}
+
+// --- DiskArray integration ---
+
+DiskArray::Options ArrayOptions() {
+  DiskArray::Options options;
+  options.data_pages_per_group = 4;
+  options.parity_copies = 2;
+  options.min_data_pages = 32;
+  options.page_size = kPageSize;
+  return options;
+}
+
+IoPolicy AsyncPolicy() {
+  IoPolicy policy;
+  policy.width = 1;
+  policy.queue_watermark = 1u << 20;  // Manual drains only (determinism).
+  return policy;
+}
+
+TEST(DiskArrayAsyncTest, WidthZeroLeavesTheSynchronousPathEngineless) {
+  auto array = DiskArray::Create(ArrayOptions());
+  ASSERT_TRUE(array.ok());
+  (*array)->SetIoPolicy(IoPolicy{});  // Default width 0.
+  EXPECT_EQ((*array)->io_engine(), nullptr);
+  ASSERT_TRUE((*array)->WriteData(0, MakeImage(9)).ok());
+  EXPECT_EQ((*array)->counters().page_writes, 1u);  // Counted immediately.
+}
+
+TEST(DiskArrayAsyncTest, JournaledWriteDefersCountersUntilFlush) {
+  auto array = DiskArray::Create(ArrayOptions());
+  ASSERT_TRUE(array.ok());
+  (*array)->SetIoPolicy(AsyncPolicy());
+  ASSERT_NE((*array)->io_engine(), nullptr);
+
+  ASSERT_TRUE((*array)->WriteData(3, MakeImage(7)).ok());
+  // Durable (journaled) but not yet a device transfer:
+  EXPECT_EQ((*array)->counters().page_writes, 0u);
+  // ...and readable through the journal without a device read.
+  PageImage out;
+  ASSERT_TRUE((*array)->ReadData(3, &out).ok());
+  EXPECT_EQ(out.payload[0], 7);
+  EXPECT_EQ((*array)->counters().page_reads, 0u);
+
+  ASSERT_TRUE((*array)->FlushIo().ok());
+  EXPECT_EQ((*array)->counters().page_writes, 1u);
+  // Post-drain reads come from the medium and count normally.
+  ASSERT_TRUE((*array)->ReadData(3, &out).ok());
+  EXPECT_EQ(out.payload[0], 7);
+  EXPECT_EQ((*array)->counters().page_reads, 1u);
+}
+
+TEST(DiskArrayAsyncTest, RepeatedWritesToOnePageCoalesceIntoOneTransfer) {
+  auto array = DiskArray::Create(ArrayOptions());
+  ASSERT_TRUE(array.ok());
+  (*array)->SetIoPolicy(AsyncPolicy());
+  for (uint8_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE((*array)->WriteData(0, MakeImage(i)).ok());
+  }
+  ASSERT_TRUE((*array)->FlushIo().ok());
+  EXPECT_EQ((*array)->counters().page_writes, 1u);
+  PageImage out;
+  ASSERT_TRUE((*array)->ReadData(0, &out).ok());
+  EXPECT_EQ(out.payload[0], 5);  // Last writer won.
+  EXPECT_EQ((*array)->io_engine()->stats().coalesced_writes, 4u);
+}
+
+TEST(DiskArrayAsyncTest, FailDiskPurgesItsQueueAndFlushStaysClean) {
+  auto array = DiskArray::Create(ArrayOptions());
+  ASSERT_TRUE(array.ok());
+  (*array)->SetIoPolicy(AsyncPolicy());
+  const PhysicalLocation loc = (*array)->layout().DataLocation(0);
+  ASSERT_TRUE((*array)->WriteData(0, MakeImage(1)).ok());
+  ASSERT_TRUE((*array)->FailDisk(loc.disk).ok());
+  // The journaled write died with the medium; nothing sticky remains.
+  ASSERT_TRUE((*array)->FlushIo().ok());
+  EXPECT_EQ((*array)->io_engine()->stats().purged_writes, 1u);
+  // Writes against the failed disk now surface the synchronous error.
+  EXPECT_FALSE((*array)->WriteData(0, MakeImage(2)).ok());
+}
+
+TEST(DiskArrayAsyncTest, SetIoPolicyWidthZeroStopsAndDrainsTheEngine) {
+  auto array = DiskArray::Create(ArrayOptions());
+  ASSERT_TRUE(array.ok());
+  (*array)->SetIoPolicy(AsyncPolicy());
+  ASSERT_TRUE((*array)->WriteData(1, MakeImage(3)).ok());
+  IoPolicy sync;  // width 0
+  (*array)->SetIoPolicy(sync);
+  EXPECT_EQ((*array)->io_engine(), nullptr);
+  // The stop drained the journal: the write reached the medium.
+  EXPECT_EQ((*array)->counters().page_writes, 1u);
+  PageImage out;
+  ASSERT_TRUE((*array)->ReadData(1, &out).ok());
+  EXPECT_EQ(out.payload[0], 3);
+}
+
+// --- Database end-to-end ---
+
+DatabaseOptions AsyncDbOptions(bool force, bool rda) {
+  DatabaseOptions options;
+  options.array.data_pages_per_group = 4;
+  options.array.parity_copies = 2;
+  options.array.min_data_pages = 32;
+  options.array.page_size = kPageSize;
+  options.buffer.capacity = 12;
+  options.txn.force = force;
+  options.txn.rda_undo = rda;
+  if (!force) {
+    options.checkpoint_interval_updates = 16;
+  }
+  options.io.width = 2;
+  options.io.queue_watermark = 4;  // Small: exercise background drains too.
+  return options;
+}
+
+TEST(DatabaseAsyncIoTest, CommittedWritesSurviveCrashWithAsyncEngine) {
+  auto db = Database::Open(AsyncDbOptions(/*force=*/true, /*rda=*/true));
+  ASSERT_TRUE(db.ok());
+  std::vector<uint8_t> bytes((*db)->user_page_size());
+  for (PageId page = 0; page < 8; ++page) {
+    auto txn = (*db)->Begin();
+    ASSERT_TRUE(txn.ok());
+    std::fill(bytes.begin(), bytes.end(), static_cast<uint8_t>(page + 100));
+    ASSERT_TRUE((*db)->WritePage(*txn, page, bytes).ok());
+    ASSERT_TRUE((*db)->Commit(*txn).ok());
+  }
+  (*db)->Crash();
+  ASSERT_TRUE((*db)->Recover().ok());
+  for (PageId page = 0; page < 8; ++page) {
+    auto payload = (*db)->RawReadPage(page);
+    ASSERT_TRUE(payload.ok());
+    EXPECT_EQ((*payload)[kDataRegionOffset], static_cast<uint8_t>(page + 100))
+        << "page " << page;
+  }
+  auto parity_ok = (*db)->VerifyAllParity();
+  ASSERT_TRUE(parity_ok.ok());
+  EXPECT_TRUE(*parity_ok);
+}
+
+TEST(DatabaseAsyncIoTest, MediaRebuildRestoresAFailedDiskUnderAsyncIo) {
+  auto db = Database::Open(AsyncDbOptions(/*force=*/true, /*rda=*/true));
+  ASSERT_TRUE(db.ok());
+  std::vector<uint8_t> bytes((*db)->user_page_size());
+  for (PageId page = 0; page < 8; ++page) {
+    auto txn = (*db)->Begin();
+    ASSERT_TRUE(txn.ok());
+    std::fill(bytes.begin(), bytes.end(), static_cast<uint8_t>(page + 1));
+    ASSERT_TRUE((*db)->WritePage(*txn, page, bytes).ok());
+    ASSERT_TRUE((*db)->Commit(*txn).ok());
+  }
+  ASSERT_TRUE((*db)->array()->FailDisk(2).ok());
+  ASSERT_TRUE((*db)->RebuildDisk(2).ok());
+  for (PageId page = 0; page < 8; ++page) {
+    auto payload = (*db)->RawReadPage(page);
+    ASSERT_TRUE(payload.ok());
+    EXPECT_EQ((*payload)[kDataRegionOffset], static_cast<uint8_t>(page + 1));
+  }
+  auto parity_ok = (*db)->VerifyAllParity();
+  ASSERT_TRUE(parity_ok.ok());
+  EXPECT_TRUE(*parity_ok);
+}
+
+}  // namespace
+}  // namespace rda
