@@ -9,6 +9,12 @@ namespace rda {
 
 Database::Database(const DatabaseOptions& options) : options_(options) {}
 
+Database::~Database() {
+  if (array_ != nullptr) {
+    array_->SetEscalationListener(nullptr);
+  }
+}
+
 Result<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
   DatabaseOptions opts = options;
@@ -50,7 +56,11 @@ Result<std::unique_ptr<Database>> Database::Open(
     db->array_->ArmFaultInjection(opts.fault);
   }
   db->log_ = std::make_unique<LogManager>(opts.log);
-  db->log_->AttachIoEngine(db->array_->io_engine());
+  // Provider, not pointer: SetIoPolicy recreates the engine, and the log
+  // must always duplex through the array's CURRENT one (or serially, when
+  // a later policy turns the engine off).
+  db->log_->AttachIoEngine(
+      [array = db->array_.get()] { return array->io_engine(); });
   db->locks_ = std::make_unique<LockManager>();
   db->txn_manager_ = std::make_unique<TransactionManager>(
       opts.txn, db->parity_.get(), db->log_.get(), db->locks_.get(),
@@ -147,8 +157,15 @@ void Database::Crash() {
   maintenance_->CancelAndDrain();
   // The submission queues model an NVRAM write journal: everything
   // journaled before the crash reaches the medium, exactly as if the
-  // writes had been synchronous. Drain before volatile teardown.
-  (void)array_->FlushIo();
+  // writes had been synchronous. Drain before volatile teardown. A write
+  // that cannot land on a live disk escalates the disk inside the drain
+  // (PhysicalWriteForEngine), so a non-Ok status here means the durability
+  // machinery itself broke — remember it for Recover() instead of
+  // swallowing it.
+  const Status flush_status = array_->FlushIo();
+  if (!flush_status.ok()) {
+    crash_flush_error_ = flush_status;
+  }
   txn_manager_->LoseVolatileState();
   parity_->LoseVolatileState();
   log_->LoseVolatileState();
@@ -188,7 +205,19 @@ Status Database::FinishInterruptedRebuilds() {
   return Status::Ok();
 }
 
+Status Database::ConsumeCrashFlushError() {
+  // The crash-time journal drain could not land every submitted write (and
+  // escalation could not absorb the failure): some page the engine promised
+  // durable is not on any medium. Recovery from the array would silently
+  // produce a stale state, so refuse; only RestoreFromArchive can
+  // re-establish a trustworthy image. Reported once per crash.
+  Status error = crash_flush_error_;
+  crash_flush_error_ = Status::Ok();
+  return error;
+}
+
 Result<CrashRecoveryReport> Database::Recover() {
+  RDA_RETURN_IF_ERROR(ConsumeCrashFlushError());
   RDA_RETURN_IF_ERROR(FinishInterruptedRebuilds());
   CrashRecovery recovery(txn_manager_.get(), parity_.get(), log_.get());
   recovery.AttachObs(obs_.get());
@@ -198,6 +227,7 @@ Result<CrashRecoveryReport> Database::Recover() {
 
 Result<CrashRecoveryReport> Database::RecoverWithInjectedFault(
     uint64_t actions) {
+  RDA_RETURN_IF_ERROR(ConsumeCrashFlushError());
   RDA_RETURN_IF_ERROR(FinishInterruptedRebuilds());
   CrashRecovery recovery(txn_manager_.get(), parity_.get(), log_.get());
   recovery.AttachObs(obs_.get());
@@ -215,6 +245,9 @@ Result<CrashRecoveryReport> Database::RestoreFromArchive() {
     std::lock_guard<std::mutex> lock(undo_lost_mu_);
     undo_lost_txns_.clear();
   }
+  // The snapshot rewrite replaces every page, so a write the crash-time
+  // drain lost is superseded — the restore clears the refusal.
+  crash_flush_error_ = Status::Ok();
   return archive_->RestoreFromArchive();
 }
 

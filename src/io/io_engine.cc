@@ -118,6 +118,13 @@ std::shared_future<Status> IoEngine::Submit(DiskId disk, SlotId slot,
     depth_gauge_->Add(1);
   }
   if (wake) {
+    // The notify must not land between a worker's (negative) predicate
+    // evaluation and its block: the crossing is edge-triggered, so a missed
+    // notify would leave the queue growing silently until an unrelated
+    // wake. Holding wake_mu_ orders the notify against the predicate —
+    // either the worker's check sees the above-watermark queue, or it is
+    // already blocked when the notify fires.
+    std::lock_guard<std::mutex> wake_lock(wake_mu_);
     cv_.notify_all();
   }
   return future;
@@ -262,6 +269,10 @@ Status IoEngine::Flush() {
     if (first.ok() && !queues_[d].error.ok()) {
       first = queues_[d].error;
     }
+    // Report-once: the error belongs to writes already retired. Leaving it
+    // sticky would fail every later flush — including the scrub/rebuild
+    // passes that exist to repair exactly this damage.
+    queues_[d].error = Status::Ok();
   }
   return first;
 }

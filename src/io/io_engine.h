@@ -102,6 +102,8 @@ class IoEngine {
   // Drains every queue from the calling thread (workers may drain
   // concurrently; per-disk drains are serialized). Returns the first
   // sticky drain error across disks (lowest disk id), Ok otherwise.
+  // Reported errors are cleared (report-once), so one historical failure
+  // never wedges later flushes — scrub/rebuild passes in particular.
   Status Flush();
 
   // Drops every queued write for `disk` and clears its sticky error. The
@@ -150,7 +152,8 @@ class IoEngine {
     // reader can never fall through to the device mid-write and see stale
     // bytes. Cleared as each write completes.
     std::map<SlotId, std::shared_ptr<PageImage>> inflight;
-    // First drain error on a still-live disk; cleared by PurgeDisk.
+    // First unreported drain error on a still-live disk; cleared once a
+    // Flush() reports it, or by PurgeDisk.
     Status error = Status::Ok();
   };
 

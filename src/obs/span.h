@@ -80,12 +80,13 @@ class ThreadSpanRing {
 
   // Owner thread only: cache of the freshest steady_clock read any span on
   // this thread took (a ctor's fresh read or a dtor's end read). A NESTED
-  // span's constructor reuses it instead of reading the clock again —
-  // halving the enabled-span overhead — at an accuracy cost bounded by the
-  // host code run between the cached read and the nested span's entry,
-  // which for back-to-back spans is a handful of instructions. Outermost
-  // (depth 0) spans always read fresh, so the cache never drifts across a
-  // span tree boundary.
+  // histogram-less span's constructor reuses it instead of reading the
+  // clock again — halving the enabled-span overhead — at an accuracy cost
+  // bounded by the host code run between the cached read and the nested
+  // span's entry, which for back-to-back spans is a handful of
+  // instructions. Outermost (depth 0) spans always read fresh, so the
+  // cache never drifts across a span tree boundary; spans that feed a
+  // latency histogram also always read fresh (see ScopedSpan).
   void Stamp(std::chrono::steady_clock::time_point now) {
     last_stamp_ = now;
     has_stamp_ = true;
@@ -186,9 +187,12 @@ class ScopedSpan {
     if (spans_ != nullptr) {
       ring_ = spans_->Ring();
       depth_ = ring_->Enter();
-      if (depth_ > 0 && ring_->HasStamp()) {
+      if (depth_ > 0 && histogram_ == nullptr && ring_->HasStamp()) {
         // Nested inside an already-stamped parent: reuse the thread's
-        // freshest clock read instead of taking another one.
+        // freshest clock read instead of taking another one. Only ring
+        // records tolerate the (bounded) early-start bias — a histogram
+        // feeds latency percentiles that perf_report asserts on, so a
+        // histogram-carrying span always reads the clock fresh.
         start_ = ring_->stamp();
       } else {
         start_ = std::chrono::steady_clock::now();

@@ -181,6 +181,20 @@ Status TwinParityManager::ReadDataHealed(PageId page, PageImage* out) {
   }
   const DiskId disk = array_->layout().DataLocation(page).disk;
   if (!HealableFault(status, disk)) {
+    if (status.IsIoError() && array_->DiskFailed(disk)) {
+      // Degraded read: the page's disk is out (failed or escalated, not
+      // yet rebuilt), so its content is implicit in the rest of the group.
+      // Reconstruct it; no write-back — there is no medium to repair. A
+      // reconstruction failure is a second fault: report the original
+      // read error, which names the failed disk.
+      Result<std::vector<uint8_t>> rebuilt = ReconstructDataPayload(page);
+      if (!rebuilt.ok()) {
+        return status;
+      }
+      out->header = PageHeader();
+      out->payload = std::move(rebuilt).value();
+      return Status::Ok();
+    }
     return status;
   }
   array_->RecordSectorError(disk);  // May escalate the disk to Fail().
@@ -1190,6 +1204,27 @@ Status TwinParityManager::ReinitializeParityFromData(exec::WorkerPool* pool) {
   return Status::Ok();
 }
 
+Status TwinParityManager::RecomputeCommittedTwin(GroupId group, uint32_t twin,
+                                                 ParityTimestamp floor,
+                                                 PageImage* out) {
+  const Layout& layout = array_->layout();
+  PageImage parity(array_->page_size());
+  ScratchPool::ScratchImage data = scratch_.Acquire();
+  for (uint32_t i = 0; i < layout.data_pages_per_group(); ++i) {
+    // Plain (non-degraded) reads on purpose: reconstructing a missing data
+    // page would need exactly the committed parity being recomputed here,
+    // so an unreadable member means the group really is lost — propagate
+    // the error and let the caller declare data loss.
+    RDA_RETURN_IF_ERROR(array_->ReadData(layout.PageAt(group, i), &*data));
+    XorPage(&parity.payload, data->payload);
+  }
+  parity.header.parity_state = ParityState::kCommitted;
+  parity.header.timestamp = floor + 1;
+  RDA_RETURN_IF_ERROR(array_->WriteParity(group, twin, parity));
+  *out = std::move(parity);
+  return Status::Ok();
+}
+
 Status TwinParityManager::RebuildDirectory() {
   ParityTimestamp max_seen = 0;
   for (GroupId g = 0; g < array_->num_groups(); ++g) {
@@ -1235,9 +1270,23 @@ Status TwinParityManager::RebuildDirectory() {
       const uint32_t good = 1 - bad;
       if (twins[good].header.parity_state != ParityState::kCommitted) {
         // The survivor is not committed parity, so the unreadable twin held
-        // the group's only committed copy. Nothing to select from.
-        return Status::DataLoss("committed parity twin of group " +
-                                std::to_string(g) + " unreadable");
+        // the group's only committed copy. A single-disk failure leaves all
+        // of the group's data pages readable (members sit on distinct
+        // disks), so committed parity is still derivable: recompute it from
+        // data into the surviving slot. Only when a data page is ALSO
+        // unreadable (a second fault) is the group genuinely lost.
+        const ParityTimestamp floor =
+            std::max(max_seen, twins[good].header.timestamp);
+        const Status recomputed =
+            RecomputeCommittedTwin(g, good, floor, &twins[good]);
+        if (!recomputed.ok()) {
+          return Status::DataLoss("committed parity twin of group " +
+                                  std::to_string(g) + " unreadable (" +
+                                  recomputed.ToString() + ")");
+        }
+        max_seen = std::max(max_seen, twins[good].header.timestamp);
+        SyncTwinShadow(g, good,
+                       static_cast<uint8_t>(ParityState::kCommitted));
       }
       // The survivor is committed: treat the unreadable twin as obsolete
       // and reset it. If it was in fact a working twin, the in-flight

@@ -261,9 +261,11 @@ class TwinParityManager {
   // repaired in place — the rebuilt page is written straight back (no
   // parity propagation: parity already encodes this content), which clears
   // a latent sector error. The fault is charged to the disk's error
-  // budget. A failed disk still returns kIoError (use
-  // ReconstructDataPayload); an unreconstructable page (second fault in
-  // the group) returns the original error.
+  // budget. A page on a FAILED disk is served degraded — reconstructed
+  // from the group with no write-back and no error charged — so callers
+  // (recovery included) read through single-disk failures transparently.
+  // An unreconstructable page (second fault in the group) returns the
+  // original read error.
   Status ReadDataHealed(PageId page, PageImage* out);
 
   // Self-healing parity read. What "healing" means depends on the twin's
@@ -367,6 +369,17 @@ class TwinParityManager {
   // verified the bit was set. `on_demand` picks which session counter and
   // trace event to emit.
   void NotePendingCleared(GroupId group, bool on_demand);
+
+  // Directory-rebuild fallback for a group whose only committed twin is
+  // unreadable: recompute committed parity as the XOR of the group's data
+  // pages and install it in twin slot `twin` (which must be on a live
+  // disk). Sound because group members live on distinct disks, so a
+  // single-disk failure leaves every data page of the group readable; if
+  // any data read fails anyway (second fault), the caller's data-loss
+  // verdict stands. `floor` is a timestamp the new twin must exceed so
+  // Current_Parity selection picks it over the stale survivor.
+  Status RecomputeCommittedTwin(GroupId group, uint32_t twin,
+                                ParityTimestamp floor, PageImage* out);
 
   // True when `status` is the class of error repair-on-read can heal: a
   // persistent sector fault on a disk that is still alive.

@@ -190,7 +190,18 @@ Status DiskArray::PhysicalWriteForEngine(DiskId disk, SlotId slot,
     if (disks_[disk].failed()) {
       return Status::Ok();  // Failed mid-write: same moot-medium argument.
     }
-    return status;
+    // A journaled write that cannot land on a live disk must not be lost
+    // silently: the submitter already saw Ok (the journal is modeled
+    // durable), so there is no caller left to report `status` to. Treat
+    // the slot's medium as lost and fail the whole disk — every page on it
+    // is then served through parity reconstruction, and the update's
+    // durability rides the redundancy (its parity delta was journaled to a
+    // different disk) instead of the unwritable medium. The synchronous
+    // path would instead have surfaced the error before commit reported.
+    EscalateDisk(disk, "disk " + std::to_string(disk) +
+                           " escalated: journaled write could not land (" +
+                           status.ToString() + ")");
+    return Status::Ok();
   }
   obs::Inc(writes_counter_);
   if (disk < disk_write_counters_.size()) {
@@ -397,8 +408,19 @@ void DiskArray::RecordSectorError(DiskId disk) {
     if (++sector_error_counts_[disk] < policy_.disk_error_budget) {
       return;
     }
-    // Budget exhausted: the drive is lying about its health often enough
-    // that slot-by-slot healing is a losing game. Take it out, rebuild whole.
+  }
+  // Budget exhausted: the drive is lying about its health often enough
+  // that slot-by-slot healing is a losing game. Take it out, rebuild whole.
+  EscalateDisk(disk, "disk " + std::to_string(disk) +
+                         " escalated after exhausting its error budget");
+}
+
+void DiskArray::EscalateDisk(DiskId disk, const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(policy_mu_);
+    if (escalated_[disk]) {
+      return;  // A concurrent escalation already took the disk out.
+    }
     escalated_[disk] = true;
     ++policy_stats_.escalations;
   }
@@ -406,9 +428,7 @@ void DiskArray::RecordSectorError(DiskId disk) {
   EmitDiskEvent(obs::EventKind::kEscalation, disk);
   // Flight recorder: the escalation is the moment the timeline that led
   // here is about to scroll out of the rings — dump it now.
-  obs::TriggerFlight(flight_, "disk " + std::to_string(disk) +
-                                  " escalated after exhausting its error "
-                                  "budget");
+  obs::TriggerFlight(flight_, reason);
   (void)FailDisk(disk);
   std::function<void(DiskId)> listener;
   {

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -175,8 +176,16 @@ class DiskArray {
   Status CheckGroup(GroupId group, uint32_t twin) const;
   // The engine's drain callback: one physical slot write through the retry
   // machinery, bumping the transfer counters exactly like the sync path.
+  // A persistent failure on a live disk escalates the disk (see
+  // EscalateDisk) instead of returning the error: the submitter already
+  // saw Ok, so redundancy — not an error code — must carry the durability.
   Status PhysicalWriteForEngine(DiskId disk, SlotId slot,
                                 const PageImage& image);
+  // Force-fails `disk` (at most once until ReplaceDisk): marks it
+  // escalated, bumps the stats/trace/flight machinery and invokes the
+  // escalation listener outside all array locks. Shared by the error-budget
+  // path (RecordSectorError) and the engine's drain-failure path.
+  void EscalateDisk(DiskId disk, const std::string& reason);
   // Shared body of the Write{Data,Parity} overloads once the location is
   // resolved: journals into the engine when one is running, otherwise the
   // synchronous write-with-retry plus counter bumps. The const overload

@@ -18,7 +18,11 @@ namespace rda {
 // Reads against a disk already marked failed are never retried — that is
 // degraded mode, the recovery layer's job. The defaults retry transients
 // but never escalate (disk_error_budget = 0), so an unconfigured array
-// behaves exactly like the pre-policy code on the clean path.
+// behaves exactly like the pre-policy code on the clean path. One
+// exception ignores the budget: a journaled async write that exhausts its
+// retries at drain time always escalates the disk, because its submitter
+// already saw Ok and only redundancy can keep that promise (DESIGN.md
+// section 16).
 struct IoPolicy {
   // Extra attempts after the first failure. 0 disables retrying.
   uint32_t max_read_retries = 2;

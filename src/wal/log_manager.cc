@@ -63,7 +63,9 @@ Status LogManager::FlushLocked() {
   obs::Inc(forces_counter_);
   obs::Inc(pages_flushed_counter_, pages * options_.copies);
 
-  if (engine_ != nullptr && engine_->width() > 1 && stable_.size() > 1) {
+  io::IoEngine* engine =
+      engine_provider_ ? engine_provider_() : nullptr;
+  if (engine != nullptr && engine->width() > 1 && stable_.size() > 1) {
     // Duplex in parallel: copies 1..n ride the engine's job lanes while
     // this thread appends copy 0. All futures are collected before mu_ is
     // released, so nothing observes a half-duplexed flush.
@@ -72,7 +74,7 @@ Status LogManager::FlushLocked() {
     for (uint32_t c = 1; c < stable_.size(); ++c) {
       std::vector<uint8_t>* copy = &stable_[c];
       const std::vector<uint8_t>* src = &chunk;
-      appends.push_back(engine_->SubmitJob(c - 1, [copy, src] {
+      appends.push_back(engine->SubmitJob(c - 1, [copy, src] {
         copy->insert(copy->end(), src->begin(), src->end());
         return Status::Ok();
       }));

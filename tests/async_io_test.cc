@@ -251,6 +251,31 @@ TEST(DiskArrayAsyncTest, FailDiskPurgesItsQueueAndFlushStaysClean) {
   EXPECT_FALSE((*array)->WriteData(0, MakeImage(2)).ok());
 }
 
+TEST(DiskArrayAsyncTest, PersistentDrainFailureEscalatesInsteadOfLosingIt) {
+  auto array = DiskArray::Create(ArrayOptions());
+  ASSERT_TRUE(array.ok());
+  (*array)->SetIoPolicy(AsyncPolicy());  // disk_error_budget = 0 (default).
+  FaultConfig faults;
+  faults.enabled = true;  // All probabilities zero: scripted faults only.
+  (*array)->ArmFaultInjection(faults);
+  const PhysicalLocation loc = (*array)->layout().DataLocation(0);
+  // More scripted write failures than the retry policy has attempts: the
+  // slot is persistently unwritable while the disk stays "live".
+  (*array)->injector(loc.disk)->ScheduleTransientWrite(loc.slot, 16);
+
+  // The submitter sees Ok — the journal is modeled durable.
+  ASSERT_TRUE((*array)->WriteData(0, MakeImage(5)).ok());
+  // The drain cannot land the write. It must NOT vanish silently: the disk
+  // is escalated so redundancy machinery (reconstruction, rebuild) carries
+  // the durability, and the flush itself reports clean.
+  ASSERT_TRUE((*array)->FlushIo().ok());
+  EXPECT_TRUE((*array)->DiskFailed(loc.disk));
+  EXPECT_EQ((*array)->EscalatedDisks(), std::vector<DiskId>{loc.disk});
+  EXPECT_EQ((*array)->policy_stats().escalations, 1u);
+  // No sticky residue: later flushes (scrub/rebuild preludes) stay clean.
+  EXPECT_TRUE((*array)->FlushIo().ok());
+}
+
 TEST(DiskArrayAsyncTest, SetIoPolicyWidthZeroStopsAndDrainsTheEngine) {
   auto array = DiskArray::Create(ArrayOptions());
   ASSERT_TRUE(array.ok());
@@ -304,6 +329,48 @@ TEST(DatabaseAsyncIoTest, CommittedWritesSurviveCrashWithAsyncEngine) {
     EXPECT_EQ((*payload)[kDataRegionOffset], static_cast<uint8_t>(page + 100))
         << "page " << page;
   }
+  auto parity_ok = (*db)->VerifyAllParity();
+  ASSERT_TRUE(parity_ok.ok());
+  EXPECT_TRUE(*parity_ok);
+}
+
+// The reviewer-found regression: a FORCE commit whose journaled data-page
+// write later fails persistently on a still-live disk. The commit already
+// reported durable, so the write must not be dropped — the drain escalates
+// the disk and the committed bytes stay reachable through reconstruction,
+// then a rebuild makes the array whole again.
+TEST(DatabaseAsyncIoTest, CommitSurvivesPersistentDrainFailureViaRedundancy) {
+  DatabaseOptions options = AsyncDbOptions(/*force=*/true, /*rda=*/true);
+  options.io.queue_watermark = 1u << 20;  // Drain only at Crash()'s flush.
+  options.fault.enabled = true;  // Zero probabilities: scripted faults only.
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  const PhysicalLocation loc = (*db)->array()->layout().DataLocation(0);
+  (*db)->array()->injector(loc.disk)->ScheduleTransientWrite(loc.slot, 16);
+
+  std::vector<uint8_t> bytes((*db)->user_page_size());
+  for (PageId page = 0; page < 8; ++page) {
+    auto txn = (*db)->Begin();
+    ASSERT_TRUE(txn.ok());
+    std::fill(bytes.begin(), bytes.end(), static_cast<uint8_t>(page + 40));
+    ASSERT_TRUE((*db)->WritePage(*txn, page, bytes).ok());
+    ASSERT_TRUE((*db)->Commit(*txn).ok());
+  }
+  (*db)->Crash();  // Drains the journal: page 0's write cannot land.
+  auto recovered = (*db)->Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*db)->array()->EscalatedDisks(), std::vector<DiskId>{loc.disk});
+  // Every committed page is still readable — page 0 through reconstruction.
+  for (PageId page = 0; page < 8; ++page) {
+    auto payload = (*db)->RawReadPage(page);
+    ASSERT_TRUE(payload.ok());
+    EXPECT_EQ((*payload)[kDataRegionOffset], static_cast<uint8_t>(page + 40))
+        << "page " << page;
+  }
+  // The rebuild closes the loop: healthy array, consistent parity.
+  auto repair = (*db)->RepairEscalations();
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(repair->repaired, 1u);
   auto parity_ok = (*db)->VerifyAllParity();
   ASSERT_TRUE(parity_ok.ok());
   EXPECT_TRUE(*parity_ok);
